@@ -1,0 +1,35 @@
+//! Figure 15 — tiled Cholesky factorisation on the mirage-like node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mals_bench::{cholesky_fixture, mirage};
+use mals_experiments::figures::{fig15, LinalgConfig};
+use mals_experiments::heft_reference;
+use mals_sched::{MemHeft, MemMinMin, Scheduler};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let graph = cholesky_fixture(7);
+    let platform = mirage(0.0);
+    let reference = heft_reference(&graph, &platform);
+    let bound = (0.6 * reference.heft_peaks.max()).round();
+    let bounded = platform.with_memory_bounds(bound, bound);
+
+    group.bench_function("memheft_cholesky7_60pct", |b| {
+        b.iter(|| MemHeft::new().schedule(black_box(&graph), black_box(&bounded)))
+    });
+    group.bench_function("memminmin_cholesky7_60pct", |b| {
+        b.iter(|| MemMinMin::new().schedule(black_box(&graph), black_box(&bounded)))
+    });
+    group.bench_function("full_sweep_cholesky6", |b| {
+        let config = LinalgConfig { tiles: 6, steps: 8 };
+        b.iter(|| fig15(black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

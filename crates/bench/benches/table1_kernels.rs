@@ -1,0 +1,31 @@
+//! Table 1 — the kernel-cost model and the task graphs built from it.
+//!
+//! The paper's Table 1 is an input (measured kernel timings), not an
+//! algorithmic result; the corresponding benchmark measures what the
+//! workspace does with it: building the tiled LU / Cholesky task graphs from
+//! the cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mals_experiments::table1;
+use mals_gen::{cholesky_dag, lu_dag, KernelCosts};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("kernel_cost_rows", |b| {
+        b.iter(|| table1::rows(black_box(&KernelCosts::table1())))
+    });
+    group.bench_function("build_lu_dag_13x13", |b| {
+        b.iter(|| lu_dag(black_box(13), &KernelCosts::table1()))
+    });
+    group.bench_function("build_cholesky_dag_13x13", |b| {
+        b.iter(|| cholesky_dag(black_box(13), &KernelCosts::table1()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

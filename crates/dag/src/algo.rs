@@ -1,0 +1,376 @@
+//! Graph algorithms on task graphs.
+//!
+//! Everything the schedulers and generators need: topological orders
+//! (Kahn's algorithm), reachability / ancestor sets, levels, longest
+//! (critical) paths with arbitrary node and edge cost functions, and
+//! transitive closure / reduction.
+
+use crate::error::GraphError;
+use crate::graph::TaskGraph;
+use crate::ids::{EdgeId, TaskId};
+
+/// Computes a topological order of the tasks (Kahn's algorithm).
+///
+/// Returns [`GraphError::Cycle`] if the graph has a dependency cycle; the
+/// reported task is one of the tasks left with unresolved predecessors.
+pub fn topological_order(g: &TaskGraph) -> Result<Vec<TaskId>, GraphError> {
+    let n = g.n_tasks();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(TaskId::from_index(i))).collect();
+    let mut queue: Vec<TaskId> = (0..n)
+        .map(TaskId::from_index)
+        .filter(|&t| in_deg[t.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let t = queue[head];
+        head += 1;
+        order.push(t);
+        for c in g.children(t) {
+            in_deg[c.index()] -= 1;
+            if in_deg[c.index()] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if order.len() != n {
+        let culprit = (0..n)
+            .map(TaskId::from_index)
+            .find(|&t| in_deg[t.index()] > 0)
+            .expect("cycle implies a task with remaining in-degree");
+        return Err(GraphError::Cycle(culprit));
+    }
+    Ok(order)
+}
+
+/// Computes, for every task, its *level*: the length (in edges) of the
+/// longest path from any source to that task. Sources have level 0.
+///
+/// # Panics
+/// Panics if the graph has a cycle.
+pub fn levels(g: &TaskGraph) -> Vec<usize> {
+    let order = topological_order(g).expect("levels requires an acyclic graph");
+    let mut level = vec![0usize; g.n_tasks()];
+    for &t in &order {
+        for c in g.children(t) {
+            level[c.index()] = level[c.index()].max(level[t.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Returns the set of ancestors of `task` (tasks that must complete before
+/// it), as a boolean membership vector indexed by task index. The task itself
+/// is not included.
+pub fn ancestors(g: &TaskGraph, task: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; g.n_tasks()];
+    let mut stack: Vec<TaskId> = g.parents(task).collect();
+    while let Some(t) = stack.pop() {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.extend(g.parents(t));
+        }
+    }
+    seen
+}
+
+/// Returns the set of descendants of `task` as a boolean membership vector.
+/// The task itself is not included.
+pub fn descendants(g: &TaskGraph, task: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; g.n_tasks()];
+    let mut stack: Vec<TaskId> = g.children(task).collect();
+    while let Some(t) = stack.pop() {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.extend(g.children(t));
+        }
+    }
+    seen
+}
+
+/// Returns `true` if there is a directed path from `from` to `to`
+/// (`from == to` counts as reachable).
+pub fn is_reachable(g: &TaskGraph, from: TaskId, to: TaskId) -> bool {
+    if from == to {
+        return true;
+    }
+    descendants(g, from)[to.index()]
+}
+
+/// Dense transitive closure as a bitset matrix: `closure[i]` has bit `j` set
+/// iff there is a directed path from task `i` to task `j` (including `i == j`).
+///
+/// Uses one `u64` word per 64 tasks; suitable for the graph sizes used in the
+/// paper's experiments (up to a few thousand tasks).
+pub fn transitive_closure(g: &TaskGraph) -> Vec<Vec<u64>> {
+    let n = g.n_tasks();
+    let words = n.div_ceil(64);
+    let mut closure = vec![vec![0u64; words]; n];
+    let order = topological_order(g).expect("transitive closure requires an acyclic graph");
+    // Process in reverse topological order so children are complete first.
+    for &t in order.iter().rev() {
+        let i = t.index();
+        closure[i][i / 64] |= 1u64 << (i % 64);
+        let children: Vec<usize> = g.children(t).map(|c| c.index()).collect();
+        for c in children {
+            // closure[i] |= closure[c]; split borrows via indices.
+            let (a, b) = if i < c {
+                let (lo, hi) = closure.split_at_mut(c);
+                (&mut lo[i], &hi[0])
+            } else {
+                let (lo, hi) = closure.split_at_mut(i);
+                (&mut hi[0], &lo[c])
+            };
+            for (wa, wb) in a.iter_mut().zip(b.iter()) {
+                *wa |= *wb;
+            }
+        }
+    }
+    closure
+}
+
+/// Tests bit `j` in a bitset row produced by [`transitive_closure`].
+#[inline]
+pub fn closure_contains(row: &[u64], j: usize) -> bool {
+    (row[j / 64] >> (j % 64)) & 1 == 1
+}
+
+/// Returns the edges that are *transitively redundant*: `(i, j)` such that a
+/// path `i → ... → j` of length at least 2 exists. Removing them does not
+/// change precedence constraints (but does change data files, so the
+/// schedulers never do this — it is used by generators and analysis only).
+pub fn redundant_edges(g: &TaskGraph) -> Vec<EdgeId> {
+    let closure = transitive_closure(g);
+    let mut redundant = Vec::new();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        // Is dst reachable from src through some *other* child?
+        let via_other = g.children(edge.src).any(|c| {
+            c != edge.dst && closure_contains(&closure[c.index()], edge.dst.index())
+        });
+        if via_other {
+            redundant.push(e);
+        }
+    }
+    redundant
+}
+
+/// The result of a critical-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total length (sum of node and edge costs along the path).
+    pub length: f64,
+    /// The tasks on the path, in execution order.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Computes the longest path through the DAG where task `i` costs
+/// `node_cost(i)` and edge `e` costs `edge_cost(e)`.
+///
+/// With `node_cost = min(W⁽¹⁾, W⁽²⁾)` and `edge_cost = 0` this is the
+/// classical makespan lower bound; with mean costs it is the HEFT critical
+/// path.
+///
+/// # Panics
+/// Panics if the graph has a cycle. Returns a zero-length path for an empty
+/// graph.
+pub fn critical_path(
+    g: &TaskGraph,
+    node_cost: impl Fn(TaskId) -> f64,
+    edge_cost: impl Fn(EdgeId) -> f64,
+) -> CriticalPath {
+    if g.is_empty() {
+        return CriticalPath { length: 0.0, tasks: Vec::new() };
+    }
+    let order = topological_order(g).expect("critical path requires an acyclic graph");
+    let n = g.n_tasks();
+    // dist[i] = longest path ending at i, including node_cost(i).
+    let mut dist = vec![0.0f64; n];
+    let mut pred: Vec<Option<TaskId>> = vec![None; n];
+    for &t in &order {
+        dist[t.index()] += node_cost(t);
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let cand = dist[t.index()] + edge_cost(e);
+            if cand > dist[edge.dst.index()] {
+                dist[edge.dst.index()] = cand;
+                pred[edge.dst.index()] = Some(t);
+            }
+        }
+    }
+    let (end, &length) = dist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty graph");
+    let mut tasks = vec![TaskId::from_index(end)];
+    while let Some(p) = pred[tasks.last().unwrap().index()] {
+        tasks.push(p);
+    }
+    tasks.reverse();
+    CriticalPath { length, tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 2.0, 1.0);
+        let b = g.add_task("b", 3.0, 3.0);
+        let c = g.add_task("c", 1.0, 5.0);
+        let d = g.add_task("d", 2.0, 2.0);
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_edge(a, c, 1.0, 1.0).unwrap();
+        g.add_edge(b, d, 1.0, 1.0).unwrap();
+        g.add_edge(c, d, 1.0, 1.0).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, _) = diamond();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|t| t.index() == i).unwrap())
+            .collect();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn topo_order_empty_graph() {
+        let g = TaskGraph::new();
+        assert!(topological_order(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chain_topo_order_is_the_chain() {
+        let mut g = TaskGraph::new();
+        let t: Vec<TaskId> = (0..5).map(|i| g.add_task(format!("t{i}"), 1.0, 1.0)).collect();
+        for w in t.windows(2) {
+            g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
+        }
+        assert_eq!(topological_order(&g).unwrap(), t);
+    }
+
+    #[test]
+    fn levels_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = levels(&g);
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[b.index()], 1);
+        assert_eq!(lv[c.index()], 1);
+        assert_eq!(lv[d.index()], 2);
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (g, [a, b, c, d]) = diamond();
+        let anc_d = ancestors(&g, d);
+        assert!(anc_d[a.index()] && anc_d[b.index()] && anc_d[c.index()]);
+        assert!(!anc_d[d.index()]);
+        let desc_a = descendants(&g, a);
+        assert!(desc_a[b.index()] && desc_a[c.index()] && desc_a[d.index()]);
+        assert!(!desc_a[a.index()]);
+        let anc_a = ancestors(&g, a);
+        assert!(anc_a.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(is_reachable(&g, a, d));
+        assert!(is_reachable(&g, a, a));
+        assert!(!is_reachable(&g, b, c));
+        assert!(!is_reachable(&g, d, a));
+    }
+
+    #[test]
+    fn transitive_closure_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let cl = transitive_closure(&g);
+        assert!(closure_contains(&cl[a.index()], d.index()));
+        assert!(closure_contains(&cl[a.index()], a.index()));
+        assert!(!closure_contains(&cl[b.index()], c.index()));
+        assert!(!closure_contains(&cl[d.index()], a.index()));
+    }
+
+    #[test]
+    fn redundant_edge_detection() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, 1.0);
+        let b = g.add_task("b", 1.0, 1.0);
+        let c = g.add_task("c", 1.0, 1.0);
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_edge(b, c, 1.0, 1.0).unwrap();
+        let shortcut = g.add_edge(a, c, 1.0, 1.0).unwrap();
+        assert_eq!(redundant_edges(&g), vec![shortcut]);
+    }
+
+    #[test]
+    fn no_redundant_edges_in_diamond() {
+        let (g, _) = diamond();
+        assert!(redundant_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, 1.0);
+        let b = g.add_task("b", 1.0, 1.0);
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_edge(b, a, 1.0, 1.0).unwrap();
+        assert!(matches!(topological_order(&g), Err(GraphError::Cycle(_))));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn critical_path_diamond_min_work() {
+        let (g, [a, _b, c, d]) = diamond();
+        // min works: a=1, b=3, c=1, d=2. Longest path a->b->d = 1+3+2 = 6.
+        let cp = critical_path(&g, |t| g.task(t).min_work(), |_| 0.0);
+        assert_eq!(cp.length, 6.0);
+        assert_eq!(cp.tasks.first(), Some(&a));
+        assert_eq!(cp.tasks.last(), Some(&d));
+        // With edge costs the path through c may win: a=1,c=1,d=2 +2 edges of 10 = 24.
+        let cp2 = critical_path(&g, |t| g.task(t).min_work(), |_| 10.0);
+        assert_eq!(cp2.length, 26.0);
+        let _ = c;
+    }
+
+    #[test]
+    fn critical_path_single_task() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 5.0, 7.0);
+        let cp = critical_path(&g, |t| g.task(t).mean_work(), |_| 0.0);
+        assert_eq!(cp.length, 6.0);
+        assert_eq!(cp.tasks, vec![a]);
+    }
+
+    #[test]
+    fn critical_path_empty_graph() {
+        let g = TaskGraph::new();
+        let cp = critical_path(&g, |_| 1.0, |_| 1.0);
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.tasks.is_empty());
+    }
+
+    #[test]
+    fn closure_handles_more_than_64_tasks() {
+        let mut g = TaskGraph::new();
+        let tasks: Vec<TaskId> = (0..130).map(|i| g.add_task(format!("t{i}"), 1.0, 1.0)).collect();
+        for w in tasks.windows(2) {
+            g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
+        }
+        let cl = transitive_closure(&g);
+        assert!(closure_contains(&cl[0], 129));
+        assert!(!closure_contains(&cl[129], 0));
+        assert!(is_reachable(&g, tasks[0], tasks[129]));
+    }
+}

@@ -1,0 +1,133 @@
+//! DOT (Graphviz) export of task graphs.
+//!
+//! Used by the figure-reproduction binaries (`--dump-dot`) to reproduce the
+//! DAG drawings of Figures 8 and 9 of the paper, and handy when debugging
+//! generators.
+
+use crate::graph::TaskGraph;
+
+/// Options controlling the DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Include `W⁽¹⁾ / W⁽²⁾` in node labels.
+    pub show_work: bool,
+    /// Include `F` and `C` in edge labels.
+    pub show_edge_weights: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { name: "taskgraph".to_string(), show_work: true, show_edge_weights: true }
+    }
+}
+
+/// Renders the graph in DOT format with default options.
+pub fn to_dot(g: &TaskGraph) -> String {
+    to_dot_with(g, &DotOptions::default())
+}
+
+/// Renders the graph in DOT format.
+pub fn to_dot_with(g: &TaskGraph, opts: &DotOptions) -> String {
+    let mut out = String::with_capacity(64 * (g.n_tasks() + g.n_edges()) + 64);
+    out.push_str(&format!("digraph {} {{\n", sanitize(&opts.name)));
+    out.push_str("  rankdir=TB;\n  node [shape=ellipse];\n");
+    for t in g.task_ids() {
+        let data = g.task(t);
+        let label = if opts.show_work {
+            format!("{}\\nW1={} W2={}", data.name, data.work_blue, data.work_red)
+        } else {
+            data.name.clone()
+        };
+        out.push_str(&format!("  n{} [label=\"{}\"];\n", t.index(), escape(&label)));
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if opts.show_edge_weights {
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"F={} C={}\"];\n",
+                edge.src.index(),
+                edge.dst.index(),
+                edge.size,
+                edge.comm_cost
+            ));
+        } else {
+            out.push_str(&format!("  n{} -> n{};\n", edge.src.index(), edge.dst.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "taskgraph".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    fn small() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("A", 1.0, 2.0);
+        let b = g.add_task("B", 3.0, 4.0);
+        g.add_edge(a, b, 5.0, 6.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn contains_nodes_and_edges() {
+        let dot = to_dot(&small());
+        assert!(dot.starts_with("digraph taskgraph {"));
+        assert!(dot.contains("n0 [label=\"A\\nW1=1 W2=2\"]"));
+        assert!(dot.contains("n1 [label=\"B\\nW1=3 W2=4\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"F=5 C=6\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn options_hide_weights() {
+        let opts = DotOptions { name: "g".into(), show_work: false, show_edge_weights: false };
+        let dot = to_dot_with(&small(), &opts);
+        assert!(dot.contains("n0 [label=\"A\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("F="));
+    }
+
+    #[test]
+    fn sanitizes_graph_name() {
+        let opts = DotOptions { name: "my graph/1".into(), ..Default::default() };
+        let dot = to_dot_with(&small(), &opts);
+        assert!(dot.starts_with("digraph my_graph_1 {"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut g = TaskGraph::new();
+        g.add_task("say \"hi\"", 1.0, 1.0);
+        let dot = to_dot(&g);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = TaskGraph::new();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains('}'));
+    }
+}

@@ -1,0 +1,83 @@
+//! Strongly-typed identifiers for tasks and edges.
+//!
+//! Tasks and edges are stored in arenas inside [`crate::TaskGraph`]; these
+//! newtypes prevent mixing up the two index spaces and keep the index width
+//! explicit (`u32` — a DAG with more than four billion tasks is out of scope
+//! for this simulator).
+
+/// Identifier of a task (node) in a [`crate::TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+/// Identifier of a dependency edge in a [`crate::TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl TaskId {
+    /// Returns the underlying arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a raw index.
+    ///
+    /// Intended for (de)serialisation and test helpers; using an index that
+    /// does not exist in the graph it is used with will panic at the point of
+    /// use.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// Returns the underlying arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a raw index (see [`TaskId::from_index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index overflows u32"))
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        let t = TaskId::from_index(17);
+        assert_eq!(t.index(), 17);
+        let e = EdgeId::from_index(3);
+        assert_eq!(e.index(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TaskId::from_index(2).to_string(), "T2");
+        assert_eq!(EdgeId::from_index(5).to_string(), "e5");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId::from_index(1) < TaskId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+}

@@ -1,0 +1,176 @@
+//! Task priorities: upward and downward ranks.
+//!
+//! The HEFT-family heuristics order tasks by their *upward rank*. The paper
+//! (Section 5.1, "Task prioritizing phase") defines it on the dual-memory
+//! platform as
+//!
+//! ```text
+//! rank(i) = (W_red(i) + W_blue(i)) / 2 + max_{j ∈ Children(i)} { rank(j) + C_{i,j} / 2 }
+//! ```
+//!
+//! i.e. the classical HEFT upward rank with the mean of the two processing
+//! times as the computation cost and half the cross-memory transfer time as
+//! the expected communication cost (the file crosses memories with
+//! probability one half under a uniformly random mapping).
+
+use crate::algo::topological_order;
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Mean processing time of a task over the two resource types.
+pub fn mean_work(g: &TaskGraph, t: TaskId) -> f64 {
+    g.task(t).mean_work()
+}
+
+/// Computes the upward rank of every task (indexed by task index).
+///
+/// # Panics
+/// Panics if the graph has a cycle.
+pub fn upward_ranks(g: &TaskGraph) -> Vec<f64> {
+    let order = topological_order(g).expect("upward ranks require an acyclic graph");
+    let mut rank = vec![0.0f64; g.n_tasks()];
+    for &t in order.iter().rev() {
+        let mut best_child = 0.0f64;
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let cand = rank[edge.dst.index()] + edge.comm_cost / 2.0;
+            if cand > best_child {
+                best_child = cand;
+            }
+        }
+        rank[t.index()] = g.task(t).mean_work() + best_child;
+    }
+    rank
+}
+
+/// Computes the downward rank of every task: the length of the longest path
+/// from a source to the task, *excluding* the task itself, using mean
+/// computation costs and half communication costs. Sources have downward
+/// rank 0.
+///
+/// `rank_u(i) + rank_d(i)` is maximal on the critical path; the sum is useful
+/// for critical-path-first tie-breaking.
+pub fn downward_ranks(g: &TaskGraph) -> Vec<f64> {
+    let order = topological_order(g).expect("downward ranks require an acyclic graph");
+    let mut rank = vec![0.0f64; g.n_tasks()];
+    for &t in &order {
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let cand = rank[t.index()] + g.task(t).mean_work() + edge.comm_cost / 2.0;
+            if cand > rank[edge.dst.index()] {
+                rank[edge.dst.index()] = cand;
+            }
+        }
+    }
+    rank
+}
+
+/// Returns the task ids sorted by non-increasing upward rank, the order in
+/// which MemHEFT considers tasks. Ties are broken by task index so the order
+/// is deterministic (the paper breaks ties randomly; see
+/// `mals-sched::ablation` for the randomized variant).
+pub fn rank_sorted_tasks(g: &TaskGraph) -> Vec<TaskId> {
+    let ranks = upward_ranks(g);
+    let mut tasks: Vec<TaskId> = g.task_ids().collect();
+    tasks.sort_by(|&a, &b| {
+        ranks[b.index()]
+            .total_cmp(&ranks[a.index()])
+            .then_with(|| a.index().cmp(&b.index()))
+    });
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_util::approx_eq;
+
+    /// D_ex from Figure 2 of the paper.
+    fn dex() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", 3.0, 1.0);
+        let t2 = g.add_task("T2", 2.0, 2.0);
+        let t3 = g.add_task("T3", 6.0, 3.0);
+        let t4 = g.add_task("T4", 1.0, 1.0);
+        g.add_edge(t1, t2, 1.0, 1.0).unwrap();
+        g.add_edge(t1, t3, 2.0, 1.0).unwrap();
+        g.add_edge(t2, t4, 1.0, 1.0).unwrap();
+        g.add_edge(t3, t4, 2.0, 1.0).unwrap();
+        (g, [t1, t2, t3, t4])
+    }
+
+    #[test]
+    fn upward_ranks_dex() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        let r = upward_ranks(&g);
+        // rank(T4) = (1+1)/2 = 1
+        assert!(approx_eq(r[t4.index()], 1.0));
+        // rank(T2) = (2+2)/2 + rank(T4) + 1/2 = 2 + 1.5 = 3.5
+        assert!(approx_eq(r[t2.index()], 3.5));
+        // rank(T3) = (6+3)/2 + rank(T4) + 1/2 = 4.5 + 1.5 = 6.0
+        assert!(approx_eq(r[t3.index()], 6.0));
+        // rank(T1) = (3+1)/2 + max(3.5, 6.0) + 1/2 = 2 + 6.5 = 8.5
+        assert!(approx_eq(r[t1.index()], 8.5));
+    }
+
+    #[test]
+    fn rank_sorted_order_dex() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        assert_eq!(rank_sorted_tasks(&g), vec![t1, t3, t2, t4]);
+    }
+
+    #[test]
+    fn source_rank_dominates_all() {
+        let (g, _) = dex();
+        let r = upward_ranks(&g);
+        let max = r.iter().cloned().fold(f64::MIN, f64::max);
+        // The source has the largest upward rank in a single-source DAG.
+        assert!(approx_eq(r[0], max));
+    }
+
+    #[test]
+    fn downward_ranks_dex() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        let d = downward_ranks(&g);
+        assert!(approx_eq(d[t1.index()], 0.0));
+        // T2: via T1 = 2 + 0.5 = 2.5
+        assert!(approx_eq(d[t2.index()], 2.5));
+        // T3: via T1 = 2 + 0.5 = 2.5
+        assert!(approx_eq(d[t3.index()], 2.5));
+        // T4: max(via T2 = 2.5 + 2 + 0.5, via T3 = 2.5 + 4.5 + 0.5) = 7.5
+        assert!(approx_eq(d[t4.index()], 7.5));
+    }
+
+    #[test]
+    fn rank_sum_constant_on_critical_path() {
+        let (g, _) = dex();
+        let u = upward_ranks(&g);
+        let d = downward_ranks(&g);
+        let max_sum = (0..g.n_tasks()).map(|i| u[i] + d[i]).fold(f64::MIN, f64::max);
+        // T1, T3 and T4 form the critical path: their sums equal the maximum.
+        assert!(approx_eq(u[0] + d[0], max_sum));
+        assert!(approx_eq(u[2] + d[2], max_sum));
+        assert!(approx_eq(u[3] + d[3], max_sum));
+    }
+
+    #[test]
+    fn upward_rank_of_isolated_task_is_mean_work() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 4.0, 2.0);
+        let r = upward_ranks(&g);
+        assert!(approx_eq(r[a.index()], 3.0));
+    }
+
+    #[test]
+    fn ranks_monotone_along_edges() {
+        let (g, _) = dex();
+        let r = upward_ranks(&g);
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(
+                r[edge.src.index()] > r[edge.dst.index()],
+                "upward rank must strictly decrease along edges when works are positive"
+            );
+        }
+    }
+}

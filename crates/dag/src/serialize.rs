@@ -1,0 +1,217 @@
+//! Plain-text serialisation of task graphs.
+//!
+//! A tiny line-oriented format ("MTG" — MALS task graph) so DAG sets can be
+//! archived next to experiment results and re-loaded bit-for-bit, without
+//! pulling a serialisation framework into the workspace:
+//!
+//! ```text
+//! # comment
+//! mtg 1
+//! task <id> <work_blue> <work_red> <name with spaces allowed>
+//! edge <src> <dst> <size> <comm_cost>
+//! ```
+//!
+//! Task ids must be `0..n` in order (they are arena indices); edges may
+//! appear in any order after the tasks they reference.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The `mtg <version>` header is missing or unsupported.
+    BadHeader,
+    /// A line could not be parsed; the payload is the 1-based line number and
+    /// a description.
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or unsupported `mtg` header"),
+            ParseError::BadLine(line, reason) => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a graph to the MTG text format.
+pub fn to_text(graph: &TaskGraph) -> String {
+    let mut out = String::with_capacity(32 * (graph.n_tasks() + graph.n_edges()) + 16);
+    out.push_str("mtg 1\n");
+    for t in graph.task_ids() {
+        let data = graph.task(t);
+        out.push_str(&format!(
+            "task {} {} {} {}\n",
+            t.index(),
+            data.work_blue,
+            data.work_red,
+            data.name
+        ));
+    }
+    for e in graph.edge_ids() {
+        let edge = graph.edge(e);
+        out.push_str(&format!(
+            "edge {} {} {} {}\n",
+            edge.src.index(),
+            edge.dst.index(),
+            edge.size,
+            edge.comm_cost
+        ));
+    }
+    out
+}
+
+/// Parses a graph from the MTG text format.
+pub fn from_text(text: &str) -> Result<TaskGraph, ParseError> {
+    let mut graph = TaskGraph::new();
+    let mut saw_header = false;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line == "mtg 1" {
+                saw_header = true;
+                continue;
+            }
+            return Err(ParseError::BadHeader);
+        }
+        let mut parts = line.splitn(2, ' ');
+        let keyword = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        match keyword {
+            "task" => {
+                let mut fields = rest.splitn(4, ' ');
+                let id: usize = parse_field(&mut fields, line_no, "task id")?;
+                let work_blue: f64 = parse_field(&mut fields, line_no, "blue time")?;
+                let work_red: f64 = parse_field(&mut fields, line_no, "red time")?;
+                let name = fields.next().unwrap_or("").to_string();
+                if id != graph.n_tasks() {
+                    return Err(ParseError::BadLine(
+                        line_no,
+                        format!("task ids must be consecutive, expected {}", graph.n_tasks()),
+                    ));
+                }
+                graph.add_task(name, work_blue, work_red);
+            }
+            "edge" => {
+                let mut fields = rest.split(' ');
+                let src: usize = parse_field(&mut fields, line_no, "source id")?;
+                let dst: usize = parse_field(&mut fields, line_no, "destination id")?;
+                let size: f64 = parse_field(&mut fields, line_no, "file size")?;
+                let comm: f64 = parse_field(&mut fields, line_no, "communication cost")?;
+                if src >= graph.n_tasks() || dst >= graph.n_tasks() {
+                    return Err(ParseError::BadLine(line_no, "edge references unknown task".into()));
+                }
+                graph
+                    .add_edge(TaskId::from_index(src), TaskId::from_index(dst), size, comm)
+                    .map_err(|e| ParseError::BadLine(line_no, e.to_string()))?;
+            }
+            other => {
+                return Err(ParseError::BadLine(line_no, format!("unknown record `{other}`")));
+            }
+        }
+    }
+    if !saw_header {
+        return Err(ParseError::BadHeader);
+    }
+    Ok(graph)
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    let raw = fields
+        .next()
+        .ok_or_else(|| ParseError::BadLine(line_no, format!("missing {what}")))?;
+    raw.parse::<T>()
+        .map_err(|_| ParseError::BadLine(line_no, format!("invalid {what}: `{raw}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dex() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", 3.0, 1.0);
+        let t2 = g.add_task("T2", 2.0, 2.0);
+        let t3 = g.add_task("T3", 6.0, 3.0);
+        let t4 = g.add_task("T4 final", 1.0, 1.0);
+        g.add_edge(t1, t2, 1.0, 1.0).unwrap();
+        g.add_edge(t1, t3, 2.0, 1.0).unwrap();
+        g.add_edge(t2, t4, 1.0, 1.0).unwrap();
+        g.add_edge(t3, t4, 2.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let original = dex();
+        let text = to_text(&original);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(original, parsed);
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let parsed = from_text(&to_text(&dex())).unwrap();
+        assert_eq!(parsed.task(TaskId::from_index(3)).name, "T4 final");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\nmtg 1\n# another\ntask 0 1 2 a\n\ntask 1 3 4 b\nedge 0 1 5 6\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edge(g.edge_ids().next().unwrap()).size, 5.0);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_text("task 0 1 2 a\n"), Err(ParseError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+        assert_eq!(from_text("mtg 2\n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_position() {
+        let err = from_text("mtg 1\ntask 0 1 2 a\nedge 0 5 1 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(3, _)));
+        let err = from_text("mtg 1\ntask 7 1 2 a\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(2, _)));
+        let err = from_text("mtg 1\ntask 0 x 2 a\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(2, _)));
+        let err = from_text("mtg 1\nblob 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(2, _)));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_via_graph_error() {
+        let text = "mtg 1\ntask 0 1 1 a\ntask 1 1 1 b\nedge 0 1 1 1\nedge 0 1 2 2\n";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(err, ParseError::BadLine(5, _)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseError::BadHeader.to_string().contains("header"));
+        assert!(ParseError::BadLine(3, "oops".into()).to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = TaskGraph::new();
+        let parsed = from_text(&to_text(&g)).unwrap();
+        assert_eq!(parsed.n_tasks(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Structural statistics of task graphs.
+//!
+//! The experiment reports characterise each DAG set by a handful of numbers
+//! (depth, width, degree distribution, communication-to-computation ratio,
+//! memory pressure); this module computes them.
+
+use crate::algo::levels;
+use crate::graph::TaskGraph;
+
+/// Summary statistics of one task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Number of edges.
+    pub n_edges: usize,
+    /// Number of source tasks (no parents).
+    pub n_sources: usize,
+    /// Number of sink tasks (no children).
+    pub n_sinks: usize,
+    /// Number of levels (longest path length in edges, plus one).
+    pub depth: usize,
+    /// Largest number of tasks on one level (a proxy for the available
+    /// parallelism).
+    pub max_width: usize,
+    /// Mean number of parents per task.
+    pub mean_in_degree: f64,
+    /// Largest number of parents of any task.
+    pub max_in_degree: usize,
+    /// Total processing time on blue processors.
+    pub total_work_blue: f64,
+    /// Total processing time on red processors.
+    pub total_work_red: f64,
+    /// Mean acceleration factor `W_blue / W_red` over tasks with non-zero
+    /// red time (how much the accelerator helps on average).
+    pub mean_speedup: f64,
+    /// Communication-to-computation ratio: total cross-memory transfer time
+    /// over total mean computation time.
+    pub ccr: f64,
+    /// Largest single-task memory requirement `MemReq(i)`.
+    pub max_mem_req: f64,
+    /// Total size of all files (an upper bound on any memory peak).
+    pub total_file_size: f64,
+}
+
+/// Computes the statistics of `graph`.
+///
+/// # Panics
+/// Panics if the graph has a cycle.
+pub fn graph_stats(graph: &TaskGraph) -> GraphStats {
+    let n_tasks = graph.n_tasks();
+    let n_edges = graph.n_edges();
+    if n_tasks == 0 {
+        return GraphStats {
+            n_tasks: 0,
+            n_edges: 0,
+            n_sources: 0,
+            n_sinks: 0,
+            depth: 0,
+            max_width: 0,
+            mean_in_degree: 0.0,
+            max_in_degree: 0,
+            total_work_blue: 0.0,
+            total_work_red: 0.0,
+            mean_speedup: 0.0,
+            ccr: 0.0,
+            max_mem_req: 0.0,
+            total_file_size: 0.0,
+        };
+    }
+    let level_of = levels(graph);
+    let depth = level_of.iter().copied().max().unwrap_or(0) + 1;
+    let mut width_per_level = vec![0usize; depth];
+    for &l in &level_of {
+        width_per_level[l] += 1;
+    }
+    let max_width = width_per_level.into_iter().max().unwrap_or(0);
+
+    let mut max_in_degree = 0usize;
+    for t in graph.task_ids() {
+        max_in_degree = max_in_degree.max(graph.in_degree(t));
+    }
+
+    let speedups: Vec<f64> = graph
+        .task_ids()
+        .map(|t| graph.task(t))
+        .filter(|d| d.work_red > 0.0)
+        .map(|d| d.work_blue / d.work_red)
+        .collect();
+    let mean_speedup = if speedups.is_empty() {
+        0.0
+    } else {
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    };
+
+    let total_mean_work: f64 = graph.task_ids().map(|t| graph.task(t).mean_work()).sum();
+    let ccr = if total_mean_work > 0.0 {
+        graph.total_comm_cost() / total_mean_work
+    } else {
+        0.0
+    };
+
+    GraphStats {
+        n_tasks,
+        n_edges,
+        n_sources: graph.sources().len(),
+        n_sinks: graph.sinks().len(),
+        depth,
+        max_width,
+        mean_in_degree: n_edges as f64 / n_tasks as f64,
+        max_in_degree,
+        total_work_blue: graph.total_work_blue(),
+        total_work_red: graph.total_work_red(),
+        mean_speedup,
+        ccr,
+        max_mem_req: graph.max_mem_req(),
+        total_file_size: graph.total_file_size(),
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} tasks, {} edges ({} sources, {} sinks), depth {}, max width {}",
+            self.n_tasks, self.n_edges, self.n_sources, self.n_sinks, self.depth, self.max_width
+        )?;
+        writeln!(
+            f,
+            "in-degree: mean {:.2}, max {}; speedup x{:.1}; CCR {:.2}",
+            self.mean_in_degree, self.max_in_degree, self.mean_speedup, self.ccr
+        )?;
+        write!(
+            f,
+            "memory: max MemReq {}, total files {}",
+            self.max_mem_req, self.total_file_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dex() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", 3.0, 1.0);
+        let t2 = g.add_task("T2", 2.0, 2.0);
+        let t3 = g.add_task("T3", 6.0, 3.0);
+        let t4 = g.add_task("T4", 1.0, 1.0);
+        g.add_edge(t1, t2, 1.0, 1.0).unwrap();
+        g.add_edge(t1, t3, 2.0, 1.0).unwrap();
+        g.add_edge(t2, t4, 1.0, 1.0).unwrap();
+        g.add_edge(t3, t4, 2.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn stats_of_dex() {
+        let s = graph_stats(&dex());
+        assert_eq!(s.n_tasks, 4);
+        assert_eq!(s.n_edges, 4);
+        assert_eq!(s.n_sources, 1);
+        assert_eq!(s.n_sinks, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_width, 2);
+        assert_eq!(s.mean_in_degree, 1.0);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.total_work_blue, 12.0);
+        assert_eq!(s.total_work_red, 7.0);
+        // Speedups: 3, 1, 2, 1 -> mean 1.75.
+        assert!((s.mean_speedup - 1.75).abs() < 1e-9);
+        // CCR = 4 / 9.5.
+        assert!((s.ccr - 4.0 / 9.5).abs() < 1e-9);
+        assert_eq!(s.max_mem_req, 4.0);
+        assert_eq!(s.total_file_size, 6.0);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = graph_stats(&TaskGraph::new());
+        assert_eq!(s.n_tasks, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.mean_speedup, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = graph_stats(&dex()).to_string();
+        assert!(text.contains("4 tasks"));
+        assert!(text.contains("depth 3"));
+        assert!(text.contains("CCR"));
+    }
+
+    #[test]
+    fn zero_red_work_does_not_divide_by_zero() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", 1.0, 0.0);
+        let s = graph_stats(&g);
+        assert_eq!(s.mean_speedup, 0.0);
+        assert!(s.ccr.is_finite());
+    }
+}

@@ -1,0 +1,64 @@
+//! Makespan lower bounds.
+//!
+//! Both bounds are independent of the memory capacities, so they hold for
+//! every feasible schedule and can be used to prune the branch-and-bound
+//! search as well as to draw the "Lower bound" series of Figure 11.
+
+use mals_dag::{algo, TaskGraph};
+use mals_platform::Platform;
+
+/// Critical-path bound: the longest path through the DAG where each task
+/// contributes its *smaller* processing time and communications are free.
+pub fn critical_path_lower_bound(graph: &TaskGraph) -> f64 {
+    algo::critical_path(graph, |t| graph.task(t).min_work(), |_| 0.0).length
+}
+
+/// Load-balance bound: the total work, counted at the smaller processing time
+/// of every task, spread perfectly over all processors.
+pub fn load_lower_bound(graph: &TaskGraph, platform: &Platform) -> f64 {
+    graph.total_min_work() / platform.n_procs() as f64
+}
+
+/// The best (largest) of the two lower bounds.
+pub fn makespan_lower_bound(graph: &TaskGraph, platform: &Platform) -> f64 {
+    critical_path_lower_bound(graph).max(load_lower_bound(graph, platform))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::dex;
+    use mals_sched::{MemMinMin, Scheduler};
+
+    #[test]
+    fn critical_path_bound_of_dex() {
+        let (g, _) = dex();
+        // Min works: T1 = 1, T2 = 2, T3 = 3, T4 = 1; longest path T1-T3-T4 = 5.
+        assert_eq!(critical_path_lower_bound(&g), 5.0);
+    }
+
+    #[test]
+    fn load_bound_of_dex() {
+        let (g, _) = dex();
+        let p = Platform::single_pair(10.0, 10.0);
+        // Total min work = 7, two processors -> 3.5.
+        assert_eq!(load_lower_bound(&g, &p), 3.5);
+        assert_eq!(makespan_lower_bound(&g, &p), 5.0);
+    }
+
+    #[test]
+    fn bounds_never_exceed_a_feasible_makespan() {
+        let (g, _) = dex();
+        let p = Platform::single_pair(100.0, 100.0);
+        let s = MemMinMin::new().schedule(&g, &p).unwrap();
+        assert!(makespan_lower_bound(&g, &p) <= s.makespan() + 1e-9);
+    }
+
+    #[test]
+    fn more_processors_lower_the_load_bound() {
+        let (g, _) = dex();
+        let small = Platform::new(1, 1, 10.0, 10.0).unwrap();
+        let big = Platform::new(4, 4, 10.0, 10.0).unwrap();
+        assert!(load_lower_bound(&g, &big) < load_lower_bound(&g, &small));
+    }
+}

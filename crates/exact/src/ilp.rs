@@ -1,0 +1,857 @@
+//! Construction of the paper's ILP (Section 4, Figures 5–7).
+//!
+//! The program decides, for every task, its starting time and processor, and
+//! for every edge the starting time of its (potential) cross-memory transfer;
+//! a large family of auxiliary binary variables encodes the relative order of
+//! every pair of events so that the memory occupied at the start of every
+//! task and every transfer can be written as a linear expression.
+//!
+//! The builder follows the paper constraint by constraint:
+//!
+//! * (1)–(25): schedule well-formedness (makespan definition, flow and
+//!   transfer precedence, big-M definitions of the ordering indicators,
+//!   processor/memory consistency, resource exclusion);
+//! * (26)/(27) with (26a)–(27d): the memory-capacity constraints at the start
+//!   of every task and every transfer, linearised with the auxiliary
+//!   `α`/`β` products exactly as in Figure 7.
+//!
+//! Two small, documented adaptations are made:
+//!
+//! * processors are 0-based (`0..P1` blue, `P1..P1+P2` red), so constraints
+//!   (12)–(13) use the 0-based form;
+//! * the self-referential terms of (26)/(27) — the input and output files of
+//!   the very task (or transfer) whose memory is being bounded, for which the
+//!   paper's `δ_{ii}`-style indicators are undefined — are added as constant
+//!   contributions to the left-hand side, which is exactly their value in any
+//!   feasible schedule (a task's own inputs and outputs are, by definition of
+//!   `MemReq`, resident when it starts).
+//!
+//! The resulting model has `O(m² + mn)` variables and constraints, as stated
+//! in the paper. It can be exported in CPLEX LP format with
+//! [`crate::model::LpModel::to_lp_format`]; the workspace does not bundle a
+//! MILP solver (the paper used CPLEX 12.5), the optimal makespans used in the
+//! experiment reproduction come from [`crate::bb::BranchAndBound`] instead.
+
+use crate::model::{LpModel, Sense, VarId, VarKind};
+use mals_dag::{EdgeId, TaskGraph, TaskId};
+use mals_platform::Platform;
+
+/// Summary statistics of a generated ILP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpStats {
+    /// Total number of variables.
+    pub n_variables: usize,
+    /// Number of binary variables.
+    pub n_binaries: usize,
+    /// Total number of constraints.
+    pub n_constraints: usize,
+}
+
+/// Either a model variable or a constant (used for the `δ`-style indicators
+/// whose self-referential instances are constants).
+#[derive(Debug, Clone, Copy)]
+enum Ind {
+    Var(VarId),
+    Const(f64),
+}
+
+struct Builder<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    model: LpModel,
+    m_max: f64,
+    makespan: VarId,
+    t: Vec<VarId>,
+    tau: Vec<VarId>,
+    p: Vec<VarId>,
+    b: Vec<VarId>,
+    w: Vec<VarId>,
+    eps: Vec<Vec<Option<VarId>>>,
+    delta: Vec<Vec<Option<VarId>>>,
+    sigma: Vec<Vec<Option<VarId>>>,
+    m_ord: Vec<Vec<Option<VarId>>>,
+    m_prime: Vec<Vec<VarId>>,   // [edge][task]
+    sigma_prime: Vec<Vec<VarId>>, // [edge][task]
+    c_ind: Vec<Vec<VarId>>,     // [edge][task]
+    d_ind: Vec<Vec<VarId>>,     // [edge][task]
+    c_prime: Vec<Vec<Option<VarId>>>, // [edge][edge]
+    d_prime: Vec<Vec<Option<VarId>>>, // [edge][edge]
+}
+
+impl<'a> Builder<'a> {
+    fn new(graph: &'a TaskGraph, platform: &'a Platform) -> Self {
+        let mut model = LpModel::new();
+        let n = graph.n_tasks();
+        let m = graph.n_edges();
+        let m_max = graph.makespan_horizon();
+        let total_procs = platform.n_procs() as i64;
+
+        let makespan = model.add_var("M", VarKind::Continuous(0.0, f64::INFINITY));
+        let t: Vec<VarId> = (0..n)
+            .map(|i| model.add_var(format!("t_{i}"), VarKind::Continuous(0.0, f64::INFINITY)))
+            .collect();
+        let tau: Vec<VarId> = (0..m)
+            .map(|e| {
+                let edge = graph.edge(EdgeId::from_index(e));
+                model.add_var(
+                    format!("tau_{}_{}", edge.src.index(), edge.dst.index()),
+                    VarKind::Continuous(0.0, f64::INFINITY),
+                )
+            })
+            .collect();
+        let p: Vec<VarId> = (0..n)
+            .map(|i| model.add_var(format!("p_{i}"), VarKind::Integer(0, total_procs - 1)))
+            .collect();
+        let b: Vec<VarId> = (0..n).map(|i| model.add_var(format!("b_{i}"), VarKind::Binary)).collect();
+        let w: Vec<VarId> = (0..n)
+            .map(|i| model.add_var(format!("w_{i}"), VarKind::Continuous(0.0, f64::INFINITY)))
+            .collect();
+
+        let pair_vars = |model: &mut LpModel, prefix: &str| -> Vec<Vec<Option<VarId>>> {
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| {
+                            (i != j).then(|| {
+                                model.add_var(format!("{prefix}_{i}_{j}"), VarKind::Binary)
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let eps = pair_vars(&mut model, "eps");
+        let delta = pair_vars(&mut model, "delta");
+        let sigma = pair_vars(&mut model, "sigma");
+        let m_ord = pair_vars(&mut model, "m");
+
+        let edge_task_vars = |model: &mut LpModel, prefix: &str| -> Vec<Vec<VarId>> {
+            (0..m)
+                .map(|e| {
+                    (0..n)
+                        .map(|k| model.add_var(format!("{prefix}_{e}_{k}"), VarKind::Binary))
+                        .collect()
+                })
+                .collect()
+        };
+        let m_prime = edge_task_vars(&mut model, "mp");
+        let sigma_prime = edge_task_vars(&mut model, "sp");
+        let c_ind = edge_task_vars(&mut model, "c");
+        let d_ind = edge_task_vars(&mut model, "d");
+
+        let edge_edge_vars = |model: &mut LpModel, prefix: &str| -> Vec<Vec<Option<VarId>>> {
+            (0..m)
+                .map(|e| {
+                    (0..m)
+                        .map(|f| {
+                            (e != f)
+                                .then(|| model.add_var(format!("{prefix}_{e}_{f}"), VarKind::Binary))
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let c_prime = edge_edge_vars(&mut model, "cp");
+        let d_prime = edge_edge_vars(&mut model, "dp");
+
+        Builder {
+            graph,
+            platform,
+            model,
+            m_max,
+            makespan,
+            t,
+            tau,
+            p,
+            b,
+            w,
+            eps,
+            delta,
+            sigma,
+            m_ord,
+            m_prime,
+            sigma_prime,
+            c_ind,
+            d_ind,
+            c_prime,
+            d_prime,
+        }
+    }
+
+    fn delta_ind(&self, i: usize, j: usize) -> Ind {
+        if i == j {
+            Ind::Const(1.0)
+        } else {
+            Ind::Var(self.delta[i][j].expect("delta exists for distinct pair"))
+        }
+    }
+
+    /// Adds a `lhs_terms (sense) rhs` constraint where some terms may be
+    /// constant indicators (folded into the right-hand side).
+    fn add_ind_constraint(
+        &mut self,
+        name: String,
+        terms: Vec<(f64, Ind)>,
+        sense: Sense,
+        mut rhs: f64,
+    ) {
+        let mut var_terms = Vec::with_capacity(terms.len());
+        for (coeff, ind) in terms {
+            match ind {
+                Ind::Var(v) => var_terms.push((coeff, v)),
+                Ind::Const(c) => rhs -= coeff * c,
+            }
+        }
+        self.model.add_constraint(name, var_terms, sense, rhs);
+    }
+
+    fn build(mut self) -> LpModel {
+        let n = self.graph.n_tasks();
+        let m = self.graph.n_edges();
+        let m_max = self.m_max;
+        let p1 = self.platform.blue_procs as f64;
+        let p2 = self.platform.red_procs as f64;
+        let total_procs = p1 + p2;
+        let m_blue = self.platform.mem_blue;
+        let m_red = self.platform.mem_red;
+
+        self.model.set_objective(vec![(1.0, self.makespan)]);
+
+        // (1) t_i + w_i <= M
+        for i in 0..n {
+            self.model.add_constraint(
+                format!("c1_{i}"),
+                vec![(1.0, self.t[i]), (1.0, self.w[i]), (-1.0, self.makespan)],
+                Sense::Le,
+                0.0,
+            );
+        }
+
+        // (2) t_i + w_i <= tau_ij ; (3) tau_ij + (1 - delta_ij) C_ij <= t_j
+        for e in 0..m {
+            let edge = self.graph.edge(EdgeId::from_index(e));
+            let (i, j) = (edge.src.index(), edge.dst.index());
+            self.model.add_constraint(
+                format!("c2_{e}"),
+                vec![(1.0, self.t[i]), (1.0, self.w[i]), (-1.0, self.tau[e])],
+                Sense::Le,
+                0.0,
+            );
+            let delta_ij = self.delta[i][j].expect("edge endpoints are distinct");
+            self.model.add_constraint(
+                format!("c3_{e}"),
+                vec![(1.0, self.tau[e]), (-edge.comm_cost, delta_ij), (-1.0, self.t[j])],
+                Sense::Le,
+                -edge.comm_cost,
+            );
+        }
+
+        // (4a/4b) m_ij big-M definition; (6a/6b) sigma_ij big-M definition.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let m_ij = self.m_ord[i][j].unwrap();
+                self.model.add_constraint(
+                    format!("c4a_{i}_{j}"),
+                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-m_max, m_ij)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c4b_{i}_{j}"),
+                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-m_max, m_ij)],
+                    Sense::Ge,
+                    -m_max,
+                );
+                let s_ij = self.sigma[i][j].unwrap();
+                self.model.add_constraint(
+                    format!("c6a_{i}_{j}"),
+                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-1.0, self.w[i]), (-m_max, s_ij)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c6b_{i}_{j}"),
+                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-1.0, self.w[i]), (-m_max, s_ij)],
+                    Sense::Ge,
+                    -m_max,
+                );
+            }
+        }
+
+        // (5), (7), (8), (10): task-vs-communication orderings.
+        for e in 0..m {
+            let edge = self.graph.edge(EdgeId::from_index(e));
+            let (i, j) = (edge.src.index(), edge.dst.index());
+            let delta_ij = self.delta[i][j].unwrap();
+            for k in 0..n {
+                let mp = self.m_prime[e][k];
+                self.model.add_constraint(
+                    format!("c5a_{e}_{k}"),
+                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-m_max, mp)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c5b_{e}_{k}"),
+                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-m_max, mp)],
+                    Sense::Ge,
+                    -m_max,
+                );
+                let sp = self.sigma_prime[e][k];
+                self.model.add_constraint(
+                    format!("c7a_{e}_{k}"),
+                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-1.0, self.w[k]), (-m_max, sp)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c7b_{e}_{k}"),
+                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-1.0, self.w[k]), (-m_max, sp)],
+                    Sense::Ge,
+                    -m_max,
+                );
+                let c = self.c_ind[e][k];
+                self.model.add_constraint(
+                    format!("c8a_{e}_{k}"),
+                    vec![(1.0, self.t[k]), (-1.0, self.tau[e]), (-m_max, c)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c8b_{e}_{k}"),
+                    vec![(1.0, self.t[k]), (-1.0, self.tau[e]), (-m_max, c)],
+                    Sense::Ge,
+                    -m_max,
+                );
+                let d = self.d_ind[e][k];
+                self.model.add_constraint(
+                    format!("c10a_{e}_{k}"),
+                    vec![
+                        (1.0, self.t[k]),
+                        (-1.0, self.tau[e]),
+                        (edge.comm_cost, delta_ij),
+                        (-m_max, d),
+                    ],
+                    Sense::Le,
+                    edge.comm_cost,
+                );
+                self.model.add_constraint(
+                    format!("c10b_{e}_{k}"),
+                    vec![
+                        (1.0, self.t[k]),
+                        (-1.0, self.tau[e]),
+                        (edge.comm_cost, delta_ij),
+                        (-m_max, d),
+                    ],
+                    Sense::Ge,
+                    edge.comm_cost - m_max,
+                );
+            }
+            // (9), (11): communication-vs-communication orderings.
+            for f in 0..m {
+                if f == e {
+                    continue;
+                }
+                let cp = self.c_prime[e][f].unwrap();
+                self.model.add_constraint(
+                    format!("c9a_{e}_{f}"),
+                    vec![(1.0, self.tau[f]), (-1.0, self.tau[e]), (-m_max, cp)],
+                    Sense::Le,
+                    0.0,
+                );
+                self.model.add_constraint(
+                    format!("c9b_{e}_{f}"),
+                    vec![(1.0, self.tau[f]), (-1.0, self.tau[e]), (-m_max, cp)],
+                    Sense::Ge,
+                    -m_max,
+                );
+                let dp = self.d_prime[e][f].unwrap();
+                self.model.add_constraint(
+                    format!("c11a_{e}_{f}"),
+                    vec![
+                        (1.0, self.tau[f]),
+                        (-1.0, self.tau[e]),
+                        (edge.comm_cost, delta_ij),
+                        (-m_max, dp),
+                    ],
+                    Sense::Le,
+                    edge.comm_cost,
+                );
+                self.model.add_constraint(
+                    format!("c11b_{e}_{f}"),
+                    vec![
+                        (1.0, self.tau[f]),
+                        (-1.0, self.tau[e]),
+                        (edge.comm_cost, delta_ij),
+                        (-m_max, dp),
+                    ],
+                    Sense::Ge,
+                    edge.comm_cost - m_max,
+                );
+            }
+        }
+
+        // (12) processor-order indicators, (13) processor/memory consistency
+        // (0-based processor indices), (14)-(19), (23)-(25).
+        for i in 0..n {
+            // (13a') p_i <= (P1 - 1) + P2 * b_i
+            self.model.add_constraint(
+                format!("c13a_{i}"),
+                vec![(1.0, self.p[i]), (-p2, self.b[i])],
+                Sense::Le,
+                p1 - 1.0,
+            );
+            // (13b') p_i >= P1 * b_i
+            self.model.add_constraint(
+                format!("c13b_{i}"),
+                vec![(1.0, self.p[i]), (-p1, self.b[i])],
+                Sense::Ge,
+                0.0,
+            );
+            // (24a/24b) w_i = (1 - b_i) W1_i + b_i W2_i
+            let task = self.graph.task(TaskId::from_index(i));
+            self.model.add_constraint(
+                format!("c24_{i}"),
+                vec![(1.0, self.w[i]), (task.work_blue - task.work_red, self.b[i])],
+                Sense::Eq,
+                task.work_blue,
+            );
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let eps_ij = self.eps[i][j].unwrap();
+                // (12a) p_j - p_i - eps_ij * |P| <= 0
+                self.model.add_constraint(
+                    format!("c12a_{i}_{j}"),
+                    vec![(1.0, self.p[j]), (-1.0, self.p[i]), (-total_procs, eps_ij)],
+                    Sense::Le,
+                    0.0,
+                );
+                // (12b) p_j - p_i - 1 + (1 - eps_ij) * |P| >= 0
+                self.model.add_constraint(
+                    format!("c12b_{i}_{j}"),
+                    vec![(1.0, self.p[j]), (-1.0, self.p[i]), (-total_procs, eps_ij)],
+                    Sense::Ge,
+                    1.0 - total_procs,
+                );
+                // (14) m_ij + m_ji >= 1 (emit once per unordered pair)
+                if i < j {
+                    self.model.add_constraint(
+                        format!("c14_{i}_{j}"),
+                        vec![(1.0, self.m_ord[i][j].unwrap()), (1.0, self.m_ord[j][i].unwrap())],
+                        Sense::Ge,
+                        1.0,
+                    );
+                    // (15) sigma_ij + sigma_ji <= 1
+                    self.model.add_constraint(
+                        format!("c15_{i}_{j}"),
+                        vec![(1.0, self.sigma[i][j].unwrap()), (1.0, self.sigma[j][i].unwrap())],
+                        Sense::Le,
+                        1.0,
+                    );
+                    // (25) sigma_ij + sigma_ji + eps_ij + eps_ji >= 1
+                    self.model.add_constraint(
+                        format!("c25_{i}_{j}"),
+                        vec![
+                            (1.0, self.sigma[i][j].unwrap()),
+                            (1.0, self.sigma[j][i].unwrap()),
+                            (1.0, self.eps[i][j].unwrap()),
+                            (1.0, self.eps[j][i].unwrap()),
+                        ],
+                        Sense::Ge,
+                        1.0,
+                    );
+                }
+                // (19) sigma_ij <= m_ij
+                self.model.add_constraint(
+                    format!("c19_{i}_{j}"),
+                    vec![(1.0, self.sigma[i][j].unwrap()), (-1.0, self.m_ord[i][j].unwrap())],
+                    Sense::Le,
+                    0.0,
+                );
+                // (23) delta linearisation (four inequalities).
+                let d_ij = self.delta[i][j].unwrap();
+                self.model.add_constraint(
+                    format!("c23a_{i}_{j}"),
+                    vec![(1.0, d_ij), (-1.0, self.b[i]), (1.0, self.b[j])],
+                    Sense::Le,
+                    1.0,
+                );
+                self.model.add_constraint(
+                    format!("c23b_{i}_{j}"),
+                    vec![(1.0, d_ij), (1.0, self.b[i]), (-1.0, self.b[j])],
+                    Sense::Le,
+                    1.0,
+                );
+                self.model.add_constraint(
+                    format!("c23c_{i}_{j}"),
+                    vec![(1.0, d_ij), (-1.0, self.b[i]), (-1.0, self.b[j])],
+                    Sense::Ge,
+                    -1.0,
+                );
+                self.model.add_constraint(
+                    format!("c23d_{i}_{j}"),
+                    vec![(1.0, d_ij), (1.0, self.b[i]), (1.0, self.b[j])],
+                    Sense::Ge,
+                    1.0,
+                );
+            }
+        }
+
+        // (16), (20), (21), (22): edge-task consistency; (17), (18): edge-edge.
+        for e in 0..m {
+            let edge = self.graph.edge(EdgeId::from_index(e));
+            let (i, j) = (edge.src.index(), edge.dst.index());
+            for k in 0..n {
+                // (16) m'_kij + c_ijk >= 1
+                self.model.add_constraint(
+                    format!("c16_{e}_{k}"),
+                    vec![(1.0, self.m_prime[e][k]), (1.0, self.c_ind[e][k])],
+                    Sense::Ge,
+                    1.0,
+                );
+                // (20) c_ijk <= sigma_ik (skip k == i where sigma undefined).
+                if k != i {
+                    self.model.add_constraint(
+                        format!("c20_{e}_{k}"),
+                        vec![(1.0, self.c_ind[e][k]), (-1.0, self.sigma[i][k].unwrap())],
+                        Sense::Le,
+                        0.0,
+                    );
+                }
+                // (21) d_ijk <= c_ijk
+                self.model.add_constraint(
+                    format!("c21_{e}_{k}"),
+                    vec![(1.0, self.d_ind[e][k]), (-1.0, self.c_ind[e][k])],
+                    Sense::Le,
+                    0.0,
+                );
+                // (22) m_jk <= d_ijk (skip k == j).
+                if k != j {
+                    self.model.add_constraint(
+                        format!("c22_{e}_{k}"),
+                        vec![(1.0, self.m_ord[j][k].unwrap()), (-1.0, self.d_ind[e][k])],
+                        Sense::Le,
+                        0.0,
+                    );
+                }
+            }
+            for f in 0..m {
+                if e >= f {
+                    continue;
+                }
+                // (17) c'_ef + c'_fe >= 1 ; (18) d'_ef + d'_fe <= 1.
+                self.model.add_constraint(
+                    format!("c17_{e}_{f}"),
+                    vec![(1.0, self.c_prime[e][f].unwrap()), (1.0, self.c_prime[f][e].unwrap())],
+                    Sense::Ge,
+                    1.0,
+                );
+                self.model.add_constraint(
+                    format!("c18_{e}_{f}"),
+                    vec![(1.0, self.d_prime[e][f].unwrap()), (1.0, self.d_prime[f][e].unwrap())],
+                    Sense::Le,
+                    1.0,
+                );
+            }
+        }
+
+        // (26) + (26a)-(26d): memory capacity at the start of every task.
+        for i in 0..n {
+            let mut terms: Vec<(f64, Ind)> = Vec::new();
+            let mut constant_lhs = 0.0;
+            for e in 0..m {
+                let edge = self.graph.edge(EdgeId::from_index(e));
+                let (k, p) = (edge.src.index(), edge.dst.index());
+                if k == i || p == i {
+                    // Own input / output files of task i: always resident when
+                    // i starts (part of MemReq(i)).
+                    constant_lhs += edge.size;
+                    continue;
+                }
+                let alpha =
+                    self.model.add_var(format!("alpha_{e}_{i}"), VarKind::Binary);
+                let beta = self.model.add_var(format!("beta_{e}_{i}"), VarKind::Binary);
+                terms.push((edge.size, Ind::Var(alpha)));
+                terms.push((edge.size, Ind::Var(beta)));
+
+                // (26a) alpha >= delta_ik + m_ki - d_kpi - 1
+                let delta_ik = self.delta_ind(i, k);
+                let m_ki = Ind::Var(self.m_ord[k][i].unwrap());
+                let d_kpi = Ind::Var(self.d_ind[e][i]);
+                self.add_ind_constraint(
+                    format!("c26a_{e}_{i}"),
+                    vec![(1.0, Ind::Var(alpha)), (-1.0, delta_ik), (-1.0, m_ki), (1.0, d_kpi)],
+                    Sense::Ge,
+                    -1.0,
+                );
+                // (26b) 2 alpha <= delta_ik + m_ki - d_kpi
+                self.add_ind_constraint(
+                    format!("c26b_{e}_{i}"),
+                    vec![(2.0, Ind::Var(alpha)), (-1.0, delta_ik), (-1.0, m_ki), (1.0, d_kpi)],
+                    Sense::Le,
+                    0.0,
+                );
+                // (26c) beta >= delta_ip + c_kpi - sigma_pi - 1
+                let delta_ip = self.delta_ind(i, p);
+                let c_kpi = Ind::Var(self.c_ind[e][i]);
+                let sigma_pi = Ind::Var(self.sigma[p][i].unwrap());
+                self.add_ind_constraint(
+                    format!("c26c_{e}_{i}"),
+                    vec![(1.0, Ind::Var(beta)), (-1.0, delta_ip), (-1.0, c_kpi), (1.0, sigma_pi)],
+                    Sense::Ge,
+                    -1.0,
+                );
+                // (26d) 2 beta <= delta_ip + c_kpi - sigma_pi
+                self.add_ind_constraint(
+                    format!("c26d_{e}_{i}"),
+                    vec![(2.0, Ind::Var(beta)), (-1.0, delta_ip), (-1.0, c_kpi), (1.0, sigma_pi)],
+                    Sense::Le,
+                    0.0,
+                );
+            }
+            // (26) sum F (alpha + beta) <= (1 - b_i) M_blue + b_i M_red
+            //   => sum F (alpha + beta) - (M_red - M_blue) b_i <= M_blue - constant_lhs
+            if m_blue.is_finite() && m_red.is_finite() {
+                terms.push((-(m_red - m_blue), Ind::Var(self.b[i])));
+                self.add_ind_constraint(
+                    format!("c26_{i}"),
+                    terms,
+                    Sense::Le,
+                    m_blue - constant_lhs,
+                );
+            }
+        }
+
+        // (27) + (27a)-(27d): memory capacity at the start of every transfer,
+        // bounded on the destination memory (deactivated when both endpoints
+        // share a memory thanks to the +delta_ij * M_max term).
+        for e in 0..m {
+            let edge_e = self.graph.edge(EdgeId::from_index(e));
+            let (i, j) = (edge_e.src.index(), edge_e.dst.index());
+            let mut terms: Vec<(f64, Ind)> = Vec::new();
+            let mut constant_lhs = 0.0;
+            for f in 0..m {
+                let edge_f = self.graph.edge(EdgeId::from_index(f));
+                let (k, p) = (edge_f.src.index(), edge_f.dst.index());
+                if f == e {
+                    // The transferred file itself occupies the destination.
+                    constant_lhs += edge_f.size;
+                    continue;
+                }
+                let alpha = self.model.add_var(format!("alphap_{f}_{e}"), VarKind::Binary);
+                let beta = self.model.add_var(format!("betap_{f}_{e}"), VarKind::Binary);
+                terms.push((edge_f.size, Ind::Var(alpha)));
+                terms.push((edge_f.size, Ind::Var(beta)));
+
+                // (27a) alpha' >= delta_kj + m'_kij - d'_kpij - 1
+                let delta_kj = self.delta_ind(k, j);
+                let m_prime_k = Ind::Var(self.m_prime[e][k]);
+                let d_prime_kp = Ind::Var(self.d_prime[f][e].expect("f != e"));
+                self.add_ind_constraint(
+                    format!("c27a_{f}_{e}"),
+                    vec![
+                        (1.0, Ind::Var(alpha)),
+                        (-1.0, delta_kj),
+                        (-1.0, m_prime_k),
+                        (1.0, d_prime_kp),
+                    ],
+                    Sense::Ge,
+                    -1.0,
+                );
+                // (27b)
+                self.add_ind_constraint(
+                    format!("c27b_{f}_{e}"),
+                    vec![
+                        (2.0, Ind::Var(alpha)),
+                        (-1.0, delta_kj),
+                        (-1.0, m_prime_k),
+                        (1.0, d_prime_kp),
+                    ],
+                    Sense::Le,
+                    0.0,
+                );
+                // (27c) beta' >= delta_pj + c'_kpij - sigma'_pij - 1
+                let delta_pj = self.delta_ind(p, j);
+                let c_prime_kp = Ind::Var(self.c_prime[f][e].expect("f != e"));
+                let sigma_prime_p = Ind::Var(self.sigma_prime[e][p]);
+                self.add_ind_constraint(
+                    format!("c27c_{f}_{e}"),
+                    vec![
+                        (1.0, Ind::Var(beta)),
+                        (-1.0, delta_pj),
+                        (-1.0, c_prime_kp),
+                        (1.0, sigma_prime_p),
+                    ],
+                    Sense::Ge,
+                    -1.0,
+                );
+                // (27d)
+                self.add_ind_constraint(
+                    format!("c27d_{f}_{e}"),
+                    vec![
+                        (2.0, Ind::Var(beta)),
+                        (-1.0, delta_pj),
+                        (-1.0, c_prime_kp),
+                        (1.0, sigma_prime_p),
+                    ],
+                    Sense::Le,
+                    0.0,
+                );
+            }
+            if m_blue.is_finite() && m_red.is_finite() {
+                // sum F (alpha' + beta') <= (1 - b_j) M_blue + b_j M_red + delta_ij M_max
+                terms.push((-(m_red - m_blue), Ind::Var(self.b[j])));
+                terms.push((-m_max, Ind::Var(self.delta[i][j].unwrap())));
+                self.add_ind_constraint(
+                    format!("c27_{e}"),
+                    terms,
+                    Sense::Le,
+                    m_blue - constant_lhs,
+                );
+            }
+        }
+
+        self.model
+    }
+}
+
+/// Builds the ILP of Section 4 for `graph` on `platform`.
+///
+/// When either memory bound is infinite the memory constraints (26)/(27) are
+/// omitted (the model then reduces to a makespan-only formulation, which is
+/// what the paper's references \[18, 7\] provide).
+pub fn build_ilp(graph: &TaskGraph, platform: &Platform) -> LpModel {
+    Builder::new(graph, platform).build()
+}
+
+/// Builds the ILP and returns its size statistics.
+pub fn ilp_stats(graph: &TaskGraph, platform: &Platform) -> IlpStats {
+    let model = build_ilp(graph, platform);
+    IlpStats {
+        n_variables: model.n_variables(),
+        n_binaries: model.n_binaries(),
+        n_constraints: model.n_constraints(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::dex;
+
+    fn dex_platform() -> Platform {
+        Platform::single_pair(5.0, 5.0)
+    }
+
+    #[test]
+    fn builds_model_for_dex() {
+        let (g, _) = dex();
+        let model = build_ilp(&g, &dex_platform());
+        assert!(model.n_variables() > 0);
+        assert!(model.n_constraints() > 0);
+        // Core variables exist.
+        assert!(model.find_variable("M").is_some());
+        assert!(model.find_variable("t_0").is_some());
+        assert!(model.find_variable("b_3").is_some());
+        assert!(model.find_variable("w_2").is_some());
+        // One tau per edge.
+        assert!(model.find_variable("tau_0_1").is_some());
+        assert!(model.find_variable("tau_2_3").is_some());
+    }
+
+    #[test]
+    fn variable_and_constraint_counts_scale_as_stated() {
+        // The paper states O(m^2 + mn) variables and constraints. Verify the
+        // dominant quadratic growth empirically on chains of increasing size.
+        let count = |n_tasks: usize| {
+            let mut g = mals_dag::TaskGraph::new();
+            let tasks: Vec<_> =
+                (0..n_tasks).map(|i| g.add_task(format!("t{i}"), 1.0, 2.0)).collect();
+            for w in tasks.windows(2) {
+                g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
+            }
+            let stats = ilp_stats(&g, &Platform::single_pair(10.0, 10.0));
+            (stats.n_variables, stats.n_constraints)
+        };
+        let (v4, c4) = count(4);
+        let (v8, c8) = count(8);
+        let (v16, c16) = count(16);
+        // Quadratic growth: doubling the size should roughly quadruple the
+        // counts (allow generous slack for the linear terms).
+        assert!(v8 > 3 * v4 && v8 < 6 * v4, "v4={v4} v8={v8}");
+        assert!(v16 > 3 * v8 && v16 < 6 * v8, "v8={v8} v16={v16}");
+        assert!(c8 > 3 * c4 && c8 < 6 * c4, "c4={c4} c8={c8}");
+        assert!(c16 > 3 * c8 && c16 < 6 * c8, "c8={c8} c16={c16}");
+    }
+
+    #[test]
+    fn dex_exact_counts_are_stable() {
+        // Regression guard: the exact counts for D_ex on a 1+1 platform.
+        let (g, _) = dex();
+        let stats = ilp_stats(&g, &dex_platform());
+        // n = 4 tasks, m = 4 edges.
+        // Base: 1 (M) + n (t) + m (tau) + n (p) + n (b) + n (w) = 21 variables,
+        // 4 pair families of n(n-1) = 12 binaries each, 4 edge-task families
+        // of m*n = 16 binaries each, 2 edge-edge families of m(m-1) = 12 each,
+        // plus alpha/beta (26): 2 per (task, non-incident edge) = 2 * 8,
+        // and alpha'/beta' (27): 2 per ordered pair of distinct edges = 2 * 12.
+        assert_eq!(stats.n_variables, 21 + 4 * 12 + 4 * 16 + 2 * 12 + 2 * 8 + 2 * 12);
+        assert!(stats.n_binaries > 100);
+        assert!(stats.n_constraints > 400);
+    }
+
+    #[test]
+    fn memory_constraints_skipped_for_unbounded_platform() {
+        let (g, _) = dex();
+        let bounded = build_ilp(&g, &dex_platform());
+        let unbounded = build_ilp(&g, &Platform::single_pair(f64::INFINITY, f64::INFINITY));
+        let has_c26 = |m: &LpModel| m.constraints().any(|c| c.name.starts_with("c26_"));
+        assert!(has_c26(&bounded));
+        assert!(!has_c26(&unbounded));
+        assert!(unbounded.n_constraints() < bounded.n_constraints());
+    }
+
+    #[test]
+    fn lp_export_is_parseable_text() {
+        let (g, _) = dex();
+        let model = build_ilp(&g, &dex_platform());
+        let lp = model.to_lp_format();
+        assert!(lp.contains("Minimize"));
+        assert!(lp.contains("Subject To"));
+        assert!(lp.contains("Binaries"));
+        assert!(lp.contains("Generals"));
+        assert!(lp.contains("c26_0:"));
+        assert!(lp.contains("c27_0:"));
+        assert!(lp.trim_end().ends_with("End"));
+        // Every line in Subject To has an operator.
+        let body: Vec<&str> = lp
+            .lines()
+            .skip_while(|l| !l.starts_with("Subject To"))
+            .skip(1)
+            .take_while(|l| !l.starts_with("Bounds"))
+            .collect();
+        assert!(!body.is_empty());
+        for line in body {
+            assert!(
+                line.contains("<=") || line.contains(">=") || line.contains(" = "),
+                "constraint line without operator: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_horizon_used_as_big_m() {
+        let (g, _) = dex();
+        // M_max = sum W1 + sum W2 + sum C = 12 + 7 + 4 = 23.
+        assert_eq!(g.makespan_horizon(), 23.0);
+        let model = build_ilp(&g, &dex_platform());
+        // Some big-M constraint should carry the coefficient 23.
+        let has_big_m = model.constraints().any(|c| c.terms.iter().any(|(coef, _)| *coef == -23.0));
+        assert!(has_big_m);
+    }
+}

@@ -1,0 +1,33 @@
+//! Exact solvers for memory-constrained dual-memory scheduling.
+//!
+//! The paper obtains optimal makespans for small instances (up to ~30 tasks)
+//! by solving an intricate Integer Linear Program with CPLEX. This crate
+//! reproduces that capability with two complementary components:
+//!
+//! * [`ilp`] — a faithful construction of the ILP of Section 4 (every
+//!   variable family of Figure 5, every constraint of Figures 6 and 7,
+//!   including the linearisation of the memory constraints), together with an
+//!   export in CPLEX LP text format so the model can be fed to any external
+//!   MILP solver. No solver ships with the workspace (CPLEX is proprietary),
+//!   so the model is used for inspection, counting and export only.
+//! * [`bb`] — a branch-and-bound **optimal scheduler** over the
+//!   list-scheduling decision space (which task next, on which memory), using
+//!   the same placement engine as the heuristics. It returns provably optimal
+//!   makespans within that space for the small instances of the paper's
+//!   Figure 10/11 experiments, replacing the CPLEX runs (see `DESIGN.md` for
+//!   the substitution rationale).
+//! * [`bounds`] — platform- and memory-independent makespan lower bounds
+//!   (critical path, load balance) used to prune the search and plotted as
+//!   the "Lower bound" series of Figure 11.
+
+#![warn(missing_docs)]
+
+pub mod bb;
+pub mod bounds;
+pub mod ilp;
+pub mod model;
+
+pub use bb::{BranchAndBound, ExactResult};
+pub use bounds::{load_lower_bound, makespan_lower_bound, critical_path_lower_bound};
+pub use ilp::{build_ilp, IlpStats};
+pub use model::{Constraint, LpModel, Sense, VarId, VarKind};

@@ -1,0 +1,31 @@
+//! Reproduces Figure 10: SmallRandSet — normalised makespan and success rate
+//! of MemHEFT, MemMinMin and the optimal schedule versus the normalised
+//! memory bound, on a 1 blue + 1 red processor platform.
+
+use mals_experiments::cli;
+use mals_experiments::csv::campaign_to_csv;
+use mals_experiments::figures::{fig10, Fig10Config};
+use mals_util::ParallelConfig;
+
+fn main() {
+    let options = cli::parse_or_exit();
+    let mut config = if options.full { Fig10Config::paper() } else { Fig10Config::default() };
+    if let Some(dags) = options.dags {
+        config.n_dags = dags;
+    }
+    if let Some(tasks) = options.tasks {
+        config.n_tasks = tasks;
+    }
+    if let Some(threads) = options.threads {
+        config.parallel = ParallelConfig::with_threads(threads);
+    }
+    eprintln!(
+        "# Figure 10 — SmallRandSet: {} DAGs of {} tasks, optimal node limit {}{}",
+        config.n_dags,
+        config.n_tasks,
+        config.optimal_node_limit,
+        if options.full { " (paper scale)" } else { " (scaled down; use --full for the paper scale)" }
+    );
+    let points = fig10(&config);
+    print!("{}", campaign_to_csv(&points));
+}

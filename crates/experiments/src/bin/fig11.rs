@@ -1,0 +1,29 @@
+//! Reproduces Figure 11: makespan versus absolute memory bound for one
+//! SmallRandSet DAG (the paper's Figure 8 DAG) — HEFT, MinMin, MemHEFT,
+//! MemMinMin and the makespan lower bound. Pass `--dump-dot` to also print
+//! the DAG in DOT format (Figure 8).
+
+use mals_dag::dot;
+use mals_experiments::cli;
+use mals_experiments::csv::sweep_to_csv;
+use mals_experiments::figures::{fig11, SingleRandConfig};
+
+fn main() {
+    let options = cli::parse_or_exit();
+    let mut config =
+        if options.full { SingleRandConfig::fig11_paper() } else { SingleRandConfig::fig11_default() };
+    if let Some(tasks) = options.tasks {
+        config.n_tasks = tasks;
+    }
+    eprintln!("# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1)", config.n_tasks);
+    let sweep = fig11(&config);
+    if options.dump_dot {
+        println!("{}", dot::to_dot(&sweep.graph));
+    }
+    eprintln!(
+        "# HEFT memory requirement: {} | makespan lower bound: {}",
+        sweep.heft_memory, sweep.lower_bound
+    );
+    print!("{}", sweep_to_csv(&sweep.points));
+    println!("lower_bound,{}", sweep.lower_bound);
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figure 12: LargeRandSet — normalised makespan and success rate
+//! of MemHEFT and MemMinMin versus the normalised memory bound.
+
+use mals_experiments::cli;
+use mals_experiments::csv::campaign_to_csv;
+use mals_experiments::figures::{fig12, Fig12Config};
+use mals_util::ParallelConfig;
+
+fn main() {
+    let options = cli::parse_or_exit();
+    let mut config = if options.full { Fig12Config::paper() } else { Fig12Config::default() };
+    if let Some(dags) = options.dags {
+        config.n_dags = dags;
+    }
+    if let Some(tasks) = options.tasks {
+        config.n_tasks = tasks;
+    }
+    if let Some(threads) = options.threads {
+        config.parallel = ParallelConfig::with_threads(threads);
+    }
+    eprintln!(
+        "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}",
+        config.n_dags,
+        config.n_tasks,
+        if options.full { " (paper scale)" } else { " (scaled down; use --full for the paper scale)" }
+    );
+    let points = fig12(&config);
+    print!("{}", campaign_to_csv(&points));
+}

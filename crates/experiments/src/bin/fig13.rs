@@ -1,0 +1,28 @@
+//! Reproduces Figure 13: makespan versus absolute memory bound for one
+//! LargeRandSet DAG (the paper's Figure 9 DAG). Pass `--dump-dot` to also
+//! print the DAG in DOT format (Figure 9).
+
+use mals_dag::dot;
+use mals_experiments::cli;
+use mals_experiments::csv::sweep_to_csv;
+use mals_experiments::figures::{fig13, SingleRandConfig};
+
+fn main() {
+    let options = cli::parse_or_exit();
+    let mut config =
+        if options.full { SingleRandConfig::fig13_paper() } else { SingleRandConfig::fig13_default() };
+    if let Some(tasks) = options.tasks {
+        config.n_tasks = tasks;
+    }
+    eprintln!(
+        "# Figure 13 — one LargeRandSet DAG of {} tasks (P1 = P2 = 1){}",
+        config.n_tasks,
+        if options.full { "" } else { " (scaled down; use --full for the paper scale)" }
+    );
+    let sweep = fig13(&config);
+    if options.dump_dot {
+        println!("{}", dot::to_dot(&sweep.graph));
+    }
+    eprintln!("# HEFT memory requirement: {}", sweep.heft_memory);
+    print!("{}", sweep_to_csv(&sweep.points));
+}

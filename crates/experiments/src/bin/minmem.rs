@@ -1,0 +1,51 @@
+//! Minimum-memory break-even points: for each workload, the smallest
+//! symmetric memory bound at which every scheduler still produces a schedule
+//! (the quantities the paper reads off the left ends of Figures 11–15, e.g.
+//! "MemMinMin fails to schedule the LU factorisation below 155 tiles").
+
+use mals_experiments::cli;
+use mals_experiments::heft_reference;
+use mals_experiments::min_memory::minimum_memory_table;
+use mals_gen::{cholesky_dag, lu_dag, KernelCosts, SetParams};
+use mals_platform::Platform;
+use mals_sched::{MemHeft, MemMinMin, Scheduler};
+
+fn main() {
+    let options = cli::parse_or_exit();
+    let tiles = options.tiles.unwrap_or(if options.full { 13 } else { 6 });
+    let rand_tasks = options.tasks.unwrap_or(if options.full { 30 } else { 20 });
+
+    let costs = KernelCosts::table1();
+    let workloads: Vec<(String, mals_dag::TaskGraph, Platform)> = vec![
+        (
+            format!("random_{rand_tasks}_tasks"),
+            SetParams::small_rand().scaled(1, rand_tasks).generate().pop().unwrap(),
+            Platform::single_pair(0.0, 0.0),
+        ),
+        (format!("lu_{tiles}x{tiles}"), lu_dag(tiles, &costs), Platform::mirage(0.0, 0.0)),
+        (
+            format!("cholesky_{tiles}x{tiles}"),
+            cholesky_dag(tiles, &costs),
+            Platform::mirage(0.0, 0.0),
+        ),
+    ];
+
+    println!("workload,scheduler,min_memory,makespan_at_min,heft_memory,heft_makespan");
+    let memheft = MemHeft::new();
+    let memminmin = MemMinMin::new();
+    let schedulers: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
+    for (name, graph, platform) in &workloads {
+        let reference = heft_reference(graph, platform);
+        let upper = (reference.heft_peaks.max() * 1.5).max(1.0);
+        for entry in minimum_memory_table(graph, platform, &schedulers, upper, 0.5) {
+            println!(
+                "{name},{},{},{},{},{}",
+                entry.name,
+                entry.min_memory.map(|v| format!("{v:.1}")).unwrap_or_else(|| "na".into()),
+                entry.makespan_at_min.map(|v| format!("{v:.1}")).unwrap_or_else(|| "na".into()),
+                reference.heft_peaks.max(),
+                reference.heft_makespan
+            );
+        }
+    }
+}

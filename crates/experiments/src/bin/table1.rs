@@ -1,0 +1,11 @@
+//! Reproduces Table 1: the kernel-cost model used by the linear-algebra
+//! experiments (CPU times from the paper's MAGMA measurements, accelerator
+//! times from the documented speedup factors).
+
+use mals_experiments::table1;
+use mals_gen::KernelCosts;
+
+fn main() {
+    eprintln!("# Table 1 — linear-algebra kernel running times (192x192 tiles, milliseconds)");
+    print!("{}", table1::to_csv(&KernelCosts::table1()));
+}

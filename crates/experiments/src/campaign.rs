@@ -1,0 +1,256 @@
+//! Normalised campaigns over whole DAG sets (Figures 10 and 12).
+//!
+//! For every DAG of a set, the memory axis is normalised by the amount of
+//! memory the classical HEFT schedule of that DAG needs
+//! (`max(M_blue^HEFT, M_red^HEFT)`), and the makespan axis by HEFT's
+//! makespan. At every normalised bound `α ∈ [0, 1]` the campaign reports, for
+//! each scheduler, the average normalised makespan over the DAGs it managed
+//! to schedule and the fraction of DAGs it managed to schedule (the paper's
+//! plain and dotted lines).
+
+use crate::sweep::heft_reference;
+use mals_dag::TaskGraph;
+use mals_exact::BranchAndBound;
+use mals_platform::Platform;
+use mals_sched::{MemHeft, MemMinMin, ScheduleError, Scheduler};
+use mals_util::{parallel_map, OnlineStats, ParallelConfig};
+
+/// Configuration of a normalised campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Normalised memory bounds to sweep (fractions of HEFT's requirement).
+    pub alphas: Vec<f64>,
+    /// Also run the branch-and-bound exact solver (only sensible for small
+    /// DAGs).
+    pub include_optimal: bool,
+    /// Node budget of the exact solver.
+    pub optimal_node_limit: u64,
+    /// Parallelism used to spread the DAGs over threads.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
+            include_optimal: false,
+            optimal_node_limit: 200_000,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Campaign with the optimal solver enabled (Figure 10 configuration).
+    pub fn with_optimal(mut self, node_limit: u64) -> Self {
+        self.include_optimal = true;
+        self.optimal_node_limit = node_limit;
+        self
+    }
+}
+
+/// Aggregated results of one scheduler at one normalised memory bound.
+#[derive(Debug, Clone)]
+pub struct MethodAggregate {
+    /// Scheduler name.
+    pub name: &'static str,
+    /// Mean of `makespan / makespan_HEFT` over the DAGs successfully
+    /// scheduled (`None` when every DAG failed).
+    pub mean_normalized_makespan: Option<f64>,
+    /// Fraction of the DAGs successfully scheduled.
+    pub success_rate: f64,
+}
+
+/// One point (one normalised memory bound) of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignPoint {
+    /// Normalised memory bound `α`.
+    pub alpha: f64,
+    /// Per-scheduler aggregates.
+    pub methods: Vec<MethodAggregate>,
+}
+
+impl CampaignPoint {
+    /// Looks a method up by name.
+    pub fn method(&self, name: &str) -> Option<&MethodAggregate> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// Raw per-DAG, per-alpha outcome (normalised makespan or failure).
+struct DagOutcomes {
+    /// `per_alpha[alpha_index][method_index]`
+    per_alpha: Vec<Vec<Option<f64>>>,
+}
+
+fn method_names(include_optimal: bool) -> Vec<&'static str> {
+    let mut names = vec!["MemHEFT", "MemMinMin"];
+    if include_optimal {
+        names.push("Optimal(B&B)");
+    }
+    names
+}
+
+/// Runs the normalised campaign over `dags` on `platform` (whose memory
+/// bounds are ignored — they are replaced by the swept values).
+pub fn run_normalized_campaign(
+    dags: &[TaskGraph],
+    platform: &Platform,
+    config: &CampaignConfig,
+) -> Vec<CampaignPoint> {
+    let names = method_names(config.include_optimal);
+    let outcomes = parallel_map(dags, config.parallel, |graph| {
+        run_one_dag(graph, platform, config)
+    });
+
+    config
+        .alphas
+        .iter()
+        .enumerate()
+        .map(|(alpha_idx, &alpha)| {
+            let methods = names
+                .iter()
+                .enumerate()
+                .map(|(method_idx, &name)| {
+                    let mut stats = OnlineStats::new();
+                    let mut successes = 0usize;
+                    for dag in &outcomes {
+                        if let Some(norm) = dag.per_alpha[alpha_idx][method_idx] {
+                            stats.push(norm);
+                            successes += 1;
+                        }
+                    }
+                    MethodAggregate {
+                        name,
+                        mean_normalized_makespan: (successes > 0).then(|| stats.mean()),
+                        success_rate: if dags.is_empty() {
+                            0.0
+                        } else {
+                            successes as f64 / dags.len() as f64
+                        },
+                    }
+                })
+                .collect();
+            CampaignPoint { alpha, methods }
+        })
+        .collect()
+}
+
+fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) -> DagOutcomes {
+    let reference = heft_reference(graph, platform);
+    let baseline_memory = reference.heft_peaks.max();
+    let baseline_makespan = reference.heft_makespan.max(f64::MIN_POSITIVE);
+
+    let memheft = MemHeft::new();
+    let memminmin = MemMinMin::new();
+    let optimal = BranchAndBound::with_node_limit(config.optimal_node_limit);
+
+    let per_alpha = config
+        .alphas
+        .iter()
+        .map(|&alpha| {
+            let bound = alpha * baseline_memory;
+            let bounded = platform.with_memory_bounds(bound, bound);
+            let mut row: Vec<Option<f64>> = Vec::new();
+            for scheduler in [&memheft as &dyn Scheduler, &memminmin] {
+                row.push(run_memory_aware(graph, &bounded, scheduler).map(|m| m / baseline_makespan));
+            }
+            if config.include_optimal {
+                let result = optimal.solve(graph, &bounded);
+                row.push(result.makespan.map(|m| m / baseline_makespan));
+            }
+            row
+        })
+        .collect();
+    DagOutcomes { per_alpha }
+}
+
+fn run_memory_aware(
+    graph: &TaskGraph,
+    platform: &Platform,
+    scheduler: &dyn Scheduler,
+) -> Option<f64> {
+    match scheduler.schedule(graph, platform) {
+        Ok(s) => Some(s.makespan()),
+        Err(ScheduleError::Infeasible { .. }) => None,
+        Err(e) => panic!("scheduler {} failed unexpectedly: {e}", scheduler.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::SetParams;
+
+    fn tiny_campaign(include_optimal: bool) -> Vec<CampaignPoint> {
+        let dags = SetParams::small_rand().scaled(4, 8).generate();
+        let platform = Platform::single_pair(0.0, 0.0);
+        let config = CampaignConfig {
+            alphas: vec![0.2, 0.5, 1.0],
+            include_optimal,
+            optimal_node_limit: 20_000,
+            parallel: ParallelConfig::sequential(),
+        };
+        run_normalized_campaign(&dags, &platform, &config)
+    }
+
+    #[test]
+    fn campaign_structure() {
+        let points = tiny_campaign(false);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.methods.len(), 2);
+            assert!(p.method("MemHEFT").is_some());
+            assert!(p.method("MemMinMin").is_some());
+            for m in &p.methods {
+                assert!((0.0..=1.0).contains(&m.success_rate));
+            }
+        }
+    }
+
+    #[test]
+    fn full_memory_reproduces_heft_equivalence() {
+        // At alpha = 1 the bounds equal HEFT's own requirement, so MemHEFT
+        // succeeds on every DAG and its normalised makespan is 1.
+        let points = tiny_campaign(false);
+        let full = points.last().unwrap();
+        let memheft = full.method("MemHEFT").unwrap();
+        assert_eq!(memheft.success_rate, 1.0);
+        let mean = memheft.mean_normalized_makespan.unwrap();
+        assert!((mean - 1.0).abs() < 1e-9, "mean normalised makespan {mean} should be 1 at alpha=1");
+    }
+
+    #[test]
+    fn success_rate_increases_with_memory() {
+        let points = tiny_campaign(false);
+        for name in ["MemHEFT", "MemMinMin"] {
+            let rates: Vec<f64> = points.iter().map(|p| p.method(name).unwrap().success_rate).collect();
+            for w in rates.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{name} success rate must not decrease with memory");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_is_at_least_as_good_as_heuristics() {
+        let points = tiny_campaign(true);
+        for p in &points {
+            let opt = p.method("Optimal(B&B)").unwrap();
+            for name in ["MemHEFT", "MemMinMin"] {
+                let h = p.method(name).unwrap();
+                // The optimal schedules at least as many DAGs…
+                assert!(opt.success_rate >= h.success_rate - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dag_set() {
+        let platform = Platform::single_pair(0.0, 0.0);
+        let config = CampaignConfig { alphas: vec![0.5], ..Default::default() };
+        let points = run_normalized_campaign(&[], &platform, &config);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].methods[0].success_rate, 0.0);
+        assert!(points[0].methods[0].mean_normalized_makespan.is_none());
+    }
+}

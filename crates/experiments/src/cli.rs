@@ -1,0 +1,99 @@
+//! Minimal argument parsing shared by the figure-reproduction binaries.
+//!
+//! The binaries accept a handful of flags (`--full`, `--dags N`, `--tasks N`,
+//! `--tiles N`, `--dump-dot`, `--threads N`); anything heavier than this
+//! hand-rolled parser would be an unnecessary dependency.
+
+/// Parsed command-line options of a figure binary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    /// Run at the paper's full instance sizes instead of the scaled default.
+    pub full: bool,
+    /// Override the number of DAGs in the campaign.
+    pub dags: Option<usize>,
+    /// Override the number of tasks per random DAG.
+    pub tasks: Option<usize>,
+    /// Override the number of tiles of the factored matrix.
+    pub tiles: Option<usize>,
+    /// Print the DAG in DOT format before the results (Figures 8 / 9).
+    pub dump_dot: bool,
+    /// Number of worker threads (0 = all cores).
+    pub threads: Option<usize>,
+}
+
+/// Parses the options from an iterator of arguments (excluding the program
+/// name). Unknown flags produce an error message listing the valid ones.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => options.full = true,
+            "--dump-dot" => options.dump_dot = true,
+            "--dags" => options.dags = Some(parse_value(&arg, iter.next())?),
+            "--tasks" => options.tasks = Some(parse_value(&arg, iter.next())?),
+            "--tiles" => options.tiles = Some(parse_value(&arg, iter.next())?),
+            "--threads" => options.threads = Some(parse_value(&arg, iter.next())?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_value(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let value = value.ok_or_else(|| format!("{flag} expects a value"))?;
+    value.parse::<usize>().map_err(|_| format!("{flag} expects an integer, got `{value}`"))
+}
+
+/// Parses the process arguments, printing the error and exiting on failure.
+pub fn parse_or_exit() -> Options {
+    match parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Options, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_strs(&[]).unwrap();
+        assert_eq!(o, Options::default());
+        assert!(!o.full);
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse_strs(&["--full", "--dags", "7", "--tasks", "25", "--tiles", "9",
+                             "--threads", "4", "--dump-dot"]).unwrap();
+        assert!(o.full);
+        assert_eq!(o.dags, Some(7));
+        assert_eq!(o.tasks, Some(25));
+        assert_eq!(o.tiles, Some(9));
+        assert_eq!(o.threads, Some(4));
+        assert!(o.dump_dot);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_strs(&["--bogus"]).is_err());
+        assert!(parse_strs(&["--dags"]).is_err());
+        assert!(parse_strs(&["--dags", "x"]).is_err());
+        assert!(parse_strs(&["--help"]).is_err());
+    }
+}

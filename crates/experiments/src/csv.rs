@@ -1,0 +1,113 @@
+//! CSV rendering of campaign and sweep results.
+//!
+//! The experiment binaries print these tables to stdout; `EXPERIMENTS.md`
+//! archives representative runs next to the corresponding paper figure.
+
+use crate::campaign::CampaignPoint;
+use crate::sweep::SweepPoint;
+
+/// Formats an optional value, using `na` for absent (failed) entries.
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.4}"),
+        None => "na".to_string(),
+    }
+}
+
+/// Renders a normalised campaign (Figures 10 / 12) as CSV: one row per
+/// normalised memory bound, two columns (mean normalised makespan, success
+/// rate) per scheduler.
+pub fn campaign_to_csv(points: &[CampaignPoint]) -> String {
+    let mut out = String::new();
+    if points.is_empty() {
+        return out;
+    }
+    out.push_str("alpha");
+    for m in &points[0].methods {
+        out.push_str(&format!(",{}_norm_makespan,{}_success_rate", m.name, m.name));
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{:.3}", p.alpha));
+        for m in &p.methods {
+            out.push_str(&format!(",{},{:.3}", opt(m.mean_normalized_makespan), m.success_rate));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an absolute memory sweep (Figures 11 / 13 / 14 / 15) as CSV: one
+/// row per memory bound, one makespan column per scheduler.
+pub fn sweep_to_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    if points.is_empty() {
+        return out;
+    }
+    out.push_str("memory");
+    for o in &points[0].outcomes {
+        out.push_str(&format!(",{}", o.name));
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{:.3}", p.memory_bound));
+        for o in &p.outcomes {
+            out.push_str(&format!(",{}", opt(o.makespan)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignPoint, MethodAggregate};
+    use crate::sweep::{SchedulerOutcome, SweepPoint};
+
+    #[test]
+    fn campaign_csv_layout() {
+        let points = vec![CampaignPoint {
+            alpha: 0.5,
+            methods: vec![
+                MethodAggregate {
+                    name: "MemHEFT",
+                    mean_normalized_makespan: Some(1.25),
+                    success_rate: 0.8,
+                },
+                MethodAggregate {
+                    name: "MemMinMin",
+                    mean_normalized_makespan: None,
+                    success_rate: 0.0,
+                },
+            ],
+        }];
+        let csv = campaign_to_csv(&points);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "alpha,MemHEFT_norm_makespan,MemHEFT_success_rate,MemMinMin_norm_makespan,MemMinMin_success_rate"
+        );
+        assert_eq!(lines.next().unwrap(), "0.500,1.2500,0.800,na,0.000");
+    }
+
+    #[test]
+    fn sweep_csv_layout() {
+        let points = vec![SweepPoint {
+            memory_bound: 10.0,
+            outcomes: vec![
+                SchedulerOutcome { name: "HEFT", makespan: Some(42.0) },
+                SchedulerOutcome { name: "MemHEFT", makespan: None },
+            ],
+        }];
+        let csv = sweep_to_csv(&points);
+        assert!(csv.starts_with("memory,HEFT,MemHEFT\n"));
+        assert!(csv.contains("10.000,42.0000,na"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(campaign_to_csv(&[]).is_empty());
+        assert!(sweep_to_csv(&[]).is_empty());
+    }
+}

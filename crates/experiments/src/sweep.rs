@@ -1,0 +1,213 @@
+//! Per-DAG memory sweeps.
+//!
+//! The experiments of the paper all have the same skeleton: take a DAG,
+//! measure the memory footprint of the memory-oblivious HEFT schedule, then
+//! re-schedule the DAG with the memory-aware heuristics under increasingly
+//! tight memory bounds and record the makespan (or the failure) of each
+//! heuristic at each bound.
+
+use mals_dag::TaskGraph;
+use mals_platform::Platform;
+use mals_sched::{Heft, MinMin, ScheduleError, Scheduler};
+use mals_sim::{memory_peaks, MemoryPeaks};
+
+/// The memory-oblivious reference for one DAG: HEFT's makespan and memory
+/// peaks (used to normalise both axes of Figures 10 and 12).
+#[derive(Debug, Clone, Copy)]
+pub struct Reference {
+    /// Makespan of the HEFT schedule (memory ignored).
+    pub heft_makespan: f64,
+    /// Memory peaks of that schedule.
+    pub heft_peaks: MemoryPeaks,
+    /// Makespan of the MinMin schedule (memory ignored).
+    pub minmin_makespan: f64,
+    /// Memory peaks of that schedule.
+    pub minmin_peaks: MemoryPeaks,
+}
+
+/// Computes the HEFT / MinMin references of a DAG on `platform` (the memory
+/// bounds of `platform` are ignored).
+pub fn heft_reference(graph: &TaskGraph, platform: &Platform) -> Reference {
+    let unbounded = platform.unbounded();
+    let heft = Heft::new().schedule(graph, &unbounded).expect("HEFT cannot fail");
+    let minmin = MinMin::new().schedule(graph, &unbounded).expect("MinMin cannot fail");
+    Reference {
+        heft_makespan: heft.makespan(),
+        heft_peaks: memory_peaks(graph, &unbounded, &heft),
+        minmin_makespan: minmin.makespan(),
+        minmin_peaks: memory_peaks(graph, &unbounded, &minmin),
+    }
+}
+
+/// Result of one scheduler at one memory bound.
+#[derive(Debug, Clone)]
+pub struct SchedulerOutcome {
+    /// Scheduler name.
+    pub name: &'static str,
+    /// Makespan, or `None` when the scheduler failed within the bounds.
+    pub makespan: Option<f64>,
+}
+
+/// One point of an absolute memory sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Memory bound applied to both memories.
+    pub memory_bound: f64,
+    /// Outcome of every scheduler at that bound.
+    pub outcomes: Vec<SchedulerOutcome>,
+}
+
+impl SweepPoint {
+    /// The outcome of a scheduler, looked up by name.
+    pub fn outcome(&self, name: &str) -> Option<&SchedulerOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+}
+
+/// Runs a memory-oblivious scheduler and reports its makespan only when its
+/// own memory peaks fit in the bounds of `platform` (this is how the HEFT /
+/// MinMin series of Figures 11 and 13–15 are drawn: the baseline simply
+/// cannot run below its own memory requirement).
+pub fn memory_oblivious_result(
+    graph: &TaskGraph,
+    platform: &Platform,
+    scheduler: &dyn Scheduler,
+) -> Option<f64> {
+    let schedule = scheduler.schedule(graph, &platform.unbounded()).ok()?;
+    let peaks = memory_peaks(graph, &platform.unbounded(), &schedule);
+    let fits = peaks.blue <= platform.mem_blue + mals_util::EPSILON
+        && peaks.red <= platform.mem_red + mals_util::EPSILON;
+    fits.then(|| schedule.makespan())
+}
+
+/// Runs a memory-aware scheduler under the bounds of `platform`.
+fn memory_aware_result(
+    graph: &TaskGraph,
+    platform: &Platform,
+    scheduler: &dyn Scheduler,
+) -> Option<f64> {
+    match scheduler.schedule(graph, platform) {
+        Ok(s) => Some(s.makespan()),
+        Err(ScheduleError::Infeasible { .. }) => None,
+        Err(e) => panic!("scheduler {} failed unexpectedly: {e}", scheduler.name()),
+    }
+}
+
+/// Sweeps absolute memory bounds for one DAG (the skeleton of Figures 11, 13,
+/// 14 and 15): at each bound, the memory-aware schedulers run under the
+/// bound, and the memory-oblivious baselines are reported only where their
+/// own footprint fits.
+pub fn sweep_absolute(
+    graph: &TaskGraph,
+    platform: &Platform,
+    memory_bounds: &[f64],
+    memory_aware: &[&dyn Scheduler],
+    memory_oblivious: &[&dyn Scheduler],
+) -> Vec<SweepPoint> {
+    memory_bounds
+        .iter()
+        .map(|&bound| {
+            let bounded = platform.with_memory_bounds(bound, bound);
+            let mut outcomes = Vec::new();
+            for s in memory_oblivious {
+                outcomes.push(SchedulerOutcome {
+                    name: s.name(),
+                    makespan: memory_oblivious_result(graph, &bounded, s),
+                });
+            }
+            for s in memory_aware {
+                outcomes.push(SchedulerOutcome {
+                    name: s.name(),
+                    makespan: memory_aware_result(graph, &bounded, s),
+                });
+            }
+            SweepPoint { memory_bound: bound, outcomes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::dex;
+    use mals_sched::{MemHeft, MemMinMin};
+
+    #[test]
+    fn reference_of_dex() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(5.0, 5.0);
+        let reference = heft_reference(&g, &platform);
+        assert!(reference.heft_makespan > 0.0);
+        assert!(reference.heft_peaks.max() > 0.0);
+        assert!(reference.minmin_makespan > 0.0);
+        // Total file volume bounds any peak.
+        assert!(reference.heft_peaks.max() <= g.total_file_size());
+    }
+
+    #[test]
+    fn memory_oblivious_result_gated_by_footprint() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(100.0, 100.0);
+        let heft = Heft::new();
+        assert!(memory_oblivious_result(&g, &platform, &heft).is_some());
+        let tiny = Platform::single_pair(1.0, 1.0);
+        assert!(memory_oblivious_result(&g, &tiny, &heft).is_none());
+    }
+
+    #[test]
+    fn sweep_absolute_monotone_success() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(0.0, 0.0);
+        let memheft = MemHeft::new();
+        let memminmin = MemMinMin::new();
+        let heft = Heft::new();
+        let minmin = MinMin::new();
+        let bounds: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let sweep = sweep_absolute(
+            &g,
+            &platform,
+            &bounds,
+            &[&memheft, &memminmin],
+            &[&heft, &minmin],
+        );
+        assert_eq!(sweep.len(), bounds.len());
+        // Success is monotone in the memory bound for each scheduler.
+        for name in ["MemHEFT", "MemMinMin", "HEFT", "MinMin"] {
+            let mut seen_success = false;
+            for point in &sweep {
+                let ok = point.outcome(name).unwrap().makespan.is_some();
+                if seen_success {
+                    assert!(ok, "{name} succeeded at a smaller bound but failed at {}", point.memory_bound);
+                }
+                seen_success |= ok;
+            }
+            assert!(seen_success, "{name} should succeed with bound 10 on D_ex");
+        }
+        // With ample memory every scheduler matches or beats nothing smaller
+        // than the critical path.
+        let last = sweep.last().unwrap();
+        for o in &last.outcomes {
+            assert!(o.makespan.unwrap() >= 5.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn makespan_non_increasing_with_memory_for_memory_aware() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(0.0, 0.0);
+        let memheft = MemHeft::new();
+        let bounds: Vec<f64> = (3..=12).map(|i| i as f64).collect();
+        let sweep = sweep_absolute(&g, &platform, &bounds, &[&memheft], &[]);
+        let mut last = f64::INFINITY;
+        for point in &sweep {
+            if let Some(mk) = point.outcome("MemHEFT").unwrap().makespan {
+                assert!(
+                    mk <= last + 1e-9,
+                    "more memory should never slow MemHEFT down on D_ex (bound {})",
+                    point.memory_bound
+                );
+                last = mk;
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 1 — average running time of the linear-algebra kernels.
+//!
+//! The paper measured these times with MAGMA on 192×192 tiles on the *mirage*
+//! node; the workspace hard-codes them in
+//! [`mals_gen::linalg::KernelCosts::table1`] (with the documented
+//! accelerator-side speedups) and this module prints them back so the bench
+//! harness has one entry point per paper artefact.
+
+use mals_gen::KernelCosts;
+
+/// One row of Table 1: kernel name and its processing time on each resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Kernel name as printed in the paper.
+    pub kernel: &'static str,
+    /// Running time on a blue (CPU) processor, in milliseconds.
+    pub cpu_ms: f64,
+    /// Running time on a red (accelerator) processor, in milliseconds.
+    pub accelerator_ms: f64,
+}
+
+/// The rows of Table 1 for a given cost model.
+pub fn rows(costs: &KernelCosts) -> Vec<KernelRow> {
+    vec![
+        KernelRow { kernel: "getrf", cpu_ms: costs.getrf.0, accelerator_ms: costs.getrf.1 },
+        KernelRow { kernel: "gemm", cpu_ms: costs.gemm.0, accelerator_ms: costs.gemm.1 },
+        KernelRow { kernel: "trsm_l", cpu_ms: costs.trsm_l.0, accelerator_ms: costs.trsm_l.1 },
+        KernelRow { kernel: "trsm_u", cpu_ms: costs.trsm_u.0, accelerator_ms: costs.trsm_u.1 },
+        KernelRow { kernel: "potrf", cpu_ms: costs.potrf.0, accelerator_ms: costs.potrf.1 },
+        KernelRow { kernel: "syrk", cpu_ms: costs.syrk.0, accelerator_ms: costs.syrk.1 },
+    ]
+}
+
+/// Renders the table as CSV.
+pub fn to_csv(costs: &KernelCosts) -> String {
+    let mut out = String::from("kernel,cpu_ms,accelerator_ms\n");
+    for row in rows(costs) {
+        out.push_str(&format!("{},{},{}\n", row.kernel, row.cpu_ms, row.accelerator_ms));
+    }
+    out.push_str(&format!("tile_transfer,{},{}\n", costs.tile_transfer, costs.tile_transfer));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_cpu_times() {
+        let rows = rows(&KernelCosts::table1());
+        let get = |name: &str| rows.iter().find(|r| r.kernel == name).unwrap();
+        assert_eq!(get("getrf").cpu_ms, 450.0);
+        assert_eq!(get("gemm").cpu_ms, 1450.0);
+        assert_eq!(get("trsm_l").cpu_ms, 990.0);
+        assert_eq!(get("trsm_u").cpu_ms, 830.0);
+        assert_eq!(get("potrf").cpu_ms, 450.0);
+        assert_eq!(get("syrk").cpu_ms, 990.0);
+    }
+
+    #[test]
+    fn accelerator_is_faster_for_every_kernel() {
+        for row in rows(&KernelCosts::table1()) {
+            assert!(row.accelerator_ms < row.cpu_ms, "{} should be faster on the accelerator", row.kernel);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_transfer_row() {
+        let csv = to_csv(&KernelCosts::table1());
+        assert!(csv.starts_with("kernel,cpu_ms,accelerator_ms\n"));
+        assert!(csv.contains("gemm,1450,145"));
+        assert!(csv.contains("tile_transfer,50,50"));
+        assert_eq!(csv.lines().count(), 8);
+    }
+}

@@ -1,0 +1,151 @@
+//! The four experiment DAG sets of the paper (Section 6.1), with documented
+//! seeds so every figure-reproduction run sees exactly the same workloads.
+
+use crate::daggen::{self, DaggenParams, WeightRanges};
+use crate::linalg::{cholesky_dag, lu_dag, KernelCosts};
+use mals_dag::TaskGraph;
+use mals_util::Pcg64;
+
+/// Seed of the SmallRandSet campaign (arbitrary but fixed).
+pub const SMALL_RAND_SEED: u64 = 0x5EED_0001;
+/// Seed of the LargeRandSet campaign (arbitrary but fixed).
+pub const LARGE_RAND_SEED: u64 = 0x5EED_0002;
+
+/// Parameters of a random DAG set: how many DAGs, their shape and weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetParams {
+    /// Number of DAGs in the set.
+    pub count: usize,
+    /// DAGGEN shape parameters.
+    pub shape: DaggenParams,
+    /// Weight ranges.
+    pub weights: WeightRanges,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl SetParams {
+    /// The paper's SmallRandSet: 50 DAGs of 30 tasks.
+    pub fn small_rand() -> Self {
+        SetParams {
+            count: 50,
+            shape: DaggenParams::small_rand(),
+            weights: WeightRanges::small_rand(),
+            seed: SMALL_RAND_SEED,
+        }
+    }
+
+    /// The paper's LargeRandSet: 100 DAGs of 1000 tasks.
+    pub fn large_rand() -> Self {
+        SetParams {
+            count: 100,
+            shape: DaggenParams::large_rand(),
+            weights: WeightRanges::large_rand(),
+            seed: LARGE_RAND_SEED,
+        }
+    }
+
+    /// A scaled-down copy of the set (fewer, smaller DAGs) for quick runs and
+    /// benchmark iterations; the scaling is reported by the experiment
+    /// binaries so it is never silent.
+    pub fn scaled(mut self, count: usize, size: usize) -> Self {
+        self.count = count;
+        self.shape = self.shape.with_size(size);
+        self
+    }
+
+    /// Generates all DAGs of the set.
+    pub fn generate(&self) -> Vec<TaskGraph> {
+        let mut master = Pcg64::new(self.seed);
+        (0..self.count)
+            .map(|i| {
+                let mut rng = master.fork(i as u64);
+                daggen::generate(&self.shape, &self.weights, &mut rng)
+            })
+            .collect()
+    }
+}
+
+/// Generates the paper's SmallRandSet (50 random DAGs with 30 tasks each).
+pub fn small_rand_set() -> Vec<TaskGraph> {
+    SetParams::small_rand().generate()
+}
+
+/// Generates the paper's LargeRandSet (100 random DAGs with 1000 tasks each).
+pub fn large_rand_set() -> Vec<TaskGraph> {
+    SetParams::large_rand().generate()
+}
+
+/// Generates the LU factorisation DAGs for the given tile counts (the paper
+/// uses a single 13×13 matrix; passing `&[13]` reproduces it).
+pub fn lu_set(tile_counts: &[usize]) -> Vec<TaskGraph> {
+    let costs = KernelCosts::table1();
+    tile_counts.iter().map(|&n| lu_dag(n, &costs)).collect()
+}
+
+/// Generates the Cholesky factorisation DAGs for the given tile counts.
+pub fn cholesky_set(tile_counts: &[usize]) -> Vec<TaskGraph> {
+    let costs = KernelCosts::table1();
+    tile_counts.iter().map(|&n| cholesky_dag(n, &costs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rand_set_shape() {
+        let set = SetParams::small_rand().scaled(5, 30).generate();
+        assert_eq!(set.len(), 5);
+        for g in &set {
+            assert_eq!(g.n_tasks(), 30);
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn sets_are_reproducible() {
+        let a = SetParams::small_rand().scaled(3, 30).generate();
+        let b = SetParams::small_rand().scaled(3, 30).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dags_within_a_set_differ() {
+        let set = SetParams::small_rand().scaled(3, 30).generate();
+        assert_ne!(set[0], set[1]);
+        assert_ne!(set[1], set[2]);
+    }
+
+    #[test]
+    fn large_rand_set_scaled_down() {
+        let set = SetParams::large_rand().scaled(2, 100).generate();
+        assert_eq!(set.len(), 2);
+        for g in &set {
+            assert_eq!(g.n_tasks(), 100);
+            for t in g.task_ids() {
+                assert!(g.task(t).work_blue <= 100.0 && g.task(t).work_blue >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_set_parameters() {
+        let s = SetParams::small_rand();
+        assert_eq!(s.count, 50);
+        assert_eq!(s.shape.size, 30);
+        let l = SetParams::large_rand();
+        assert_eq!(l.count, 100);
+        assert_eq!(l.shape.size, 1000);
+    }
+
+    #[test]
+    fn linalg_sets() {
+        let lus = lu_set(&[2, 3]);
+        assert_eq!(lus.len(), 2);
+        assert!(lus[0].n_tasks() < lus[1].n_tasks());
+        let chols = cholesky_set(&[3]);
+        assert_eq!(chols.len(), 1);
+        assert!(chols[0].validate().is_ok());
+    }
+}

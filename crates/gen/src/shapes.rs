@@ -1,0 +1,186 @@
+//! Simple structured DAG shapes: chains, fork-joins and in-trees.
+//!
+//! The paper's random generator covers the "average" case; these explicitly
+//! shaped graphs cover the extremes it mentions ("a small width leads to
+//! chain graphs and a large value to fork-join graphs") and are used by the
+//! test suites and ablation benchmarks to probe the heuristics where their
+//! behaviour is easy to reason about:
+//!
+//! * a **chain** has no parallelism at all — memory pressure comes only from
+//!   the files in flight between consecutive tasks;
+//! * a **fork-join** has maximal parallelism — memory pressure comes from the
+//!   source's output files all being alive at once;
+//! * an **in-tree** (reduction tree) reproduces the tree-shaped workloads of
+//!   the authors' earlier work on memory-aware tree traversals.
+
+use mals_dag::{TaskGraph, TaskId};
+
+/// Uniform task/edge weights used by the shape builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeWeights {
+    /// Processing time on a blue processor.
+    pub work_blue: f64,
+    /// Processing time on a red processor.
+    pub work_red: f64,
+    /// Size of every file.
+    pub file_size: f64,
+    /// Cross-memory transfer time of every file.
+    pub comm_cost: f64,
+}
+
+impl Default for ShapeWeights {
+    fn default() -> Self {
+        ShapeWeights { work_blue: 2.0, work_red: 1.0, file_size: 1.0, comm_cost: 1.0 }
+    }
+}
+
+/// Builds a chain of `n` tasks (`t0 → t1 → … → t(n-1)`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chain(n: usize, weights: &ShapeWeights) -> TaskGraph {
+    assert!(n > 0, "a chain needs at least one task");
+    let mut graph = TaskGraph::with_capacity(n, n.saturating_sub(1));
+    let tasks: Vec<TaskId> = (0..n)
+        .map(|i| graph.add_task(format!("chain_{i}"), weights.work_blue, weights.work_red))
+        .collect();
+    for pair in tasks.windows(2) {
+        graph
+            .add_edge(pair[0], pair[1], weights.file_size, weights.comm_cost)
+            .expect("chain edges are valid");
+    }
+    graph
+}
+
+/// Builds a fork-join: one source fanning out to `width` parallel tasks that
+/// all join into one sink (`2 + width` tasks in total).
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn fork_join(width: usize, weights: &ShapeWeights) -> TaskGraph {
+    assert!(width > 0, "a fork-join needs at least one branch");
+    let mut graph = TaskGraph::with_capacity(width + 2, 2 * width);
+    let source = graph.add_task("fork", weights.work_blue, weights.work_red);
+    let sink = graph.add_task("join", weights.work_blue, weights.work_red);
+    for i in 0..width {
+        let branch = graph.add_task(format!("branch_{i}"), weights.work_blue, weights.work_red);
+        graph
+            .add_edge(source, branch, weights.file_size, weights.comm_cost)
+            .expect("fork edge");
+        graph
+            .add_edge(branch, sink, weights.file_size, weights.comm_cost)
+            .expect("join edge");
+    }
+    graph
+}
+
+/// Builds a complete binary in-tree (reduction tree) with `leaves` leaves;
+/// every internal node consumes the files of its two children. `leaves` is
+/// rounded up to the next power of two.
+///
+/// # Panics
+/// Panics if `leaves == 0`.
+pub fn binary_in_tree(leaves: usize, weights: &ShapeWeights) -> TaskGraph {
+    assert!(leaves > 0, "a reduction tree needs at least one leaf");
+    let leaves = leaves.next_power_of_two();
+    let mut graph = TaskGraph::new();
+    // Build level by level, from the leaves towards the root.
+    let mut current: Vec<TaskId> = (0..leaves)
+        .map(|i| graph.add_task(format!("leaf_{i}"), weights.work_blue, weights.work_red))
+        .collect();
+    let mut level = 0;
+    while current.len() > 1 {
+        level += 1;
+        let mut next = Vec::with_capacity(current.len() / 2);
+        for (i, pair) in current.chunks(2).enumerate() {
+            let parent =
+                graph.add_task(format!("node_{level}_{i}"), weights.work_blue, weights.work_red);
+            for &child in pair {
+                graph
+                    .add_edge(child, parent, weights.file_size, weights.comm_cost)
+                    .expect("tree edge");
+            }
+            next.push(parent);
+        }
+        current = next;
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_dag::{algo, graph_stats};
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(10, &ShapeWeights::default());
+        assert_eq!(g.n_tasks(), 10);
+        assert_eq!(g.n_edges(), 9);
+        let stats = graph_stats(&g);
+        assert_eq!(stats.depth, 10);
+        assert_eq!(stats.max_width, 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn chain_of_one() {
+        let g = chain(1, &ShapeWeights::default());
+        assert_eq!(g.n_tasks(), 1);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(8, &ShapeWeights::default());
+        assert_eq!(g.n_tasks(), 10);
+        assert_eq!(g.n_edges(), 16);
+        let stats = graph_stats(&g);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.max_width, 8);
+        assert_eq!(stats.n_sources, 1);
+        assert_eq!(stats.n_sinks, 1);
+        // The source's memory requirement covers all branch files at once.
+        let source = g.sources()[0];
+        assert_eq!(g.mem_req(source), 8.0);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_in_tree(8, &ShapeWeights::default());
+        // 8 leaves + 4 + 2 + 1 internal nodes.
+        assert_eq!(g.n_tasks(), 15);
+        assert_eq!(g.n_edges(), 14);
+        let stats = graph_stats(&g);
+        assert_eq!(stats.depth, 4);
+        assert_eq!(stats.n_sinks, 1);
+        assert_eq!(stats.max_in_degree, 2);
+        assert!(algo::topological_order(&g).is_ok());
+    }
+
+    #[test]
+    fn binary_tree_rounds_to_power_of_two() {
+        let g = binary_in_tree(5, &ShapeWeights::default());
+        assert_eq!(g.sources().len(), 8);
+    }
+
+    #[test]
+    fn custom_weights_are_applied() {
+        let w = ShapeWeights { work_blue: 7.0, work_red: 3.0, file_size: 2.5, comm_cost: 0.5 };
+        let g = fork_join(2, &w);
+        for t in g.task_ids() {
+            assert_eq!(g.task(t).work_blue, 7.0);
+            assert_eq!(g.task(t).work_red, 3.0);
+        }
+        for e in g.edge_ids() {
+            assert_eq!(g.edge(e).size, 2.5);
+            assert_eq!(g.edge(e).comm_cost, 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_sizes_panic() {
+        let _ = chain(0, &ShapeWeights::default());
+    }
+}

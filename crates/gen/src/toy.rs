@@ -1,0 +1,45 @@
+//! The toy example DAG `D_ex` of Figure 2 of the paper.
+
+use mals_dag::{TaskGraph, TaskId};
+
+/// Builds `D_ex`: four tasks T1..T4 in a diamond, with the processing times,
+/// file sizes and communication costs of Figure 2.
+///
+/// Returns the graph and the four task ids `[T1, T2, T3, T4]`.
+///
+/// The paper uses this DAG to illustrate the memory/makespan trade-off: with
+/// one blue and one red processor and memory bounds of 5 on each side, the
+/// optimal makespan is 6 (schedule `s1` of Figure 3); tightening both bounds
+/// to 4 forces a slower schedule of makespan 7 (schedule `s2` of Figure 4).
+pub fn dex() -> (TaskGraph, [TaskId; 4]) {
+    let mut g = TaskGraph::with_capacity(4, 4);
+    let t1 = g.add_task("T1", 3.0, 1.0);
+    let t2 = g.add_task("T2", 2.0, 2.0);
+    let t3 = g.add_task("T3", 6.0, 3.0);
+    let t4 = g.add_task("T4", 1.0, 1.0);
+    g.add_edge(t1, t2, 1.0, 1.0).expect("valid edge");
+    g.add_edge(t1, t3, 2.0, 1.0).expect("valid edge");
+    g.add_edge(t2, t4, 1.0, 1.0).expect("valid edge");
+    g.add_edge(t3, t4, 2.0, 1.0).expect("valid edge");
+    (g, [t1, t2, t3, t4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_figure_2() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        assert_eq!(g.n_tasks(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.task(t1).work_blue, 3.0);
+        assert_eq!(g.task(t1).work_red, 1.0);
+        assert_eq!(g.task(t3).work_blue, 6.0);
+        assert_eq!(g.task(t3).work_red, 3.0);
+        assert_eq!(g.edge(g.edge_between(t1, t3).unwrap()).size, 2.0);
+        assert_eq!(g.edge(g.edge_between(t2, t4).unwrap()).comm_cost, 1.0);
+        assert_eq!(g.mem_req(t3), 4.0);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-memory usage profiles (`free_mem⁽µ⁾(t)` in the paper).
+//!
+//! The memory-aware heuristics must know, for each memory and every instant
+//! of the partial schedule, how much memory is already promised to files that
+//! will be resident at that instant. [`MemoryState`] stores one usage
+//! staircase per memory and exposes exactly the operations the heuristics
+//! perform:
+//!
+//! * reserve space for a file on a time interval or from a time onwards,
+//! * release space when a file is consumed, and
+//! * find the earliest instant after which a given amount of space is
+//!   available **for good** (the `task_mem_EST` / `comm_mem_EST` queries).
+
+use crate::memory::Memory;
+use crate::platform::Platform;
+use mals_util::{Staircase, EPSILON};
+
+/// Memory usage profiles for the two memories of a dual-memory platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryState {
+    bounds: [f64; 2],
+    used: [Staircase; 2],
+}
+
+impl MemoryState {
+    /// Creates an empty state (no memory used) for `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        MemoryState {
+            bounds: [platform.mem_blue, platform.mem_red],
+            used: [Staircase::constant(0.0), Staircase::constant(0.0)],
+        }
+    }
+
+    /// Capacity of memory `µ` (possibly `+∞`).
+    #[inline]
+    pub fn bound(&self, mem: Memory) -> f64 {
+        self.bounds[mem.index()]
+    }
+
+    /// Amount of memory `µ` in use at time `t`.
+    #[inline]
+    pub fn used_at(&self, mem: Memory, t: f64) -> f64 {
+        self.used[mem.index()].value_at(t)
+    }
+
+    /// Amount of memory `µ` still free at time `t` (`+∞` for an unbounded
+    /// memory).
+    #[inline]
+    pub fn free_at(&self, mem: Memory, t: f64) -> f64 {
+        self.bound(mem) - self.used_at(mem, t)
+    }
+
+    /// Reserves `amount` units of memory `µ` from time `t` onwards
+    /// (a file produced at `t` whose consumer is not scheduled yet).
+    pub fn reserve_from(&mut self, mem: Memory, t: f64, amount: f64) {
+        if amount != 0.0 {
+            self.used[mem.index()].add_from(t, amount);
+        }
+    }
+
+    /// Reserves `amount` units of memory `µ` on `[t1, t2)` (a file that is
+    /// known to be consumed at `t2`, e.g. an input file of the task being
+    /// scheduled, or a file in transit during a cross-memory copy).
+    pub fn reserve_range(&mut self, mem: Memory, t1: f64, t2: f64, amount: f64) {
+        if amount != 0.0 {
+            self.used[mem.index()].add_range(t1, t2, amount);
+        }
+    }
+
+    /// Releases `amount` units of memory `µ` from time `t` onwards (a file
+    /// reserved with [`MemoryState::reserve_from`] whose consumer has now
+    /// been scheduled to complete at `t`).
+    pub fn release_from(&mut self, mem: Memory, t: f64, amount: f64) {
+        if amount != 0.0 {
+            self.used[mem.index()].add_from(t, -amount);
+        }
+    }
+
+    /// Earliest time `t ≥ t_min` such that `amount` extra units fit in memory
+    /// `µ` at every instant from `t` on. Returns `None` when the requirement
+    /// can never be satisfied (the memory is permanently too full, or
+    /// `amount` exceeds the capacity).
+    pub fn earliest_fit(&self, mem: Memory, t_min: f64, amount: f64) -> Option<f64> {
+        let bound = self.bound(mem);
+        if amount <= EPSILON || bound.is_infinite() {
+            return Some(t_min.max(0.0));
+        }
+        if amount > bound + EPSILON {
+            return None;
+        }
+        self.used[mem.index()].earliest_sustained_le(t_min, bound - amount)
+    }
+
+    /// Returns `true` if `amount` extra units fit in `µ` at every instant
+    /// from `t_min` on.
+    pub fn fits(&self, mem: Memory, t_min: f64, amount: f64) -> bool {
+        match self.earliest_fit(mem, t_min, amount) {
+            Some(t) => t <= t_min + EPSILON,
+            None => false,
+        }
+    }
+
+    /// Peak usage of memory `µ` over the whole horizon.
+    pub fn peak_usage(&self, mem: Memory) -> f64 {
+        self.used[mem.index()].max_value()
+    }
+
+    /// Checks the internal invariants: usage is never negative and never
+    /// exceeds the capacity (up to the shared tolerance).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for mem in Memory::BOTH {
+            let profile = &self.used[mem.index()];
+            for (x, v) in profile.breakpoints() {
+                if v < -EPSILON {
+                    return Err(format!("{mem} memory usage is negative ({v}) at t={x}"));
+                }
+                if v > self.bound(mem) + EPSILON {
+                    return Err(format!(
+                        "{mem} memory usage {v} exceeds bound {} at t={x}",
+                        self.bound(mem)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-only access to the usage profile of memory `µ` (for tracing and
+    /// tests).
+    pub fn usage_profile(&self, mem: Memory) -> &Staircase {
+        &self.used[mem.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_util::approx_eq;
+
+    fn bounded(blue: f64, red: f64) -> MemoryState {
+        MemoryState::new(&Platform::single_pair(blue, red))
+    }
+
+    #[test]
+    fn initial_state_is_empty() {
+        let m = bounded(10.0, 20.0);
+        assert_eq!(m.used_at(Memory::Blue, 0.0), 0.0);
+        assert_eq!(m.free_at(Memory::Blue, 5.0), 10.0);
+        assert_eq!(m.free_at(Memory::Red, 5.0), 20.0);
+        assert_eq!(m.peak_usage(Memory::Blue), 0.0);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let mut m = bounded(10.0, 10.0);
+        m.reserve_from(Memory::Blue, 2.0, 4.0);
+        assert_eq!(m.used_at(Memory::Blue, 1.0), 0.0);
+        assert_eq!(m.used_at(Memory::Blue, 3.0), 4.0);
+        assert_eq!(m.free_at(Memory::Blue, 3.0), 6.0);
+        m.release_from(Memory::Blue, 6.0, 4.0);
+        assert_eq!(m.used_at(Memory::Blue, 7.0), 0.0);
+        assert_eq!(m.peak_usage(Memory::Blue), 4.0);
+        assert!(m.check_invariants().is_ok());
+        // The red memory was never touched.
+        assert_eq!(m.peak_usage(Memory::Red), 0.0);
+    }
+
+    #[test]
+    fn reserve_range_is_transient() {
+        let mut m = bounded(10.0, 10.0);
+        m.reserve_range(Memory::Red, 3.0, 8.0, 6.0);
+        assert_eq!(m.used_at(Memory::Red, 2.0), 0.0);
+        assert_eq!(m.used_at(Memory::Red, 5.0), 6.0);
+        assert_eq!(m.used_at(Memory::Red, 8.0), 0.0);
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_release() {
+        let mut m = bounded(10.0, 10.0);
+        m.reserve_range(Memory::Blue, 0.0, 6.0, 8.0); // 8 used until t=6
+        // Need 5: must wait until t=6.
+        assert_eq!(m.earliest_fit(Memory::Blue, 0.0, 5.0), Some(6.0));
+        // Need 2: fits right away.
+        assert_eq!(m.earliest_fit(Memory::Blue, 0.0, 2.0), Some(0.0));
+        assert!(m.fits(Memory::Blue, 0.0, 2.0));
+        assert!(!m.fits(Memory::Blue, 0.0, 5.0));
+        assert!(m.fits(Memory::Blue, 6.0, 5.0));
+    }
+
+    #[test]
+    fn earliest_fit_never_when_over_capacity() {
+        let m = bounded(10.0, 10.0);
+        assert_eq!(m.earliest_fit(Memory::Blue, 0.0, 11.0), None);
+        let mut m2 = bounded(10.0, 10.0);
+        m2.reserve_from(Memory::Blue, 0.0, 7.0); // 7 used forever
+        assert_eq!(m2.earliest_fit(Memory::Blue, 0.0, 5.0), None);
+    }
+
+    #[test]
+    fn unbounded_memory_always_fits() {
+        let m = bounded(f64::INFINITY, f64::INFINITY);
+        assert_eq!(m.earliest_fit(Memory::Blue, 3.0, 1e12), Some(3.0));
+        assert!(m.fits(Memory::Red, 0.0, 1e12));
+    }
+
+    #[test]
+    fn zero_amount_always_fits() {
+        let mut m = bounded(5.0, 5.0);
+        m.reserve_from(Memory::Blue, 0.0, 5.0);
+        assert_eq!(m.earliest_fit(Memory::Blue, 2.0, 0.0), Some(2.0));
+    }
+
+    #[test]
+    fn invariant_violation_detected() {
+        let mut m = bounded(5.0, 5.0);
+        m.reserve_from(Memory::Blue, 0.0, 7.0);
+        assert!(m.check_invariants().is_err());
+        let mut m2 = bounded(5.0, 5.0);
+        m2.release_from(Memory::Red, 0.0, 1.0);
+        assert!(m2.check_invariants().is_err());
+    }
+
+    #[test]
+    fn peak_usage_tracks_maximum() {
+        let mut m = bounded(100.0, 100.0);
+        m.reserve_range(Memory::Blue, 0.0, 10.0, 30.0);
+        m.reserve_range(Memory::Blue, 5.0, 8.0, 50.0);
+        assert!(approx_eq(m.peak_usage(Memory::Blue), 80.0));
+    }
+}

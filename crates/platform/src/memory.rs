@@ -1,0 +1,108 @@
+//! The two memory types of a dual-memory platform.
+
+/// One of the two memories (and, by extension, processor pools) of a
+/// dual-memory platform.
+///
+/// Following the paper's colour convention: **blue** is the CPU-side memory
+/// shared by the `P1` blue processors, **red** is the accelerator-side memory
+/// shared by the `P2` red processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Memory {
+    /// CPU-side memory (the paper's first memory, processors `1..=P1`).
+    Blue,
+    /// Accelerator-side memory (the paper's second memory, processors
+    /// `P1+1..=P1+P2`).
+    Red,
+}
+
+impl Memory {
+    /// Both memories, in a fixed order (Blue then Red). Convenient for
+    /// `for µ in Memory::BOTH` loops in the heuristics.
+    pub const BOTH: [Memory; 2] = [Memory::Blue, Memory::Red];
+
+    /// The other memory.
+    #[inline]
+    pub fn other(self) -> Memory {
+        match self {
+            Memory::Blue => Memory::Red,
+            Memory::Red => Memory::Blue,
+        }
+    }
+
+    /// A stable index (Blue = 0, Red = 1) for array-based lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Memory::Blue => 0,
+            Memory::Red => 1,
+        }
+    }
+
+    /// Inverse of [`Memory::index`].
+    ///
+    /// # Panics
+    /// Panics if `index > 1`.
+    #[inline]
+    pub fn from_index(index: usize) -> Memory {
+        match index {
+            0 => Memory::Blue,
+            1 => Memory::Red,
+            _ => panic!("memory index out of range: {index}"),
+        }
+    }
+
+    /// Returns `true` for the blue (CPU-side) memory.
+    #[inline]
+    pub fn is_blue(self) -> bool {
+        matches!(self, Memory::Blue)
+    }
+}
+
+impl std::fmt::Display for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Memory::Blue => write!(f, "blue"),
+            Memory::Red => write!(f, "red"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for m in Memory::BOTH {
+            assert_eq!(m.other().other(), m);
+            assert_ne!(m.other(), m);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for m in Memory::BOTH {
+            assert_eq!(Memory::from_index(m.index()), m);
+        }
+        assert_eq!(Memory::Blue.index(), 0);
+        assert_eq!(Memory::Red.index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Memory::from_index(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Memory::Blue.to_string(), "blue");
+        assert_eq!(Memory::Red.to_string(), "red");
+    }
+
+    #[test]
+    fn is_blue() {
+        assert!(Memory::Blue.is_blue());
+        assert!(!Memory::Red.is_blue());
+    }
+}

@@ -1,0 +1,211 @@
+//! Description of a dual-memory platform.
+
+use crate::memory::Memory;
+
+/// Index of a processor. Processors `0..P1` are blue, `P1..P1+P2` are red
+/// (0-based version of the paper's `1..=P1` / `P1+1..=P1+P2` convention).
+pub type ProcId = usize;
+
+/// Errors raised when constructing an invalid platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// At least one processor of each colour is required.
+    NoProcessors,
+    /// Memory capacities must be non-negative and not NaN.
+    InvalidMemoryBound,
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::NoProcessors => {
+                write!(f, "a dual-memory platform needs at least one processor of each colour")
+            }
+            PlatformError::InvalidMemoryBound => write!(f, "memory bounds must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A dual-memory platform: `P1` blue processors sharing `M⁽ᵇˡᵘᵉ⁾` and `P2`
+/// red processors sharing `M⁽ʳᵉᵈ⁾` (Figure 1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Number of blue (CPU-side) processors, `P1 ≥ 1`.
+    pub blue_procs: usize,
+    /// Number of red (accelerator-side) processors, `P2 ≥ 1`.
+    pub red_procs: usize,
+    /// Capacity of the blue memory, `M⁽ᵇˡᵘᵉ⁾` (may be `f64::INFINITY`).
+    pub mem_blue: f64,
+    /// Capacity of the red memory, `M⁽ʳᵉᵈ⁾` (may be `f64::INFINITY`).
+    pub mem_red: f64,
+}
+
+impl Platform {
+    /// Builds a platform, validating the parameters.
+    pub fn new(
+        blue_procs: usize,
+        red_procs: usize,
+        mem_blue: f64,
+        mem_red: f64,
+    ) -> Result<Self, PlatformError> {
+        if blue_procs == 0 || red_procs == 0 {
+            return Err(PlatformError::NoProcessors);
+        }
+        if mem_blue.is_nan() || mem_red.is_nan() || mem_blue < 0.0 || mem_red < 0.0 {
+            return Err(PlatformError::InvalidMemoryBound);
+        }
+        Ok(Platform { blue_procs, red_procs, mem_blue, mem_red })
+    }
+
+    /// The minimal platform of the paper's small experiments: one blue and
+    /// one red processor (`P1 = P2 = 1`) with the given memory bounds.
+    pub fn single_pair(mem_blue: f64, mem_red: f64) -> Self {
+        Platform { blue_procs: 1, red_procs: 1, mem_blue, mem_red }
+    }
+
+    /// A platform shaped like the *mirage* node used for the linear-algebra
+    /// experiments: 12 CPU cores and 3 GPUs, with the given memory bounds
+    /// expressed in number of tiles.
+    pub fn mirage(mem_blue: f64, mem_red: f64) -> Self {
+        Platform { blue_procs: 12, red_procs: 3, mem_blue, mem_red }
+    }
+
+    /// Total number of processors `P1 + P2`.
+    #[inline]
+    pub fn n_procs(&self) -> usize {
+        self.blue_procs + self.red_procs
+    }
+
+    /// Number of processors attached to memory `µ`.
+    #[inline]
+    pub fn procs_on(&self, mem: Memory) -> usize {
+        match mem {
+            Memory::Blue => self.blue_procs,
+            Memory::Red => self.red_procs,
+        }
+    }
+
+    /// The processor indices attached to memory `µ`.
+    pub fn proc_range(&self, mem: Memory) -> std::ops::Range<ProcId> {
+        match mem {
+            Memory::Blue => 0..self.blue_procs,
+            Memory::Red => self.blue_procs..self.n_procs(),
+        }
+    }
+
+    /// The memory a processor operates on.
+    #[inline]
+    pub fn memory_of(&self, proc: ProcId) -> Memory {
+        debug_assert!(proc < self.n_procs(), "processor index out of range");
+        if proc < self.blue_procs {
+            Memory::Blue
+        } else {
+            Memory::Red
+        }
+    }
+
+    /// Capacity of memory `µ`.
+    #[inline]
+    pub fn memory_bound(&self, mem: Memory) -> f64 {
+        match mem {
+            Memory::Blue => self.mem_blue,
+            Memory::Red => self.mem_red,
+        }
+    }
+
+    /// Returns a copy of the platform with new memory bounds (used by the
+    /// memory-sweep experiment drivers).
+    pub fn with_memory_bounds(&self, mem_blue: f64, mem_red: f64) -> Self {
+        Platform { mem_blue, mem_red, ..self.clone() }
+    }
+
+    /// Returns a copy of the platform with both memories unbounded — the
+    /// platform the memory-oblivious HEFT / MinMin baselines schedule on.
+    pub fn unbounded(&self) -> Self {
+        self.with_memory_bounds(f64::INFINITY, f64::INFINITY)
+    }
+
+    /// Returns `true` if both memories are unbounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.mem_blue.is_infinite() && self.mem_red.is_infinite()
+    }
+}
+
+impl Default for Platform {
+    /// A single blue / single red processor pair with unbounded memories.
+    fn default() -> Self {
+        Platform::single_pair(f64::INFINITY, f64::INFINITY)
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blue procs (M={}), {} red procs (M={})",
+            self.blue_procs, self.mem_blue, self.red_procs, self.mem_red
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Platform::new(1, 1, 10.0, 10.0).is_ok());
+        assert_eq!(Platform::new(0, 1, 10.0, 10.0), Err(PlatformError::NoProcessors));
+        assert_eq!(Platform::new(1, 0, 10.0, 10.0), Err(PlatformError::NoProcessors));
+        assert_eq!(Platform::new(1, 1, -1.0, 10.0), Err(PlatformError::InvalidMemoryBound));
+        assert_eq!(Platform::new(1, 1, 1.0, f64::NAN), Err(PlatformError::InvalidMemoryBound));
+        assert!(Platform::new(1, 1, f64::INFINITY, 0.0).is_ok());
+    }
+
+    #[test]
+    fn processor_to_memory_mapping() {
+        let p = Platform::new(3, 2, 10.0, 5.0).unwrap();
+        assert_eq!(p.n_procs(), 5);
+        assert_eq!(p.memory_of(0), Memory::Blue);
+        assert_eq!(p.memory_of(2), Memory::Blue);
+        assert_eq!(p.memory_of(3), Memory::Red);
+        assert_eq!(p.memory_of(4), Memory::Red);
+        assert_eq!(p.proc_range(Memory::Blue), 0..3);
+        assert_eq!(p.proc_range(Memory::Red), 3..5);
+        assert_eq!(p.procs_on(Memory::Blue), 3);
+        assert_eq!(p.procs_on(Memory::Red), 2);
+    }
+
+    #[test]
+    fn memory_bounds_and_sweeps() {
+        let p = Platform::new(1, 1, 10.0, 20.0).unwrap();
+        assert_eq!(p.memory_bound(Memory::Blue), 10.0);
+        assert_eq!(p.memory_bound(Memory::Red), 20.0);
+        let swept = p.with_memory_bounds(4.0, 4.0);
+        assert_eq!(swept.memory_bound(Memory::Blue), 4.0);
+        assert_eq!(swept.blue_procs, p.blue_procs);
+        assert!(!p.is_unbounded());
+        assert!(p.unbounded().is_unbounded());
+    }
+
+    #[test]
+    fn presets() {
+        let m = Platform::mirage(100.0, 50.0);
+        assert_eq!(m.blue_procs, 12);
+        assert_eq!(m.red_procs, 3);
+        let s = Platform::single_pair(5.0, 5.0);
+        assert_eq!(s.n_procs(), 2);
+        let d = Platform::default();
+        assert!(d.is_unbounded());
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let p = Platform::new(2, 3, 7.0, 8.0).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("2 blue"));
+        assert!(s.contains("3 red"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-processor availability tracking for list schedulers.
+
+use crate::memory::Memory;
+use crate::platform::{Platform, ProcId};
+
+/// Tracks, for every processor, the completion time of the last task assigned
+/// to it (`avail[proc]` in the paper's pseudo-code).
+///
+/// The list schedulers never insert tasks into idle gaps (non-insertion-based
+/// HEFT, as in the paper), so a single scalar per processor is sufficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorState {
+    blue_procs: usize,
+    avail: Vec<f64>,
+}
+
+impl ProcessorState {
+    /// Creates the state for `platform`, with every processor available at
+    /// time 0.
+    pub fn new(platform: &Platform) -> Self {
+        ProcessorState { blue_procs: platform.blue_procs, avail: vec![0.0; platform.n_procs()] }
+    }
+
+    /// Number of processors tracked.
+    pub fn n_procs(&self) -> usize {
+        self.avail.len()
+    }
+
+    /// Availability time of a processor.
+    #[inline]
+    pub fn avail(&self, proc: ProcId) -> f64 {
+        self.avail[proc]
+    }
+
+    /// The processor indices attached to memory `µ`.
+    fn proc_range(&self, mem: Memory) -> std::ops::Range<ProcId> {
+        match mem {
+            Memory::Blue => 0..self.blue_procs,
+            Memory::Red => self.blue_procs..self.avail.len(),
+        }
+    }
+
+    /// `resource_EST⁽µ⁾`: the earliest time at which *some* processor of
+    /// memory `µ` is available.
+    pub fn earliest_available(&self, mem: Memory) -> f64 {
+        self.proc_range(mem)
+            .map(|p| self.avail[p])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Selects the processor of memory `µ` on which a task starting at
+    /// `start` wastes the least idle time, i.e. the available processor with
+    /// the largest `avail ≤ start` (the paper's "processor that minimizes
+    /// `EST(i, µ) − avail_proc(p)`").
+    ///
+    /// Returns `None` if no processor of `µ` is available by `start` (cannot
+    /// happen when `start ≥ earliest_available(µ)`).
+    pub fn best_proc(&self, mem: Memory, start: f64) -> Option<ProcId> {
+        self.proc_range(mem)
+            .filter(|&p| self.avail[p] <= start + mals_util::EPSILON)
+            .max_by(|&a, &b| self.avail[a].total_cmp(&self.avail[b]))
+    }
+
+    /// Marks `proc` as busy until `finish`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if this would move the availability backwards
+    /// in a way that overlaps the previously assigned task.
+    pub fn assign(&mut self, proc: ProcId, finish: f64) {
+        debug_assert!(
+            finish + mals_util::EPSILON >= self.avail[proc],
+            "assignment finishing at {finish} overlaps previous availability {}",
+            self.avail[proc]
+        );
+        self.avail[proc] = self.avail[proc].max(finish);
+    }
+
+    /// The latest availability over all processors — the makespan of the
+    /// partial schedule restricted to already-assigned tasks.
+    pub fn max_avail(&self) -> f64 {
+        self.avail.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform_3_2() -> Platform {
+        Platform::new(3, 2, 100.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn initial_state_all_zero() {
+        let s = ProcessorState::new(&platform_3_2());
+        assert_eq!(s.n_procs(), 5);
+        assert_eq!(s.earliest_available(Memory::Blue), 0.0);
+        assert_eq!(s.earliest_available(Memory::Red), 0.0);
+        assert_eq!(s.max_avail(), 0.0);
+    }
+
+    #[test]
+    fn earliest_available_tracks_assignments() {
+        let mut s = ProcessorState::new(&platform_3_2());
+        s.assign(0, 10.0);
+        s.assign(1, 5.0);
+        assert_eq!(s.earliest_available(Memory::Blue), 0.0); // proc 2 still free
+        s.assign(2, 7.0);
+        assert_eq!(s.earliest_available(Memory::Blue), 5.0);
+        assert_eq!(s.earliest_available(Memory::Red), 0.0);
+        s.assign(3, 3.0);
+        s.assign(4, 4.0);
+        assert_eq!(s.earliest_available(Memory::Red), 3.0);
+        assert_eq!(s.max_avail(), 10.0);
+    }
+
+    #[test]
+    fn best_proc_minimizes_idle_time() {
+        let mut s = ProcessorState::new(&platform_3_2());
+        s.assign(0, 10.0);
+        s.assign(1, 6.0);
+        s.assign(2, 2.0);
+        // Task starting at t=7: procs 1 (avail 6) and 2 (avail 2) qualify;
+        // proc 1 wastes 1 unit of idle time, proc 2 wastes 5.
+        assert_eq!(s.best_proc(Memory::Blue, 7.0), Some(1));
+        // Task starting at t=1: only proc... none was assigned below 1 except none.
+        // Procs with avail <= 1: proc with avail 0? all were assigned. proc 2 avail=2 > 1.
+        assert_eq!(s.best_proc(Memory::Blue, 1.0), None);
+        // Red processors are untouched: either of them is acceptable.
+        let red = s.best_proc(Memory::Red, 0.0).unwrap();
+        assert!(red == 3 || red == 4);
+    }
+
+    #[test]
+    fn best_proc_exact_availability_boundary() {
+        let mut s = ProcessorState::new(&platform_3_2());
+        s.assign(0, 5.0);
+        s.assign(1, 5.0);
+        s.assign(2, 5.0);
+        // Start exactly at the availability time is allowed.
+        assert!(s.best_proc(Memory::Blue, 5.0).is_some());
+    }
+
+    #[test]
+    fn assign_is_monotone() {
+        let mut s = ProcessorState::new(&platform_3_2());
+        s.assign(4, 8.0);
+        assert_eq!(s.avail(4), 8.0);
+        s.assign(4, 12.0);
+        assert_eq!(s.avail(4), 12.0);
+    }
+
+    #[test]
+    fn single_pair_platform() {
+        let p = Platform::single_pair(10.0, 10.0);
+        let mut s = ProcessorState::new(&p);
+        assert_eq!(s.n_procs(), 2);
+        s.assign(0, 4.0);
+        assert_eq!(s.earliest_available(Memory::Blue), 4.0);
+        assert_eq!(s.earliest_available(Memory::Red), 0.0);
+        assert_eq!(s.best_proc(Memory::Red, 0.0), Some(1));
+    }
+}

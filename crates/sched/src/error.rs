@@ -1,0 +1,79 @@
+//! Error type shared by all schedulers.
+
+use mals_dag::GraphError;
+
+/// Reasons for which a scheduler may fail to produce a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The task graph is malformed (cycle, negative weight, ...).
+    InvalidGraph(GraphError),
+    /// The graph cannot be processed within the memory bounds: at some point
+    /// no remaining task fits in either memory, now or in the future.
+    ///
+    /// This corresponds to the `Error("The graph can not be processed within
+    /// the memory bounds")` exit of Algorithms 1 and 2 in the paper.
+    Infeasible {
+        /// Number of tasks successfully placed before the failure.
+        scheduled: usize,
+        /// Total number of tasks in the graph.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::InvalidGraph(e) => write!(f, "invalid task graph: {e}"),
+            ScheduleError::Infeasible { scheduled, total } => write!(
+                f,
+                "the graph cannot be processed within the memory bounds \
+                 ({scheduled}/{total} tasks placed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::InvalidGraph(e) => Some(e),
+            ScheduleError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for ScheduleError {
+    fn from(e: GraphError) -> Self {
+        ScheduleError::InvalidGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_dag::TaskId;
+
+    #[test]
+    fn display_messages() {
+        let e = ScheduleError::Infeasible { scheduled: 3, total: 10 };
+        assert!(e.to_string().contains("memory bounds"));
+        assert!(e.to_string().contains("3/10"));
+        let g = ScheduleError::InvalidGraph(GraphError::Cycle(TaskId::from_index(0)));
+        assert!(g.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn from_graph_error() {
+        let e: ScheduleError = GraphError::SelfLoop(TaskId::from_index(1)).into();
+        assert!(matches!(e, ScheduleError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn source_is_exposed() {
+        use std::error::Error;
+        let e = ScheduleError::InvalidGraph(GraphError::Cycle(TaskId::from_index(0)));
+        assert!(e.source().is_some());
+        let i = ScheduleError::Infeasible { scheduled: 0, total: 1 };
+        assert!(i.source().is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! HEFT — the memory-oblivious reference heuristic.
+//!
+//! HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al. 2002) is the
+//! baseline the paper compares against. In the dual-memory model it is
+//! exactly MemHEFT run with both memory capacities set to `+∞`: the
+//! memory-availability terms of the EST vanish and the algorithm degenerates
+//! to classical upward-rank list scheduling with earliest-finish-time
+//! processor selection.
+//!
+//! The schedule it produces ignores the platform's memory bounds; the
+//! experiment drivers measure its memory peaks with
+//! [`mals_sim::memory_peaks`] and use them as the normalisation baseline of
+//! Figures 10 and 12 ("fraction of the memory required by HEFT").
+
+use crate::error::ScheduleError;
+use crate::memheft::MemHeft;
+use crate::traits::Scheduler;
+use mals_dag::TaskGraph;
+use mals_platform::Platform;
+use mals_sim::Schedule;
+
+/// The memory-oblivious HEFT baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl Heft {
+    /// Creates a HEFT scheduler.
+    pub fn new() -> Self {
+        Heft
+    }
+}
+
+impl Scheduler for Heft {
+    fn name(&self) -> &'static str {
+        "HEFT"
+    }
+
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+    ) -> Result<Schedule, ScheduleError> {
+        MemHeft::new().schedule(graph, &platform.unbounded())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::{dex, DaggenParams, WeightRanges};
+    use mals_sim::{memory_peaks, validate};
+    use mals_util::Pcg64;
+
+    #[test]
+    fn ignores_memory_bounds() {
+        let (g, _) = dex();
+        // A bound of 1 makes the graph impossible for MemHEFT, but HEFT does
+        // not care: it always succeeds.
+        let platform = Platform::single_pair(1.0, 1.0);
+        let s = Heft::new().schedule(&g, &platform).unwrap();
+        assert!(s.is_complete(&g));
+        // Validation against the *unbounded* platform passes; against the
+        // bounded one the memory constraint is (expectedly) violated.
+        let unbounded_report = validate(&g, &platform.unbounded(), &s);
+        assert!(unbounded_report.is_valid(), "{:?}", unbounded_report.errors);
+    }
+
+    #[test]
+    fn equals_memheft_with_infinite_memory() {
+        let mut rng = Pcg64::new(5);
+        let g = mals_gen::daggen::generate(
+            &DaggenParams::small_rand(),
+            &WeightRanges::small_rand(),
+            &mut rng,
+        );
+        let platform = Platform::new(2, 1, 40.0, 40.0).unwrap();
+        let heft = Heft::new().schedule(&g, &platform).unwrap();
+        let memheft_unbounded =
+            MemHeft::new().schedule(&g, &platform.unbounded()).unwrap();
+        assert_eq!(heft, memheft_unbounded);
+    }
+
+    #[test]
+    fn heft_memory_peaks_are_positive_for_dex() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(f64::INFINITY, f64::INFINITY);
+        let s = Heft::new().schedule(&g, &platform).unwrap();
+        let peaks = memory_peaks(&g, &platform, &s);
+        assert!(peaks.max() > 0.0);
+        // The total file volume of D_ex is 6: no schedule can exceed that.
+        assert!(peaks.blue <= 6.0 && peaks.red <= 6.0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Heft::new().name(), "HEFT");
+    }
+}

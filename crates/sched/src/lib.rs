@@ -1,0 +1,60 @@
+//! Memory-aware list scheduling heuristics for hybrid (dual-memory)
+//! platforms — the core contribution of the paper.
+//!
+//! Four schedulers are provided behind the common [`Scheduler`] trait:
+//!
+//! | Scheduler | Paper reference | Memory aware? | Task ordering |
+//! |---|---|---|---|
+//! | [`Heft`] | HEFT \[Topcuoglu et al. 2002\] | no | static, upward rank |
+//! | [`MinMin`] | MinMin \[Braun et al. 2001\] | no | dynamic, smallest EFT |
+//! | [`MemHeft`] | **MemHEFT** (Algorithm 1) | yes | static, upward rank |
+//! | [`MemMinMin`] | **MemMinMin** (Algorithm 2) | yes | dynamic, smallest EFT |
+//!
+//! The memory-aware heuristics keep, for each memory, the staircase profile
+//! of available capacity and refuse (or delay) placements that would exceed
+//! the bounds; the memory-oblivious baselines are literally the same code run
+//! with both capacities set to `+∞`, which preserves the paper's property
+//! that *MemHEFT takes exactly the same decisions as HEFT whenever the bounds
+//! are at least HEFT's own memory peaks*.
+//!
+//! The scheduling engine shared by all four lives in [`partial`]: it
+//! maintains the partial schedule, evaluates the four components of the
+//! earliest start time of a task on a memory (`resource`, `precedence`,
+//! `task_mem`, `comm_mem`; Section 5.1 of the paper) and commits placements
+//! together with their late-as-possible cross-memory transfers.
+//!
+//! # Example
+//!
+//! ```
+//! use mals_gen::dex;
+//! use mals_platform::Platform;
+//! use mals_sched::{MemHeft, Scheduler};
+//! use mals_sim::validate;
+//!
+//! let (graph, _) = dex();
+//! let platform = Platform::single_pair(5.0, 5.0);
+//! let schedule = MemHeft::default().schedule(&graph, &platform).unwrap();
+//! let report = validate(&graph, &platform, &schedule);
+//! assert!(report.is_valid());
+//! assert!(report.peaks.blue <= 5.0 && report.peaks.red <= 5.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod error;
+pub mod heft;
+pub mod memheft;
+pub mod memminmin;
+pub mod minmin;
+pub mod partial;
+pub mod traits;
+
+pub use ablation::{MemHeftVariant, MemoryPreference, TieBreak};
+pub use error::ScheduleError;
+pub use heft::Heft;
+pub use memheft::MemHeft;
+pub use memminmin::MemMinMin;
+pub use minmin::MinMin;
+pub use partial::{EstBreakdown, PartialSchedule};
+pub use traits::Scheduler;

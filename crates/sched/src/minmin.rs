@@ -1,0 +1,68 @@
+//! MinMin — the memory-oblivious dynamic reference heuristic.
+//!
+//! MinMin (Braun et al. 2001) repeatedly picks, among the ready tasks, the
+//! one with the smallest earliest finish time and runs it on the resource
+//! achieving that finish time. In the dual-memory model it is MemMinMin with
+//! both memory capacities set to `+∞`.
+
+use crate::error::ScheduleError;
+use crate::memminmin::MemMinMin;
+use crate::traits::Scheduler;
+use mals_dag::TaskGraph;
+use mals_platform::Platform;
+use mals_sim::Schedule;
+
+/// The memory-oblivious MinMin baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMin;
+
+impl MinMin {
+    /// Creates a MinMin scheduler.
+    pub fn new() -> Self {
+        MinMin
+    }
+}
+
+impl Scheduler for MinMin {
+    fn name(&self) -> &'static str {
+        "MinMin"
+    }
+
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+    ) -> Result<Schedule, ScheduleError> {
+        MemMinMin::new().schedule(graph, &platform.unbounded())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::dex;
+    use mals_sim::validate;
+
+    #[test]
+    fn ignores_memory_bounds() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(1.0, 1.0);
+        let s = MinMin::new().schedule(&g, &platform).unwrap();
+        assert!(s.is_complete(&g));
+        assert!(validate(&g, &platform.unbounded(), &s).is_valid());
+    }
+
+    #[test]
+    fn equals_memminmin_with_infinite_memory() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(3.0, 3.0);
+        let a = MinMin::new().schedule(&g, &platform).unwrap();
+        let b = MemMinMin::new().schedule(&g, &platform.unbounded()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(MinMin::new().name(), "MinMin");
+    }
+}

@@ -1,0 +1,548 @@
+//! The scheduling engine shared by every list scheduler in the workspace.
+//!
+//! [`PartialSchedule`] owns the state of an in-construction schedule:
+//!
+//! * per-processor availability ([`ProcessorState`]),
+//! * per-memory usage profiles ([`MemoryState`]),
+//! * the placements committed so far.
+//!
+//! Its two key operations follow Section 5.1 of the paper:
+//!
+//! * [`PartialSchedule::evaluate`] computes, for a ready task and a candidate
+//!   memory, the four components of the earliest start time —
+//!   `resource_EST`, `precedence_EST`, `task_mem_EST`, `comm_mem_EST` — and
+//!   the resulting earliest finish time `EFT`, or `None` when the task can
+//!   never fit in that memory given the current reservations;
+//! * [`PartialSchedule::commit`] places the task at its `EST`, schedules its
+//!   incoming cross-memory transfers *as late as possible* and updates the
+//!   memory profiles (reserving output files until their consumers are
+//!   scheduled, releasing input files when the task completes).
+//!
+//! MemHEFT and MemMinMin differ only in the order in which they call these
+//! two operations; the memory-oblivious HEFT and MinMin baselines call them
+//! on a platform whose memory bounds are infinite.
+
+use crate::error::ScheduleError;
+use mals_dag::{TaskGraph, TaskId};
+use mals_platform::{Memory, MemoryState, Platform, ProcessorState};
+use mals_sim::{CommPlacement, Schedule, TaskPlacement};
+
+/// The decomposition of the earliest start / finish time of a task on a
+/// candidate memory (Section 5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstBreakdown {
+    /// Candidate memory this evaluation refers to.
+    pub memory: Memory,
+    /// `resource_EST⁽µ⁾`: earliest availability of a processor of `µ`.
+    pub resource: f64,
+    /// `precedence_EST⁽µ⁾`: all parents finished and their files arrived.
+    pub precedence: f64,
+    /// `task_mem_EST⁽µ⁾`: earliest time from which the new files of the task
+    /// (cross-memory inputs + outputs) fit in `µ` forever.
+    pub task_mem: f64,
+    /// `comm_mem_EST⁽µ⁾`: earliest time from which the cross-memory input
+    /// files alone fit in `µ` forever.
+    pub comm_mem: f64,
+    /// `C⁽µ⁾_i`: the longest incoming cross-memory transfer (0 if none); the
+    /// transfers are scheduled inside the window `[EST − C⁽µ⁾_i, EST)`.
+    pub comm_window: f64,
+    /// The earliest start time: `max(resource, precedence, task_mem,
+    /// comm_mem + C⁽µ⁾_i)`.
+    pub est: f64,
+    /// The earliest finish time: `EST + W⁽µ⁾_i`.
+    pub eft: f64,
+}
+
+/// State of a schedule under construction.
+#[derive(Debug, Clone)]
+pub struct PartialSchedule<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    procs: ProcessorState,
+    mem: MemoryState,
+    schedule: Schedule,
+    assigned_memory: Vec<Option<Memory>>,
+    finish: Vec<f64>,
+    remaining_parents: Vec<usize>,
+    n_scheduled: usize,
+}
+
+impl<'a> PartialSchedule<'a> {
+    /// Creates an empty partial schedule for `graph` on `platform`.
+    pub fn new(graph: &'a TaskGraph, platform: &'a Platform) -> Self {
+        let remaining_parents = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+        PartialSchedule {
+            graph,
+            platform,
+            procs: ProcessorState::new(platform),
+            mem: MemoryState::new(platform),
+            schedule: Schedule::for_graph(graph),
+            assigned_memory: vec![None; graph.n_tasks()],
+            finish: vec![0.0; graph.n_tasks()],
+            remaining_parents,
+            n_scheduled: 0,
+        }
+    }
+
+    /// The task graph being scheduled.
+    pub fn graph(&self) -> &TaskGraph {
+        self.graph
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Number of tasks already placed.
+    pub fn n_scheduled(&self) -> usize {
+        self.n_scheduled
+    }
+
+    /// Number of tasks not placed yet.
+    pub fn n_remaining(&self) -> usize {
+        self.graph.n_tasks() - self.n_scheduled
+    }
+
+    /// Returns `true` once every task is placed.
+    pub fn is_complete(&self) -> bool {
+        self.n_remaining() == 0
+    }
+
+    /// Returns `true` if `task` has been placed.
+    pub fn is_scheduled(&self, task: TaskId) -> bool {
+        self.assigned_memory[task.index()].is_some()
+    }
+
+    /// Returns `true` if `task` is ready: not placed yet and all its parents
+    /// placed.
+    pub fn is_ready(&self, task: TaskId) -> bool {
+        !self.is_scheduled(task) && self.remaining_parents[task.index()] == 0
+    }
+
+    /// All ready tasks, in task-id order (the `available_tasks` set of
+    /// MemMinMin).
+    pub fn ready_tasks(&self) -> Vec<TaskId> {
+        self.graph.task_ids().filter(|&t| self.is_ready(t)).collect()
+    }
+
+    /// Actual finish time of a placed task.
+    pub fn finish_time(&self, task: TaskId) -> Option<f64> {
+        self.is_scheduled(task).then(|| self.finish[task.index()])
+    }
+
+    /// Memory a placed task was assigned to.
+    pub fn memory_of(&self, task: TaskId) -> Option<Memory> {
+        self.assigned_memory[task.index()]
+    }
+
+    /// Makespan of the placements committed so far.
+    pub fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+
+    /// Read-only access to the memory profiles (used by tests and tracing).
+    pub fn memory_state(&self) -> &MemoryState {
+        &self.mem
+    }
+
+    /// Read-only access to the processor availabilities.
+    pub fn processor_state(&self) -> &ProcessorState {
+        &self.procs
+    }
+
+    /// Consumes the partial schedule and returns the placements committed so
+    /// far (complete or not).
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+
+    /// Consumes the partial schedule; returns the schedule if complete, or
+    /// the paper's "cannot be processed within the memory bounds" error.
+    pub fn finish_or_error(self) -> Result<Schedule, ScheduleError> {
+        if self.is_complete() {
+            Ok(self.schedule)
+        } else {
+            Err(ScheduleError::Infeasible {
+                scheduled: self.n_scheduled,
+                total: self.graph.n_tasks(),
+            })
+        }
+    }
+
+    /// Sum of the input files of `task` that would have to be brought into
+    /// `mem` (files produced on the other memory).
+    fn incoming_cross_size(&self, task: TaskId, mem: Memory) -> f64 {
+        self.graph
+            .in_edges(task)
+            .iter()
+            .filter(|&&e| {
+                let src = self.graph.edge(e).src;
+                self.assigned_memory[src.index()] == Some(mem.other())
+            })
+            .map(|&e| self.graph.edge(e).size)
+            .sum()
+    }
+
+    /// Longest incoming cross-memory transfer of `task` if placed on `mem`
+    /// (`C⁽µ⁾_i` in the paper).
+    fn comm_window(&self, task: TaskId, mem: Memory) -> f64 {
+        self.graph
+            .in_edges(task)
+            .iter()
+            .filter(|&&e| {
+                let src = self.graph.edge(e).src;
+                self.assigned_memory[src.index()] == Some(mem.other())
+            })
+            .map(|&e| self.graph.edge(e).comm_cost)
+            .fold(0.0, f64::max)
+    }
+
+    /// Evaluates the earliest start / finish time of `task` on `mem`.
+    ///
+    /// Returns `None` when the task is not ready (some parent unplaced) or
+    /// when its memory requirement can never be satisfied on `mem` given the
+    /// current reservations (the paper's `EFT = +∞` case).
+    pub fn evaluate(&self, task: TaskId, mem: Memory) -> Option<EstBreakdown> {
+        if !self.is_ready(task) {
+            return None;
+        }
+        let data = self.graph.task(task);
+
+        // resource_EST: a processor of `mem` must be free.
+        let resource = self.procs.earliest_available(mem);
+
+        // precedence_EST: every parent finished, plus the transfer time for
+        // parents hosted on the other memory.
+        let mut precedence = 0.0f64;
+        for &e in self.graph.in_edges(task) {
+            let edge = self.graph.edge(e);
+            let parent_mem = self.assigned_memory[edge.src.index()]
+                .expect("ready task implies scheduled parents");
+            let arrival = self.finish[edge.src.index()]
+                + if parent_mem == mem { 0.0 } else { edge.comm_cost };
+            precedence = precedence.max(arrival);
+        }
+
+        // Memory requirements: new files that must fit in `mem`.
+        let cross_inputs = self.incoming_cross_size(task, mem);
+        let outputs = self.graph.output_size(task);
+        let task_need = cross_inputs + outputs;
+        let comm_window = self.comm_window(task, mem);
+
+        let task_mem = self.mem.earliest_fit(mem, 0.0, task_need)?;
+        let comm_mem = self.mem.earliest_fit(mem, 0.0, cross_inputs)?;
+
+        let est = resource
+            .max(precedence)
+            .max(task_mem)
+            .max(comm_mem + comm_window);
+        let eft = est + data.work_on(mem.is_blue());
+        Some(EstBreakdown {
+            memory: mem,
+            resource,
+            precedence,
+            task_mem,
+            comm_mem,
+            comm_window,
+            est,
+            eft,
+        })
+    }
+
+    /// Evaluates `task` on both memories and returns the breakdown with the
+    /// smallest EFT (ties broken in favour of the blue memory), or `None` if
+    /// the task fits on neither memory.
+    pub fn evaluate_best(&self, task: TaskId) -> Option<EstBreakdown> {
+        let blue = self.evaluate(task, Memory::Blue);
+        let red = self.evaluate(task, Memory::Red);
+        match (blue, red) {
+            (Some(b), Some(r)) => Some(if b.eft <= r.eft { b } else { r }),
+            (Some(b), None) => Some(b),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+
+    /// Commits the placement described by `breakdown` (obtained from
+    /// [`PartialSchedule::evaluate`] on the *current* state): places the task
+    /// on the best-fitting processor of the chosen memory, schedules its
+    /// incoming cross-memory transfers as late as possible, and updates the
+    /// memory profiles.
+    ///
+    /// # Panics
+    /// Panics if the task is not ready or the breakdown is stale (no
+    /// processor available at the chosen start time).
+    pub fn commit(&mut self, task: TaskId, breakdown: &EstBreakdown) {
+        assert!(self.is_ready(task), "commit on a non-ready task");
+        let mem = breakdown.memory;
+        let est = breakdown.est;
+        let eft = breakdown.eft;
+
+        // Processor selection: the available processor wasting the least idle
+        // time (paper: minimise `EST(i, µ) − avail_proc(p)`).
+        let proc = self
+            .procs
+            .best_proc(mem, est)
+            .expect("evaluate guarantees a processor is available by EST");
+        self.procs.assign(proc, eft);
+        self.schedule.place_task(TaskPlacement { task, proc, start: est, finish: eft });
+
+        // Incoming files.
+        for &e in self.graph.in_edges(task) {
+            let edge = self.graph.edge(e);
+            let parent_mem = self.assigned_memory[edge.src.index()]
+                .expect("ready task implies scheduled parents");
+            if parent_mem == mem {
+                // The file was reserved in `mem` when the parent was placed;
+                // it is consumed (discarded) when this task completes.
+                self.mem.release_from(mem, eft, edge.size);
+            } else {
+                // Cross-memory transfer, scheduled as late as possible: it
+                // completes exactly at EST. The file occupies the destination
+                // memory from the (conservative) start of the transfer window
+                // until this task completes, and leaves the source memory
+                // when the transfer completes.
+                let window_start = est - breakdown.comm_window;
+                let transfer_start = est - edge.comm_cost;
+                self.schedule.place_comm(CommPlacement {
+                    edge: e,
+                    start: transfer_start,
+                    finish: est,
+                });
+                self.mem.reserve_range(mem, window_start, eft, edge.size);
+                self.mem.release_from(parent_mem, est, edge.size);
+            }
+        }
+
+        // Output files: resident in `mem` from the start of the task until
+        // their consumers are scheduled (released by the consumers' commits).
+        let outputs = self.graph.output_size(task);
+        self.mem.reserve_from(mem, est, outputs);
+
+        // Bookkeeping.
+        self.assigned_memory[task.index()] = Some(mem);
+        self.finish[task.index()] = eft;
+        self.n_scheduled += 1;
+        for child in self.graph.children(task) {
+            self.remaining_parents[child.index()] -= 1;
+        }
+
+        debug_assert!(
+            self.mem.check_invariants().is_ok(),
+            "memory invariant violated after committing {task}: {:?}",
+            self.mem.check_invariants()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mals_gen::dex;
+    use mals_util::approx_eq;
+
+    fn single_pair(mem: f64) -> Platform {
+        Platform::single_pair(mem, mem)
+    }
+
+    #[test]
+    fn initial_state() {
+        let (g, [t1, ..]) = dex();
+        let p = single_pair(10.0);
+        let ps = PartialSchedule::new(&g, &p);
+        assert_eq!(ps.n_scheduled(), 0);
+        assert_eq!(ps.n_remaining(), 4);
+        assert!(!ps.is_complete());
+        assert!(ps.is_ready(t1));
+        assert_eq!(ps.ready_tasks(), vec![t1]);
+    }
+
+    #[test]
+    fn evaluate_source_task() {
+        let (g, [t1, ..]) = dex();
+        let p = single_pair(10.0);
+        let ps = PartialSchedule::new(&g, &p);
+        let blue = ps.evaluate(t1, Memory::Blue).unwrap();
+        assert_eq!(blue.est, 0.0);
+        assert_eq!(blue.eft, 3.0); // W1(T1) = 3
+        let red = ps.evaluate(t1, Memory::Red).unwrap();
+        assert_eq!(red.eft, 1.0); // W2(T1) = 1
+        // Best memory for T1 is red.
+        assert_eq!(ps.evaluate_best(t1).unwrap().memory, Memory::Red);
+    }
+
+    #[test]
+    fn evaluate_not_ready_returns_none() {
+        let (g, [_, t2, ..]) = dex();
+        let p = single_pair(10.0);
+        let ps = PartialSchedule::new(&g, &p);
+        assert!(ps.evaluate(t2, Memory::Blue).is_none());
+        assert!(ps.evaluate_best(t2).is_none());
+    }
+
+    #[test]
+    fn memory_too_small_returns_none() {
+        // T1's outputs are F12 + F13 = 3 units: a memory of 2 can never host it.
+        let (g, [t1, ..]) = dex();
+        let p = single_pair(2.0);
+        let ps = PartialSchedule::new(&g, &p);
+        assert!(ps.evaluate(t1, Memory::Blue).is_none());
+        assert!(ps.evaluate(t1, Memory::Red).is_none());
+    }
+
+    #[test]
+    fn commit_updates_state_and_readiness() {
+        let (g, [t1, t2, t3, _t4]) = dex();
+        let p = single_pair(10.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        let bd = ps.evaluate(t1, Memory::Red).unwrap();
+        ps.commit(t1, &bd);
+        assert!(ps.is_scheduled(t1));
+        assert_eq!(ps.finish_time(t1), Some(1.0));
+        assert_eq!(ps.memory_of(t1), Some(Memory::Red));
+        assert_eq!(ps.n_scheduled(), 1);
+        // T2 and T3 become ready, T4 does not.
+        assert!(ps.is_ready(t2) && ps.is_ready(t3));
+        assert_eq!(ps.ready_tasks(), vec![t2, t3]);
+        // T1's outputs (3 units) are now resident in red memory.
+        assert!(approx_eq(ps.memory_state().used_at(Memory::Red, 2.0), 3.0));
+        assert!(approx_eq(ps.memory_state().used_at(Memory::Blue, 2.0), 0.0));
+    }
+
+    #[test]
+    fn cross_memory_child_pays_transfer_and_reserves_both() {
+        let (g, [t1, t2, ..]) = dex();
+        let p = single_pair(10.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        let bd1 = ps.evaluate(t1, Memory::Red).unwrap();
+        ps.commit(t1, &bd1);
+        // Schedule T2 on blue: the file F12 (1 unit) must cross memories,
+        // paying C12 = 1 after T1 completes at t=1.
+        let bd2 = ps.evaluate(t2, Memory::Blue).unwrap();
+        assert!(approx_eq(bd2.precedence, 1.0 + 1.0));
+        assert!(approx_eq(bd2.comm_window, 1.0));
+        assert!(approx_eq(bd2.est, 2.0));
+        assert!(approx_eq(bd2.eft, 4.0));
+        ps.commit(t2, &bd2);
+        // The transfer is placed as late as possible: [1, 2).
+        let sched = ps.clone().into_schedule();
+        let e12 = g.edge_between(t1, t2).unwrap();
+        let comm = sched.comm(e12).unwrap();
+        assert!(approx_eq(comm.start, 1.0));
+        assert!(approx_eq(comm.finish, 2.0));
+        // Blue memory holds F12 (in transit / input) plus T2's output F24.
+        assert!(ps.memory_state().used_at(Memory::Blue, 2.5) >= 2.0 - 1e-9);
+        // Red memory released F12 when the transfer completed, keeps F13.
+        assert!(approx_eq(ps.memory_state().used_at(Memory::Red, 3.0), 2.0));
+    }
+
+    #[test]
+    fn same_memory_child_releases_input_at_completion() {
+        let (g, [t1, t3, ..]) = {
+            let (g, [t1, _t2, t3, t4]) = dex();
+            (g, [t1, t3, t4, t4])
+        };
+        let p = single_pair(10.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        let bd1 = ps.evaluate(t1, Memory::Red).unwrap();
+        ps.commit(t1, &bd1);
+        let bd3 = ps.evaluate(t3, Memory::Red).unwrap();
+        // Same memory: no transfer, starts right after T1.
+        assert!(approx_eq(bd3.precedence, 1.0));
+        assert!(approx_eq(bd3.comm_window, 0.0));
+        ps.commit(t3, &bd3);
+        // After T3 completes (t = 1 + 3 = 4), its input F13 is released:
+        // red memory holds F12 (1, still waiting for T2) + F34 (2) = 3.
+        assert!(approx_eq(ps.memory_state().used_at(Memory::Red, 5.0), 3.0));
+    }
+
+    #[test]
+    fn full_manual_schedule_is_valid() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        let p = single_pair(10.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        for t in [t1, t3, t2, t4] {
+            let bd = ps.evaluate_best(t).expect("feasible");
+            ps.commit(t, &bd);
+        }
+        assert!(ps.is_complete());
+        let makespan = ps.makespan();
+        let schedule = ps.finish_or_error().unwrap();
+        let report = mals_sim::validate(&g, &p, &schedule);
+        assert!(report.is_valid(), "errors: {:?}", report.errors);
+        assert!(approx_eq(report.makespan, makespan));
+    }
+
+    #[test]
+    fn finish_or_error_reports_infeasibility() {
+        let (g, _) = dex();
+        let p = single_pair(2.0); // too small for T1's outputs
+        let ps = PartialSchedule::new(&g, &p);
+        match ps.finish_or_error() {
+            Err(ScheduleError::Infeasible { scheduled, total }) => {
+                assert_eq!(scheduled, 0);
+                assert_eq!(total, 4);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_est_waits_for_processor() {
+        // Two source tasks, single pair of processors: the second task on the
+        // same memory must wait for the first.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 5.0, 5.0);
+        let b = g.add_task("b", 5.0, 5.0);
+        let c = g.add_task("c", 1.0, 1.0);
+        g.add_edge(a, c, 1.0, 1.0).unwrap();
+        g.add_edge(b, c, 1.0, 1.0).unwrap();
+        let p = single_pair(100.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        let bda = ps.evaluate(a, Memory::Blue).unwrap();
+        ps.commit(a, &bda);
+        let bdb = ps.evaluate(b, Memory::Blue).unwrap();
+        assert!(approx_eq(bdb.resource, 5.0));
+        assert!(approx_eq(bdb.est, 5.0));
+        // On the red memory it could start immediately.
+        let bdb_red = ps.evaluate(b, Memory::Red).unwrap();
+        assert!(approx_eq(bdb_red.est, 0.0));
+    }
+
+    #[test]
+    fn task_mem_est_waits_for_memory_release() {
+        // A chain a -> b -> c with large files; a small memory forces the
+        // scheduler to wait for releases before placing later tasks.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, 1.0);
+        let b = g.add_task("b", 1.0, 1.0);
+        let c = g.add_task("c", 1.0, 1.0);
+        let d = g.add_task("d", 1.0, 1.0);
+        g.add_edge(a, b, 6.0, 1.0).unwrap();
+        g.add_edge(b, c, 6.0, 1.0).unwrap();
+        g.add_edge(c, d, 6.0, 1.0).unwrap();
+        let p = single_pair(12.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        for t in [a, b, c, d] {
+            let bd = ps.evaluate(t, Memory::Blue).expect("feasible on 12 units");
+            ps.commit(t, &bd);
+        }
+        let schedule = ps.finish_or_error().unwrap();
+        let report = mals_sim::validate(&g, &p, &schedule);
+        assert!(report.is_valid(), "errors: {:?}", report.errors);
+        assert!(report.peaks.blue <= 12.0 + 1e-9);
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let (g, [t1, ..]) = dex();
+        let p = single_pair(10.0);
+        let mut ps = PartialSchedule::new(&g, &p);
+        let bd = ps.evaluate(t1, Memory::Red).unwrap();
+        ps.commit(t1, &bd);
+        let copy = ps.clone();
+        assert_eq!(copy.n_scheduled(), ps.n_scheduled());
+        assert_eq!(copy.finish_time(t1), ps.finish_time(t1));
+    }
+}

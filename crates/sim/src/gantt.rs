@@ -1,0 +1,164 @@
+//! Human-readable rendering of schedules.
+//!
+//! Two renderings are provided: a textual trace (one line per task and per
+//! transfer, sorted by starting time) and a coarse ASCII Gantt chart, one row
+//! per processor. Both are used by the examples and handy when debugging
+//! heuristics.
+
+use crate::schedule::Schedule;
+use mals_dag::TaskGraph;
+use mals_platform::{Memory, Platform};
+
+/// Renders a trace of the schedule: one line per task and per communication,
+/// sorted by starting time.
+pub fn render_trace(graph: &TaskGraph, platform: &Platform, schedule: &Schedule) -> String {
+    #[derive(Debug)]
+    enum Row {
+        Task { start: f64, finish: f64, name: String, proc: usize, mem: Memory },
+        Comm { start: f64, finish: f64, name: String },
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for p in schedule.task_placements() {
+        rows.push(Row::Task {
+            start: p.start,
+            finish: p.finish,
+            name: graph.task(p.task).name.clone(),
+            proc: p.proc,
+            mem: platform.memory_of(p.proc),
+        });
+    }
+    for c in schedule.comm_placements() {
+        let edge = graph.edge(c.edge);
+        rows.push(Row::Comm {
+            start: c.start,
+            finish: c.finish,
+            name: format!(
+                "{} -> {}",
+                graph.task(edge.src).name,
+                graph.task(edge.dst).name
+            ),
+        });
+    }
+    rows.sort_by(|a, b| {
+        let (sa, sb) = match (a, b) {
+            (Row::Task { start: x, .. } | Row::Comm { start: x, .. },
+             Row::Task { start: y, .. } | Row::Comm { start: y, .. }) => (*x, *y),
+        };
+        sa.total_cmp(&sb)
+    });
+    let mut out = String::new();
+    out.push_str(&format!("makespan: {:.3}\n", schedule.makespan()));
+    for row in rows {
+        match row {
+            Row::Task { start, finish, name, proc, mem } => {
+                out.push_str(&format!(
+                    "[{start:8.2} .. {finish:8.2}]  task {name:<16} on proc {proc} ({mem})\n"
+                ));
+            }
+            Row::Comm { start, finish, name } => {
+                out.push_str(&format!(
+                    "[{start:8.2} .. {finish:8.2}]  transfer {name}\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a coarse ASCII Gantt chart, one row per processor, `width`
+/// characters wide.
+pub fn render_gantt(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: &Schedule,
+    width: usize,
+) -> String {
+    let width = width.max(10);
+    let makespan = schedule.makespan();
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty schedule)\n");
+        return out;
+    }
+    let scale = width as f64 / makespan;
+    for proc in 0..platform.n_procs() {
+        let mem = platform.memory_of(proc);
+        let mut row = vec!['.'; width];
+        for p in schedule.task_placements().filter(|p| p.proc == proc) {
+            let from = ((p.start * scale).floor() as usize).min(width - 1);
+            let to = ((p.finish * scale).ceil() as usize).clamp(from + 1, width);
+            let label: Vec<char> = graph.task(p.task).name.chars().collect();
+            for (k, slot) in row[from..to].iter_mut().enumerate() {
+                *slot = if k < label.len() { label[k] } else { '#' };
+            }
+        }
+        let colour = match mem {
+            Memory::Blue => 'B',
+            Memory::Red => 'R',
+        };
+        out.push_str(&format!("p{proc:<3}{colour} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("        0{}{:.2}\n", " ".repeat(width.saturating_sub(8)), makespan));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
+    use mals_dag::TaskGraph;
+
+    fn tiny() -> (TaskGraph, Schedule, Platform) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("A", 2.0, 1.0);
+        let b = g.add_task("B", 2.0, 1.0);
+        let e = g.add_edge(a, b, 1.0, 1.0).unwrap();
+        let mut s = Schedule::for_graph(&g);
+        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 2.0 });
+        s.place_task(TaskPlacement { task: b, proc: 1, start: 3.0, finish: 4.0 });
+        s.place_comm(CommPlacement { edge: e, start: 2.0, finish: 3.0 });
+        (g, s, Platform::single_pair(10.0, 10.0))
+    }
+
+    #[test]
+    fn trace_mentions_every_task_and_transfer() {
+        let (g, s, p) = tiny();
+        let trace = render_trace(&g, &p, &s);
+        assert!(trace.contains("task A"));
+        assert!(trace.contains("task B"));
+        assert!(trace.contains("transfer A -> B"));
+        assert!(trace.contains("makespan: 4.000"));
+        assert!(trace.contains("(blue)"));
+        assert!(trace.contains("(red)"));
+    }
+
+    #[test]
+    fn trace_is_sorted_by_start_time() {
+        let (g, s, p) = tiny();
+        let trace = render_trace(&g, &p, &s);
+        let pos_a = trace.find("task A").unwrap();
+        let pos_c = trace.find("transfer").unwrap();
+        let pos_b = trace.find("task B").unwrap();
+        assert!(pos_a < pos_c && pos_c < pos_b);
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_processor() {
+        let (g, s, p) = tiny();
+        let gantt = render_gantt(&g, &p, &s, 40);
+        let rows: Vec<&str> = gantt.lines().collect();
+        assert_eq!(rows.len(), 3); // 2 processors + time axis
+        assert!(rows[0].starts_with("p0  B"));
+        assert!(rows[1].starts_with("p1  R"));
+        assert!(rows[0].contains('A'));
+        assert!(rows[1].contains('B'));
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule() {
+        let g = TaskGraph::new();
+        let s = Schedule::for_graph(&g);
+        let p = Platform::single_pair(1.0, 1.0);
+        assert!(render_gantt(&g, &p, &s, 40).contains("empty"));
+    }
+}

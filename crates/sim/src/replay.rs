@@ -1,0 +1,311 @@
+//! Discrete-event replay of a schedule and execution statistics.
+//!
+//! The validator (`crate::validate`) answers "is this schedule legal?"; this
+//! module answers "what does executing it look like?": per-processor busy and
+//! idle times, utilisation of each side of the platform, transferred data
+//! volume, memory-occupancy statistics over time, and the instantaneous
+//! degree of parallelism. The experiment write-ups use these numbers to
+//! explain *why* one heuristic beats another (e.g. MemMinMin keeping the
+//! accelerators busier than MemHEFT under generous memory).
+
+use crate::memory::memory_profiles;
+use crate::schedule::Schedule;
+use mals_dag::TaskGraph;
+use mals_platform::{Memory, Platform};
+
+/// Busy/idle accounting for one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorStats {
+    /// Processor index.
+    pub proc: usize,
+    /// Memory this processor is attached to.
+    pub memory: Memory,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Total time spent executing tasks.
+    pub busy: f64,
+    /// Fraction of the makespan spent executing tasks (0 for an empty
+    /// schedule).
+    pub utilization: f64,
+}
+
+/// Statistics of one memory over the whole execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryStats {
+    /// Which memory.
+    pub memory: Memory,
+    /// Peak occupancy.
+    pub peak: f64,
+    /// Time-averaged occupancy over the makespan (0 for an empty schedule).
+    pub average: f64,
+}
+
+/// Execution statistics of a (complete) schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionStats {
+    /// Makespan of the schedule.
+    pub makespan: f64,
+    /// Per-processor accounting, indexed by processor id.
+    pub processors: Vec<ProcessorStats>,
+    /// Per-memory occupancy statistics (blue then red).
+    pub memories: [MemoryStats; 2],
+    /// Number of cross-memory transfers performed.
+    pub transfers: usize,
+    /// Total data volume moved across memories.
+    pub transferred_volume: f64,
+    /// Total time spent in cross-memory transfers (sum over transfers; they
+    /// may overlap in wall-clock time).
+    pub transfer_time: f64,
+    /// Maximum number of tasks executing simultaneously.
+    pub peak_parallelism: usize,
+    /// Time-averaged number of tasks executing simultaneously.
+    pub average_parallelism: f64,
+}
+
+impl ExecutionStats {
+    /// Aggregate utilisation of the processors attached to `memory`.
+    pub fn pool_utilization(&self, memory: Memory) -> f64 {
+        let pool: Vec<&ProcessorStats> =
+            self.processors.iter().filter(|p| p.memory == memory).collect();
+        if pool.is_empty() {
+            0.0
+        } else {
+            pool.iter().map(|p| p.utilization).sum::<f64>() / pool.len() as f64
+        }
+    }
+}
+
+/// Computes the execution statistics of `schedule`.
+///
+/// Unplaced tasks are ignored (statistics of a partial schedule describe the
+/// placed prefix only).
+pub fn execution_stats(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: &Schedule,
+) -> ExecutionStats {
+    let makespan = schedule.makespan();
+
+    // Per-processor accounting.
+    let mut processors: Vec<ProcessorStats> = (0..platform.n_procs())
+        .map(|proc| ProcessorStats {
+            proc,
+            memory: platform.memory_of(proc),
+            tasks: 0,
+            busy: 0.0,
+            utilization: 0.0,
+        })
+        .collect();
+    for placement in schedule.task_placements() {
+        if placement.proc < platform.n_procs() {
+            let entry = &mut processors[placement.proc];
+            entry.tasks += 1;
+            entry.busy += placement.duration();
+        }
+    }
+    if makespan > 0.0 {
+        for entry in &mut processors {
+            entry.utilization = entry.busy / makespan;
+        }
+    }
+
+    // Memory occupancy: peak and time-average of the replayed profiles.
+    let profiles = memory_profiles(graph, platform, schedule);
+    let memories = [Memory::Blue, Memory::Red].map(|mem| {
+        let profile = &profiles[mem.index()];
+        let peak = profile.max_value().max(0.0);
+        let average = if makespan > 0.0 {
+            let mut area = 0.0;
+            let points: Vec<(f64, f64)> = profile.breakpoints().collect();
+            for (idx, &(start, value)) in points.iter().enumerate() {
+                let end = points.get(idx + 1).map(|&(x, _)| x).unwrap_or(makespan);
+                let end = end.min(makespan);
+                if end > start {
+                    area += value * (end - start);
+                }
+            }
+            area / makespan
+        } else {
+            0.0
+        };
+        MemoryStats { memory: mem, peak, average }
+    });
+
+    // Transfers.
+    let mut transfers = 0;
+    let mut transferred_volume = 0.0;
+    let mut transfer_time = 0.0;
+    for comm in schedule.comm_placements() {
+        transfers += 1;
+        transferred_volume += graph.edge(comm.edge).size;
+        transfer_time += comm.duration();
+    }
+
+    // Instantaneous parallelism profile via a sweep over start/finish events.
+    let mut events: Vec<(f64, i32)> = Vec::new();
+    for placement in schedule.task_placements() {
+        if placement.duration() > 0.0 {
+            events.push((placement.start, 1));
+            events.push((placement.finish, -1));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut current = 0i32;
+    let mut peak_parallelism = 0usize;
+    let mut weighted = 0.0;
+    let mut last_t = 0.0;
+    for (t, delta) in events {
+        weighted += current as f64 * (t - last_t);
+        last_t = t;
+        current += delta;
+        peak_parallelism = peak_parallelism.max(current.max(0) as usize);
+    }
+    let average_parallelism = if makespan > 0.0 { weighted / makespan } else { 0.0 };
+
+    ExecutionStats {
+        makespan,
+        processors,
+        memories,
+        transfers,
+        transferred_volume,
+        transfer_time,
+        peak_parallelism,
+        average_parallelism,
+    }
+}
+
+/// Renders the statistics as a short human-readable report.
+pub fn render_stats(stats: &ExecutionStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("makespan: {:.3}\n", stats.makespan));
+    out.push_str(&format!(
+        "parallelism: peak {} / average {:.2}\n",
+        stats.peak_parallelism, stats.average_parallelism
+    ));
+    out.push_str(&format!(
+        "transfers: {} ({} units, {:.3} time)\n",
+        stats.transfers, stats.transferred_volume, stats.transfer_time
+    ));
+    for mem in &stats.memories {
+        out.push_str(&format!(
+            "{} memory: peak {:.2}, average {:.2}\n",
+            mem.memory, mem.peak, mem.average
+        ));
+    }
+    for proc in &stats.processors {
+        out.push_str(&format!(
+            "proc {:>3} ({}): {} tasks, busy {:.3} ({:.0}%)\n",
+            proc.proc,
+            proc.memory,
+            proc.tasks,
+            proc.busy,
+            proc.utilization * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, TaskPlacement};
+    use mals_dag::TaskId;
+    use mals_util::approx_eq;
+
+    fn dex() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let t1 = g.add_task("T1", 3.0, 1.0);
+        let t2 = g.add_task("T2", 2.0, 2.0);
+        let t3 = g.add_task("T3", 6.0, 3.0);
+        let t4 = g.add_task("T4", 1.0, 1.0);
+        g.add_edge(t1, t2, 1.0, 1.0).unwrap();
+        g.add_edge(t1, t3, 2.0, 1.0).unwrap();
+        g.add_edge(t2, t4, 1.0, 1.0).unwrap();
+        g.add_edge(t3, t4, 2.0, 1.0).unwrap();
+        (g, [t1, t2, t3, t4])
+    }
+
+    /// The paper's schedule s1 (Figure 3).
+    fn s1(g: &TaskGraph, [t1, t2, t3, t4]: [TaskId; 4]) -> Schedule {
+        let mut s = Schedule::for_graph(g);
+        s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
+        s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
+        s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
+        s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+        let e12 = g.edge_between(t1, t2).unwrap();
+        let e24 = g.edge_between(t2, t4).unwrap();
+        s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
+        s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+        s
+    }
+
+    #[test]
+    fn stats_of_paper_schedule_s1() {
+        let (g, t) = dex();
+        let platform = Platform::single_pair(5.0, 5.0);
+        let stats = execution_stats(&g, &platform, &s1(&g, t));
+        assert_eq!(stats.makespan, 6.0);
+        // Blue processor (proc 0) runs T2 for 2 units; red (proc 1) runs
+        // T1 + T3 + T4 for 5 units.
+        assert_eq!(stats.processors[0].tasks, 1);
+        assert!(approx_eq(stats.processors[0].busy, 2.0));
+        assert!(approx_eq(stats.processors[0].utilization, 2.0 / 6.0));
+        assert_eq!(stats.processors[1].tasks, 3);
+        assert!(approx_eq(stats.processors[1].busy, 5.0));
+        // Two transfers of one unit each, one time unit each.
+        assert_eq!(stats.transfers, 2);
+        assert!(approx_eq(stats.transferred_volume, 2.0));
+        assert!(approx_eq(stats.transfer_time, 2.0));
+        // Memory peaks match the validator.
+        assert!(approx_eq(stats.memories[0].peak, 2.0));
+        assert!(approx_eq(stats.memories[1].peak, 5.0));
+        assert!(stats.memories[1].average > 0.0);
+        assert!(stats.memories[1].average <= stats.memories[1].peak);
+        // T2 and T3 overlap on [2, 4): peak parallelism 2.
+        assert_eq!(stats.peak_parallelism, 2);
+        assert!(approx_eq(stats.average_parallelism, 7.0 / 6.0));
+        // Pool utilisation aggregates per colour.
+        assert!(approx_eq(stats.pool_utilization(Memory::Blue), 2.0 / 6.0));
+        assert!(approx_eq(stats.pool_utilization(Memory::Red), 5.0 / 6.0));
+    }
+
+    #[test]
+    fn stats_of_empty_schedule() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(5.0, 5.0);
+        let stats = execution_stats(&g, &platform, &Schedule::for_graph(&g));
+        assert_eq!(stats.makespan, 0.0);
+        assert_eq!(stats.transfers, 0);
+        assert_eq!(stats.peak_parallelism, 0);
+        assert_eq!(stats.processors[0].utilization, 0.0);
+        assert_eq!(stats.memories[0].peak, 0.0);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let (g, t) = dex();
+        let platform = Platform::single_pair(5.0, 5.0);
+        let stats = execution_stats(&g, &platform, &s1(&g, t));
+        let text = render_stats(&stats);
+        assert!(text.contains("makespan: 6.000"));
+        assert!(text.contains("parallelism: peak 2"));
+        assert!(text.contains("transfers: 2"));
+        assert!(text.contains("blue memory: peak 2.00"));
+        assert!(text.contains("proc   1 (red): 3 tasks"));
+    }
+
+    #[test]
+    fn zero_duration_tasks_do_not_inflate_parallelism() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 0.0, 0.0);
+        let b = g.add_task("b", 2.0, 2.0);
+        g.add_edge(a, b, 0.0, 0.0).unwrap();
+        let mut s = Schedule::for_graph(&g);
+        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 0.0 });
+        s.place_task(TaskPlacement { task: b, proc: 0, start: 0.0, finish: 2.0 });
+        let platform = Platform::single_pair(5.0, 5.0);
+        let stats = execution_stats(&g, &platform, &s);
+        assert_eq!(stats.peak_parallelism, 1);
+        assert_eq!(stats.processors[0].tasks, 2);
+    }
+}

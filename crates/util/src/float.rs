@@ -1,0 +1,139 @@
+//! Tolerant floating-point comparisons and a total-order wrapper.
+//!
+//! Scheduling times in this workspace are `f64` values built from sums and
+//! maxima of task durations. Accumulated rounding error is tiny but real, so
+//! every comparison that decides feasibility (memory fits, task finished
+//! before another started, ...) goes through the helpers in this module with
+//! a single shared tolerance.
+
+/// Absolute tolerance used by all feasibility comparisons in the workspace.
+///
+/// Task durations and file sizes in the paper's experiments are integers in
+/// `[1, 100]` and DAGs have at most a few thousand nodes, so absolute errors
+/// stay many orders of magnitude below this threshold.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal up to [`EPSILON`] (absolute and
+/// relative).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= EPSILON {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= scale * EPSILON
+}
+
+/// Returns `true` if `a >= b` up to [`EPSILON`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - EPSILON || approx_eq(a, b)
+}
+
+/// Returns `true` if `a <= b` up to [`EPSILON`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPSILON || approx_eq(a, b)
+}
+
+/// Returns `true` if `a < b` and the two values are not approximately equal.
+#[inline]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// Returns `true` if `a > b` and the two values are not approximately equal.
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b && !approx_eq(a, b)
+}
+
+/// A wrapper around `f64` implementing a total order (NaN sorts last).
+///
+/// Useful for `sort_by_key`, `max_by_key`, `BinaryHeap`, ... where the
+/// standard `f64` only provides `PartialOrd`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Ord(pub f64);
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for F64Ord {
+    fn from(v: f64) -> Self {
+        F64Ord(v)
+    }
+}
+
+impl F64Ord {
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(-3.5, -3.5));
+    }
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-12)));
+        assert!(!approx_eq(1.0, 1.001));
+    }
+
+    #[test]
+    fn approx_ge_le() {
+        assert!(approx_ge(2.0, 1.0));
+        assert!(approx_ge(1.0, 1.0 + 1e-12));
+        assert!(!approx_ge(1.0, 2.0));
+        assert!(approx_le(1.0, 2.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(!approx_le(2.0, 1.0));
+    }
+
+    #[test]
+    fn definitely_comparisons() {
+        assert!(definitely_lt(1.0, 2.0));
+        assert!(!definitely_lt(1.0, 1.0 + 1e-13));
+        assert!(definitely_gt(2.0, 1.0));
+        assert!(!definitely_gt(1.0 + 1e-13, 1.0));
+    }
+
+    #[test]
+    fn f64ord_sorts_nan_last() {
+        let mut v = [F64Ord(3.0), F64Ord(f64::NAN), F64Ord(1.0), F64Ord(2.0)];
+        v.sort();
+        assert_eq!(v[0].0, 1.0);
+        assert_eq!(v[1].0, 2.0);
+        assert_eq!(v[2].0, 3.0);
+        assert!(v[3].0.is_nan());
+    }
+
+    #[test]
+    fn f64ord_max_by_key() {
+        let xs = [1.5, 9.25, -3.0];
+        let max = xs.iter().copied().max_by_key(|&x| F64Ord(x)).unwrap();
+        assert_eq!(max, 9.25);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared utilities for the MALS (Memory-Aware List Scheduling) workspace.
+//!
+//! This crate deliberately has **no external dependencies** so that every
+//! simulation in the workspace is reproducible bit-for-bit from a seed on any
+//! platform. It provides:
+//!
+//! * [`rng`] — a small, fast, deterministic PCG-family random number
+//!   generator used by the workload generators and the experiment campaigns.
+//! * [`stats`] — summary statistics (mean, standard deviation, percentiles,
+//!   confidence intervals) used when aggregating campaign results.
+//! * [`staircase`] — piecewise-constant functions of time, the data structure
+//!   behind the `free_mem` availability profiles of the memory-aware
+//!   heuristics in the paper (Section 5.1).
+//! * [`pool`] — a scoped-thread parallel map used to run scheduling campaigns
+//!   over many DAGs concurrently.
+//! * [`float`] — tolerant floating-point comparison helpers and a total-order
+//!   wrapper.
+
+#![warn(missing_docs)]
+
+pub mod float;
+pub mod pool;
+pub mod rng;
+pub mod staircase;
+pub mod stats;
+
+pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
+pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig};
+pub use rng::Pcg64;
+pub use staircase::Staircase;
+pub use stats::{OnlineStats, Summary};

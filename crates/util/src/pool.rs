@@ -1,0 +1,183 @@
+//! A minimal scoped-thread parallel map.
+//!
+//! The experiment campaigns schedule hundreds of independent DAG / memory-
+//! bound combinations; each one is CPU bound and embarrassingly parallel.
+//! Rather than pulling in a full work-stealing runtime, this module provides
+//! a simple self-scheduling (atomic work index) parallel map built on
+//! `std::thread::scope`, which is more than enough to saturate a laptop-class
+//! machine for these workloads and keeps the dependency set empty.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration for [`parallel_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Number of worker threads. `0` means "use available parallelism".
+    pub threads: usize,
+    /// Work-grabbing chunk size: each worker claims this many consecutive
+    /// items at a time. Larger chunks reduce contention on the shared index
+    /// but worsen load balance for heterogeneous item costs.
+    pub chunk: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { threads: 0, chunk: 1 }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration that runs everything sequentially on the caller
+    /// thread. Useful for deterministic debugging and in tests.
+    pub fn sequential() -> Self {
+        ParallelConfig { threads: 1, chunk: usize::MAX }
+    }
+
+    /// A configuration using `threads` workers and chunk size 1.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads, chunk: 1 }
+    }
+
+    fn effective_threads(&self, items: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.clamp(1, items.max(1))
+    }
+}
+
+/// Applies `f` to every element of `items` and collects the results in input
+/// order, using the number of threads given by `cfg`.
+///
+/// The closure receives a reference to the item. Panics inside the closure
+/// propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], cfg: ParallelConfig, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items, cfg, |_, item| f(item))
+}
+
+/// Like [`parallel_map`] but the closure also receives the index of the item.
+pub fn parallel_map_indexed<T, R, F>(items: &[T], cfg: ParallelConfig, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let chunk = cfg.chunk.max(1);
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        local.push((i, f(i, item)));
+                    }
+                    // Flush periodically so the final lock hold stays short.
+                    if local.len() >= 64 {
+                        let mut guard = results.lock().expect("parallel_map poisoned");
+                        for (i, r) in local.drain(..) {
+                            guard[i] = Some(r);
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    let mut guard = results.lock().expect("parallel_map poisoned");
+                    for (i, r) in local.drain(..) {
+                        guard[i] = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("parallel_map poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index must have been processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, ParallelConfig::default(), |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_config_matches_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = parallel_map(&items, ParallelConfig::sequential(), |&x| x * x + 1);
+        let par = parallel_map(&items, ParallelConfig::with_threads(4), |&x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = parallel_map(&items, ParallelConfig::default(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = parallel_map(&[41u64], ParallelConfig::with_threads(8), |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn indexed_variant_gives_indices() {
+        let items = ["a", "b", "c"];
+        let out = parallel_map_indexed(&items, ParallelConfig::with_threads(2), |i, s| {
+            format!("{i}:{s}")
+        });
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..5000).collect();
+        let cfg = ParallelConfig { threads: 8, chunk: 7 };
+        let out = parallel_map(&items, cfg, |&x| {
+            COUNT.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), items.len());
+        assert_eq!(COUNT.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        let out = parallel_map(&items, ParallelConfig::with_threads(32), |&x| x + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,271 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workload generators (DAGGEN-style random DAGs, random task weights)
+//! and the experiment campaigns all need reproducible randomness. Instead of
+//! depending on an external crate whose output may change between versions,
+//! the workspace ships a fixed PCG-XSH-RR 64/32 generator (O'Neill, 2014)
+//! seeded through SplitMix64. The stream produced for a given seed is part of
+//! the repository's reproducibility contract: the DAG sets used by the
+//! figure-reproduction binaries are derived from documented seeds.
+
+/// PCG-XSH-RR 64/32 pseudo-random number generator.
+///
+/// 64 bits of state, 32 bits of output per step, period 2^64 per stream.
+/// Not cryptographically secure — strictly for simulation workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULTIPLIER: u64 = 6364136223846793005;
+
+/// SplitMix64 step, used to expand a user seed into the PCG state/stream.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg64 {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Two generators created with the same seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let init_state = splitmix64(&mut s);
+        let init_inc = splitmix64(&mut s) | 1; // stream selector must be odd
+        let mut rng = Pcg64 { state: 0, inc: init_inc };
+        rng.state = rng.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(init_state);
+        rng.state = rng.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(rng.inc);
+        rng
+    }
+
+    /// Derives an independent child generator; useful to give each DAG of a
+    /// campaign its own stream while keeping the campaign seeded by a single
+    /// value.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let a = self.next_u64();
+        Pcg64::new(a ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Returns the next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64: empty range [{lo}, {hi}]");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Lemire-style rejection sampling to avoid modulo bias.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return lo + (r % span);
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi]` (inclusive).
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.uniform_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Returns a uniformly distributed `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_f64: empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_usize(0, i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// Returns `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.uniform_usize(0, slice.len() - 1)])
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (order unspecified).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: only the first k positions need to be final.
+        for i in 0..k {
+            let j = self.uniform_usize(i, n - 1);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Pcg64::new(42);
+        let mut b = Pcg64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 5, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_bounds_and_coverage() {
+        let mut rng = Pcg64::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.uniform_u64(5, 14);
+            assert!((5..=14).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should appear");
+    }
+
+    #[test]
+    fn uniform_u64_single_point() {
+        let mut rng = Pcg64::new(3);
+        for _ in 0..10 {
+            assert_eq!(rng.uniform_u64(9, 9), 9);
+        }
+    }
+
+    #[test]
+    fn uniform_f64_bounds() {
+        let mut rng = Pcg64::new(11);
+        for _ in 0..10_000 {
+            let v = rng.uniform_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let mut rng = Pcg64::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform_f64(0.0, 1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Pcg64::new(9);
+        assert!(!(0..100).any(|_| rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg64::new(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut rng = Pcg64::new(17);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Pcg64::new(19);
+        let idx = rng.sample_indices(50, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Pcg64::new(23);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let same = (0..100).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 5);
+    }
+}

@@ -1,0 +1,449 @@
+//! Piecewise-constant functions of time ("staircase" functions).
+//!
+//! The memory-aware heuristics of the paper (Section 5.1) maintain, for each
+//! memory `µ`, the profile `free_mem^{(µ)}(t)` of memory still available at
+//! every instant of the partial schedule. The paper stores it as "a list of
+//! couples `[(x_1, val_1), ..., (x_ℓ, val_ℓ)]`" — exactly the representation
+//! implemented here, together with the two queries the heuristics need:
+//!
+//! * update the profile on a half-open interval or a suffix (reserving or
+//!   releasing a file), and
+//! * find the earliest time `t ≥ t_min` such that the profile stays above a
+//!   threshold **forever after** `t` (the `task_mem_EST` / `comm_mem_EST`
+//!   computations).
+
+use crate::float::{approx_eq, approx_ge, EPSILON};
+
+/// A piecewise-constant function `f : [0, +∞) → ℝ`.
+///
+/// Internally stored as a sorted list of breakpoints `(x_i, v_i)`, meaning
+/// `f(t) = v_i` for `t ∈ [x_i, x_{i+1})` and `f(t) = v_ℓ` for `t ≥ x_ℓ`.
+/// The first breakpoint is always at `x = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Staircase {
+    /// Breakpoints, sorted by strictly increasing `x`, starting at `x = 0`.
+    points: Vec<(f64, f64)>,
+}
+
+impl Staircase {
+    /// Creates a function that is constant and equal to `value` everywhere.
+    pub fn constant(value: f64) -> Self {
+        Staircase { points: vec![(0.0, value)] }
+    }
+
+    /// Number of breakpoints in the internal representation.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the function is represented by a single segment.
+    pub fn is_empty(&self) -> bool {
+        self.points.len() <= 1
+    }
+
+    /// Returns the value of the function at time `t`.
+    ///
+    /// Times before the first breakpoint evaluate to the first segment value.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.points.iter().rposition(|&(x, _)| x <= t + EPSILON) {
+            Some(i) => self.points[i].1,
+            None => self.points[0].1,
+        }
+    }
+
+    /// Returns the value of the last (rightmost) segment, i.e. `f(+∞)`.
+    pub fn final_value(&self) -> f64 {
+        self.points.last().expect("staircase always has a segment").1
+    }
+
+    /// Returns the minimum of the function over `[0, +∞)`.
+    pub fn min_value(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Returns the maximum of the function over `[0, +∞)`.
+    pub fn max_value(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Returns the maximum of the function over `[t1, t2)`.
+    ///
+    /// Returns `-∞` if the interval is empty.
+    pub fn max_over(&self, t1: f64, t2: f64) -> f64 {
+        if t2 <= t1 + EPSILON {
+            return f64::NEG_INFINITY;
+        }
+        let mut max = f64::NEG_INFINITY;
+        for (i, &(x, v)) in self.points.iter().enumerate() {
+            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            if seg_end > t1 + EPSILON && x < t2 - EPSILON {
+                max = max.max(v);
+            }
+        }
+        max
+    }
+
+    /// Returns the minimum of the function over `[t, +∞)`.
+    pub fn min_from(&self, t: f64) -> f64 {
+        let mut min = f64::INFINITY;
+        for (i, &(x, v)) in self.points.iter().enumerate() {
+            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2);
+            let segment_reaches_t = match seg_end {
+                Some(end) => end > t + EPSILON,
+                None => true,
+            };
+            if x >= t - EPSILON || segment_reaches_t {
+                min = min.min(v);
+            }
+        }
+        min
+    }
+
+    /// Returns the minimum of the function over `[t1, t2)`.
+    ///
+    /// Returns `+∞` if the interval is empty.
+    pub fn min_over(&self, t1: f64, t2: f64) -> f64 {
+        if t2 <= t1 + EPSILON {
+            return f64::INFINITY;
+        }
+        let mut min = f64::INFINITY;
+        for (i, &(x, v)) in self.points.iter().enumerate() {
+            let seg_start = x;
+            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            // Segment [seg_start, seg_end) intersects [t1, t2)?
+            if seg_end > t1 + EPSILON && seg_start < t2 - EPSILON {
+                min = min.min(v);
+            }
+        }
+        min
+    }
+
+    /// Adds `delta` to the function on `[t, +∞)`.
+    pub fn add_from(&mut self, t: f64, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        let t = t.max(0.0);
+        let idx = self.ensure_breakpoint(t);
+        for p in &mut self.points[idx..] {
+            p.1 += delta;
+        }
+        self.normalize();
+    }
+
+    /// Adds `delta` to the function on the half-open interval `[t1, t2)`.
+    ///
+    /// Does nothing if the interval is empty.
+    pub fn add_range(&mut self, t1: f64, t2: f64, delta: f64) {
+        if delta == 0.0 || t2 <= t1 + EPSILON {
+            return;
+        }
+        let t1 = t1.max(0.0);
+        let i1 = self.ensure_breakpoint(t1);
+        let i2 = self.ensure_breakpoint(t2);
+        debug_assert!(i1 < i2);
+        for p in &mut self.points[i1..i2] {
+            p.1 += delta;
+        }
+        self.normalize();
+    }
+
+    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≥ threshold` for
+    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
+    /// segment is below the threshold).
+    ///
+    /// This is the query used to compute `task_mem_EST` and `comm_mem_EST`
+    /// in the MemHEFT / MemMinMin heuristics.
+    pub fn earliest_sustained_ge(&self, t_min: f64, threshold: f64) -> Option<f64> {
+        let t_min = t_min.max(0.0);
+        if !approx_ge(self.final_value(), threshold) {
+            return None;
+        }
+        // Walk segments from the right; stop at the last segment whose value
+        // violates the threshold. The answer is the start of the following
+        // segment (or t_min if nothing violates it after t_min).
+        let mut answer = t_min;
+        for i in (0..self.points.len()).rev() {
+            let (x, v) = self.points[i];
+            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            // Segments entirely before t_min cannot constrain the answer.
+            if seg_end <= t_min + EPSILON {
+                break;
+            }
+            if !approx_ge(v, threshold) {
+                // Violation in [x, seg_end); the earliest sustained time is
+                // seg_end (the start of the next, satisfying, segment).
+                answer = answer.max(seg_end);
+                break;
+            }
+            let _ = x;
+        }
+        Some(answer)
+    }
+
+    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≤ threshold` for
+    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
+    /// segment is above the threshold).
+    ///
+    /// This is the mirror of [`Staircase::earliest_sustained_ge`], used when
+    /// the staircase tracks memory *usage* rather than *availability*.
+    pub fn earliest_sustained_le(&self, t_min: f64, threshold: f64) -> Option<f64> {
+        let t_min = t_min.max(0.0);
+        if self.final_value() > threshold + EPSILON {
+            return None;
+        }
+        let mut answer = t_min;
+        for i in (0..self.points.len()).rev() {
+            let (_x, v) = self.points[i];
+            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            if seg_end <= t_min + EPSILON {
+                break;
+            }
+            if v > threshold + EPSILON {
+                answer = answer.max(seg_end);
+                break;
+            }
+        }
+        Some(answer)
+    }
+
+    /// Returns `true` if `f(t) ≥ threshold` for all `t ≥ t_min`.
+    pub fn sustained_ge(&self, t_min: f64, threshold: f64) -> bool {
+        match self.earliest_sustained_ge(t_min, threshold) {
+            Some(t) => approx_eq(t, t_min.max(0.0)) || t <= t_min,
+            None => false,
+        }
+    }
+
+    /// Iterates over the breakpoints `(x_i, v_i)` of the representation.
+    pub fn breakpoints(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Ensures a breakpoint exists exactly at `t` and returns its index.
+    fn ensure_breakpoint(&mut self, t: f64) -> usize {
+        // Find the segment containing t.
+        let pos = self
+            .points
+            .iter()
+            .rposition(|&(x, _)| x <= t + EPSILON)
+            .unwrap_or(0);
+        if approx_eq(self.points[pos].0, t) {
+            return pos;
+        }
+        if self.points[pos].0 > t {
+            // t is before the very first breakpoint (only possible for t < 0,
+            // already clamped by callers); insert at front.
+            self.points.insert(0, (t, self.points[0].1));
+            return 0;
+        }
+        let v = self.points[pos].1;
+        self.points.insert(pos + 1, (t, v));
+        pos + 1
+    }
+
+    /// Merges adjacent segments with (approximately) equal values.
+    fn normalize(&mut self) {
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.points.len());
+        for &(x, v) in &self.points {
+            match out.last() {
+                Some(&(_, lv)) if approx_eq(lv, v) => {
+                    // Same value as previous segment: breakpoint is redundant.
+                }
+                _ => out.push((x, v)),
+            }
+        }
+        if out.is_empty() {
+            out.push((0.0, 0.0));
+        }
+        self.points = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn constant_everywhere() {
+        let s = Staircase::constant(10.0);
+        assert_eq!(s.value_at(0.0), 10.0);
+        assert_eq!(s.value_at(123.0), 10.0);
+        assert_eq!(s.min_value(), 10.0);
+        assert_eq!(s.final_value(), 10.0);
+    }
+
+    #[test]
+    fn add_from_splits_segment() {
+        let mut s = Staircase::constant(10.0);
+        s.add_from(5.0, -3.0);
+        assert_eq!(s.value_at(0.0), 10.0);
+        assert_eq!(s.value_at(4.999), 10.0);
+        assert_eq!(s.value_at(5.0), 7.0);
+        assert_eq!(s.value_at(100.0), 7.0);
+        assert_eq!(s.min_value(), 7.0);
+    }
+
+    #[test]
+    fn add_range_only_affects_interval() {
+        let mut s = Staircase::constant(10.0);
+        s.add_range(2.0, 6.0, -4.0);
+        assert_eq!(s.value_at(1.0), 10.0);
+        assert_eq!(s.value_at(2.0), 6.0);
+        assert_eq!(s.value_at(5.9), 6.0);
+        assert_eq!(s.value_at(6.0), 10.0);
+        assert_eq!(s.final_value(), 10.0);
+    }
+
+    #[test]
+    fn add_zero_is_noop() {
+        let mut s = Staircase::constant(5.0);
+        let before = s.clone();
+        s.add_from(3.0, 0.0);
+        s.add_range(1.0, 2.0, 0.0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut s = Staircase::constant(5.0);
+        let before = s.clone();
+        s.add_range(4.0, 4.0, -2.0);
+        s.add_range(5.0, 3.0, -2.0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn overlapping_updates_accumulate() {
+        let mut s = Staircase::constant(10.0);
+        s.add_range(0.0, 10.0, -3.0);
+        s.add_range(5.0, 15.0, -3.0);
+        assert_eq!(s.value_at(2.0), 7.0);
+        assert_eq!(s.value_at(7.0), 4.0);
+        assert_eq!(s.value_at(12.0), 7.0);
+        assert_eq!(s.value_at(20.0), 10.0);
+        assert_eq!(s.min_value(), 4.0);
+    }
+
+    #[test]
+    fn release_cancels_reservation() {
+        let mut s = Staircase::constant(8.0);
+        s.add_from(3.0, -5.0);
+        s.add_from(3.0, 5.0);
+        assert_eq!(s.len(), 1, "normalization should merge equal segments");
+        assert_eq!(s.value_at(4.0), 8.0);
+    }
+
+    #[test]
+    fn min_from_and_over() {
+        let mut s = Staircase::constant(10.0);
+        s.add_range(2.0, 4.0, -6.0); // dip to 4 on [2,4)
+        s.add_from(8.0, -1.0); // 9 from 8 on
+        assert_eq!(s.min_from(0.0), 4.0);
+        assert_eq!(s.min_from(4.0), 9.0);
+        assert_eq!(s.min_from(3.0), 4.0);
+        assert_eq!(s.min_over(0.0, 2.0), 10.0);
+        assert_eq!(s.min_over(1.0, 3.0), 4.0);
+        assert_eq!(s.min_over(4.0, 8.0), 10.0);
+        assert_eq!(s.min_over(5.0, 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn earliest_sustained_simple() {
+        let s = Staircase::constant(10.0);
+        assert_eq!(s.earliest_sustained_ge(0.0, 5.0), Some(0.0));
+        assert_eq!(s.earliest_sustained_ge(7.0, 5.0), Some(7.0));
+        assert_eq!(s.earliest_sustained_ge(0.0, 20.0), None);
+    }
+
+    #[test]
+    fn earliest_sustained_waits_for_release() {
+        let mut s = Staircase::constant(10.0);
+        // 4 units busy until t=6.
+        s.add_range(0.0, 6.0, -4.0);
+        // Need 8 units forever: must wait until t=6.
+        assert_eq!(s.earliest_sustained_ge(0.0, 8.0), Some(6.0));
+        // Need 6 units: available right away.
+        assert_eq!(s.earliest_sustained_ge(0.0, 6.0), Some(0.0));
+        // t_min after the dip.
+        assert_eq!(s.earliest_sustained_ge(7.0, 8.0), Some(7.0));
+    }
+
+    #[test]
+    fn earliest_sustained_ignores_future_dips_only_if_threshold_met() {
+        let mut s = Staircase::constant(10.0);
+        s.add_range(5.0, 8.0, -7.0); // dip to 3 on [5,8)
+        // Threshold 5 cannot be sustained from t=0; must wait until t=8.
+        assert_eq!(s.earliest_sustained_ge(0.0, 5.0), Some(8.0));
+        // Threshold 2 is fine from the start.
+        assert_eq!(s.earliest_sustained_ge(0.0, 2.0), Some(0.0));
+    }
+
+    #[test]
+    fn earliest_sustained_infeasible_final_segment() {
+        let mut s = Staircase::constant(10.0);
+        s.add_from(4.0, -9.0); // 1 unit forever after t=4
+        assert_eq!(s.earliest_sustained_ge(0.0, 5.0), None);
+        assert!(!s.sustained_ge(0.0, 5.0));
+    }
+
+    #[test]
+    fn sustained_ge_checks_t_min() {
+        let mut s = Staircase::constant(10.0);
+        s.add_range(2.0, 4.0, -8.0);
+        assert!(!s.sustained_ge(1.0, 5.0));
+        assert!(s.sustained_ge(4.0, 5.0));
+    }
+
+    #[test]
+    fn max_value_and_max_over() {
+        let mut s = Staircase::constant(0.0);
+        s.add_range(2.0, 5.0, 7.0);
+        s.add_from(10.0, 3.0);
+        assert_eq!(s.max_value(), 7.0);
+        assert_eq!(s.max_over(0.0, 2.0), 0.0);
+        assert_eq!(s.max_over(1.0, 3.0), 7.0);
+        assert_eq!(s.max_over(6.0, 20.0), 3.0);
+        assert_eq!(s.max_over(4.0, 4.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn earliest_sustained_le_usage_profile() {
+        // Usage profile: 8 units in use until t=6, then 2 units forever.
+        let mut used = Staircase::constant(2.0);
+        used.add_range(0.0, 6.0, 6.0);
+        // Capacity 10, need 4 more => usage must stay <= 6: wait until t=6.
+        assert_eq!(used.earliest_sustained_le(0.0, 6.0), Some(6.0));
+        // Need only 2 more (threshold 8): fine immediately.
+        assert_eq!(used.earliest_sustained_le(0.0, 8.0), Some(0.0));
+        // Impossible threshold below the final value.
+        assert_eq!(used.earliest_sustained_le(0.0, 1.0), None);
+        // t_min beyond the violation.
+        assert_eq!(used.earliest_sustained_le(7.0, 6.0), Some(7.0));
+    }
+
+    #[test]
+    fn value_before_zero_clamps() {
+        let s = Staircase::constant(3.0);
+        assert_eq!(s.value_at(-1.0), 3.0);
+    }
+
+    #[test]
+    fn normalization_keeps_function_identical() {
+        let mut s = Staircase::constant(20.0);
+        s.add_range(1.0, 3.0, -5.0);
+        s.add_range(3.0, 6.0, -5.0);
+        // Adjacent identical-value segments should have been merged.
+        assert!(s.len() <= 3);
+        assert!(approx_eq(s.value_at(2.0), 15.0));
+        assert!(approx_eq(s.value_at(4.0), 15.0));
+        assert!(approx_eq(s.value_at(6.0), 20.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Summary statistics for experiment campaigns.
+//!
+//! The figure-reproduction binaries aggregate, for each memory bound, the
+//! normalized makespans obtained over a whole DAG set (50 or 100 graphs in
+//! the paper). This module provides the small amount of statistics needed:
+//! streaming mean/variance (Welford), and percentile summaries.
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if no observations).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean
+    /// (normal approximation; good enough for the 50–100 sample campaigns).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A percentile summary of a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of the given sample. Returns `None` for an empty
+    /// sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut acc = OnlineStats::new();
+        for &v in values {
+            acc.push(v);
+        }
+        Some(Summary {
+            count: values.len(),
+            mean: acc.mean(),
+            std_dev: acc.std_dev(),
+            min: sorted[0],
+            p25: percentile(&sorted, 0.25),
+            median: percentile(&sorted, 0.5),
+            p75: percentile(&sorted, 0.75),
+            max: *sorted.last().unwrap(),
+        })
+    }
+}
+
+/// Linear-interpolation percentile of an already-sorted sample.
+///
+/// `q` must be in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "percentile fraction out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean of a sample of positive values (0 if empty).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!(approx_eq(s.mean(), 5.0));
+        assert!(approx_eq(s.variance(), 32.0 / 7.0));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = OnlineStats::new();
+        s1.push(3.0);
+        assert_eq!(s1.mean(), 3.0);
+        assert_eq!(s1.variance(), 0.0);
+        assert_eq!(s1.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| a.push(x));
+        xs[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!(approx_eq(a.mean(), whole.mean()));
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineStats::new());
+        assert!(approx_eq(a.mean(), before_mean));
+
+        let mut empty = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(5.0);
+        empty.merge(&b);
+        assert!(approx_eq(empty.mean(), 5.0));
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!(approx_eq(s.mean, 3.0));
+        assert!(approx_eq(s.median, 3.0));
+        assert!(approx_eq(s.min, 1.0));
+        assert!(approx_eq(s.max, 5.0));
+        assert!(approx_eq(s.p25, 2.0));
+        assert!(approx_eq(s.p75, 4.0));
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert!(approx_eq(percentile(&sorted, 0.0), 10.0));
+        assert!(approx_eq(percentile(&sorted, 1.0), 40.0));
+        assert!(approx_eq(percentile(&sorted, 0.5), 25.0));
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!(approx_eq(geometric_mean(&[1.0, 4.0]), 2.0));
+        assert!(approx_eq(geometric_mean(&[2.0, 2.0, 2.0]), 2.0));
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

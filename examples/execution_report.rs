@@ -1,0 +1,44 @@
+//! Schedule a workload and print a full execution report: Gantt chart,
+//! per-processor utilisation, memory occupancy and transfer statistics.
+//!
+//! Run with: `cargo run --release --example execution_report [tiles]`
+
+use mals::prelude::*;
+use mals::sim::replay::{execution_stats, render_stats};
+use mals::sim::{gantt, memory_peaks};
+
+fn main() {
+    let tiles: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let graph = cholesky_dag(tiles, &KernelCosts::table1());
+    println!(
+        "Cholesky {tiles}x{tiles}: {} tasks ({} kernels), {} edges\n",
+        graph.n_tasks(),
+        mals::gen::linalg::kernel_count(&graph),
+        graph.n_edges()
+    );
+    println!("graph statistics:\n{}\n", mals::dag::graph_stats(&graph));
+
+    // Budget: 60% of what memory-oblivious HEFT would use.
+    let open = Platform::mirage(f64::INFINITY, f64::INFINITY);
+    let heft = Heft::new().schedule(&graph, &open).unwrap();
+    let budget = (memory_peaks(&graph, &open, &heft).max() * 0.6).ceil();
+    let platform = Platform::mirage(budget, budget);
+    println!("memory budget: {budget} tiles per side (60% of HEFT's footprint)\n");
+
+    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
+        println!("=== {} ===", scheduler.name());
+        match scheduler.schedule(&graph, &platform) {
+            Ok(schedule) => {
+                let report = validate(&graph, &platform, &schedule);
+                assert!(report.is_valid(), "{:?}", report.errors);
+                let stats = execution_stats(&graph, &platform, &schedule);
+                print!("{}", render_stats(&stats));
+                if graph.n_tasks() <= 60 {
+                    println!("{}", gantt::render_gantt(&graph, &platform, &schedule, 72));
+                }
+            }
+            Err(e) => println!("failed: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Build the paper's ILP (Section 4) for the toy DAG D_ex and print it in
+//! CPLEX LP format, ready to be handed to an external MILP solver.
+//!
+//! Run with: `cargo run --example ilp_export > dex.lp`
+
+use mals::exact::ilp::ilp_stats;
+use mals::prelude::*;
+
+fn main() {
+    let (graph, _) = dex();
+    let platform = Platform::single_pair(5.0, 5.0);
+    let stats = ilp_stats(&graph, &platform);
+    eprintln!(
+        "ILP for D_ex on a 1+1 platform with 5 memory units per side: {} variables ({} binary), {} constraints",
+        stats.n_variables, stats.n_binaries, stats.n_constraints
+    );
+    let model = build_ilp(&graph, &platform);
+    print!("{}", model.to_lp_format());
+}

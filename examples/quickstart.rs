@@ -1,0 +1,44 @@
+//! Quickstart: build a small task graph by hand, schedule it with the
+//! memory-aware heuristics and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mals::prelude::*;
+use mals::sim::gantt;
+
+fn main() {
+    // The toy DAG D_ex of Figure 2 of the paper: four tasks, each with a CPU
+    // (blue) time and an accelerator (red) time, and a file on every edge.
+    let (graph, [t1, _t2, t3, _t4]) = dex();
+    println!("D_ex: {} tasks, {} edges", graph.n_tasks(), graph.n_edges());
+    println!("T1 runs in {} on the CPU and {} on the accelerator",
+             graph.task(t1).work_blue, graph.task(t1).work_red);
+    println!("MemReq(T3) = {} memory units\n", graph.mem_req(t3));
+
+    // One CPU and one accelerator, each with 5 units of memory.
+    let platform = Platform::single_pair(5.0, 5.0);
+
+    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
+        let schedule = scheduler
+            .schedule(&graph, &platform)
+            .expect("D_ex fits in 5 memory units per side");
+        let report = validate(&graph, &platform, &schedule);
+        assert!(report.is_valid());
+        println!("=== {} ===", scheduler.name());
+        println!(
+            "makespan = {}, blue peak = {}, red peak = {}",
+            report.makespan, report.peaks.blue, report.peaks.red
+        );
+        print!("{}", gantt::render_trace(&graph, &platform, &schedule));
+        println!("{}", gantt::render_gantt(&graph, &platform, &schedule, 48));
+    }
+
+    // Tighten the memory: with only 4 units per side the optimal schedule is
+    // slower (the paper's memory/makespan trade-off).
+    let tight = Platform::single_pair(4.0, 4.0);
+    let exact = BranchAndBound::default().solve(&graph, &tight);
+    println!(
+        "optimal makespan with 5 units: 6  |  with 4 units: {}",
+        exact.makespan.expect("still feasible with 4 units")
+    );
+}

@@ -1,0 +1,44 @@
+//! Run a normalised campaign over a set of random DAGs: for every memory
+//! budget (expressed as a fraction of what HEFT would need), report how often
+//! each memory-aware heuristic finds a schedule and how much slower it is
+//! than HEFT (the Figure 10 / 12 methodology).
+//!
+//! Run with: `cargo run --release --example random_campaign [n_dags] [n_tasks]`
+
+use mals::experiments::campaign::{run_normalized_campaign, CampaignConfig};
+use mals::experiments::csv::campaign_to_csv;
+use mals::gen::SetParams;
+use mals::prelude::*;
+use mals::util::ParallelConfig;
+
+fn main() {
+    let n_dags: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n_tasks: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let dags = SetParams::small_rand().scaled(n_dags, n_tasks).generate();
+    eprintln!("campaign over {n_dags} random DAGs of {n_tasks} tasks (P1 = P2 = 1)");
+
+    let platform = Platform::single_pair(0.0, 0.0);
+    let config = CampaignConfig {
+        alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
+        include_optimal: n_tasks <= 12,
+        optimal_node_limit: 50_000,
+        parallel: ParallelConfig::default(),
+    };
+    let points = run_normalized_campaign(&dags, &platform, &config);
+    print!("{}", campaign_to_csv(&points));
+
+    // A one-line summary of the memory/makespan trade-off.
+    if let Some(half) = points.iter().find(|p| (p.alpha - 0.5).abs() < 1e-9) {
+        for m in &half.methods {
+            eprintln!(
+                "at 50% of HEFT's memory, {} schedules {:.0}% of the DAGs{}",
+                m.name,
+                m.success_rate * 100.0,
+                m.mean_normalized_makespan
+                    .map(|v| format!(" at {:.0}% of HEFT's makespan", v * 100.0))
+                    .unwrap_or_default()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # MALS — Memory-Aware List Scheduling for hybrid platforms
+//!
+//! A from-scratch Rust implementation of *Memory-aware list scheduling for
+//! hybrid platforms* (Herrmann, Marchal, Robert — INRIA RR-8461 / IPDPS
+//! workshops 2014): scheduling task graphs on a dual-memory platform (a
+//! multicore CPU with its RAM plus an accelerator with its device memory)
+//! while keeping the peak usage of **both** memories under given bounds.
+//!
+//! This crate is a facade: it re-exports the workspace crates so downstream
+//! users can depend on a single package.
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`dag`] | task-graph substrate (graph, ranks, critical paths, DOT) |
+//! | [`platform`] | dual-memory platform model and availability tracking |
+//! | [`sim`] | schedule representation, validation, memory replay, Gantt |
+//! | [`gen`] | DAGGEN-style random DAGs, tiled LU / Cholesky generators |
+//! | [`sched`] | HEFT, MinMin, **MemHEFT**, **MemMinMin** + ablation variants |
+//! | [`exact`] | the paper's ILP (LP export) and a branch-and-bound optimum |
+//! | [`experiments`] | campaign harness reproducing every table and figure |
+//! | [`util`] | deterministic RNG, statistics, staircase functions, thread pool |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mals::prelude::*;
+//!
+//! // Build a small task graph: every task has a CPU time and an
+//! // accelerator time; every edge carries a data file.
+//! let mut graph = TaskGraph::new();
+//! let a = graph.add_task("a", 4.0, 2.0);
+//! let b = graph.add_task("b", 3.0, 1.0);
+//! let c = graph.add_task("c", 2.0, 2.0);
+//! graph.add_edge(a, b, 2.0, 1.0).unwrap();
+//! graph.add_edge(a, c, 1.0, 1.0).unwrap();
+//!
+//! // One CPU and one accelerator, 6 units of memory on each side.
+//! let platform = Platform::single_pair(6.0, 6.0);
+//!
+//! // Schedule with the memory-aware HEFT variant and validate the result.
+//! let schedule = MemHeft::new().schedule(&graph, &platform).unwrap();
+//! let report = validate(&graph, &platform, &schedule);
+//! assert!(report.is_valid());
+//! assert!(report.peaks.blue <= 6.0 && report.peaks.red <= 6.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mals_dag as dag;
+pub use mals_exact as exact;
+pub use mals_experiments as experiments;
+pub use mals_gen as gen;
+pub use mals_platform as platform;
+pub use mals_sched as sched;
+pub use mals_sim as sim;
+pub use mals_util as util;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use mals_dag::{EdgeId, TaskGraph, TaskId};
+    pub use mals_exact::{BranchAndBound, build_ilp};
+    pub use mals_gen::{cholesky_dag, dex, lu_dag, DaggenParams, KernelCosts, WeightRanges};
+    pub use mals_platform::{Memory, Platform};
+    pub use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, ScheduleError, Scheduler};
+    pub use mals_sim::{memory_peaks, validate, Schedule};
+    pub use mals_util::Pcg64;
+}

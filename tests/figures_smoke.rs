@@ -1,0 +1,121 @@
+//! Smoke tests for the figure-reproduction entry points: tiny configurations
+//! of every figure complete quickly and exhibit the qualitative shape the
+//! paper reports (success rates grow with memory, the optimal dominates the
+//! heuristics, memory-aware heuristics keep working below the baselines'
+//! footprints).
+
+use mals::experiments::csv::{campaign_to_csv, sweep_to_csv};
+use mals::experiments::figures::{
+    fig10, fig11, fig12, fig14, fig15, Fig10Config, Fig12Config, LinalgConfig, SingleRandConfig,
+};
+use mals::experiments::table1;
+use mals::gen::KernelCosts;
+use mals::util::ParallelConfig;
+
+#[test]
+fn table1_matches_the_paper() {
+    let csv = table1::to_csv(&KernelCosts::table1());
+    for needle in ["getrf,450", "gemm,1450", "trsm_l,990", "trsm_u,830", "potrf,450", "syrk,990"] {
+        assert!(csv.contains(needle), "missing {needle} in:\n{csv}");
+    }
+}
+
+#[test]
+fn fig10_success_rates_grow_with_memory_and_optimal_dominates() {
+    let config = Fig10Config {
+        n_dags: 4,
+        n_tasks: 12,
+        alphas: vec![0.5, 0.75, 1.0],
+        optimal_node_limit: 20_000,
+        parallel: ParallelConfig::sequential(),
+    };
+    let points = fig10(&config);
+    assert_eq!(points.len(), 3);
+    for name in ["MemHEFT", "MemMinMin", "Optimal(B&B)"] {
+        let rates: Vec<f64> = points.iter().map(|p| p.method(name).unwrap().success_rate).collect();
+        for w in rates.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{name} success rate decreased: {rates:?}");
+        }
+        assert!((rates.last().unwrap() - 1.0).abs() < 1e-9, "{name} must succeed at alpha=1");
+    }
+    let last = points.last().unwrap();
+    let opt = last.method("Optimal(B&B)").unwrap().mean_normalized_makespan.unwrap();
+    for name in ["MemHEFT", "MemMinMin"] {
+        let h = last.method(name).unwrap().mean_normalized_makespan.unwrap();
+        assert!(opt <= h + 1e-9, "optimal ({opt}) worse than {name} ({h})");
+    }
+    // At alpha = 1 MemHEFT behaves exactly like HEFT: normalised makespan 1.
+    assert!((last.method("MemHEFT").unwrap().mean_normalized_makespan.unwrap() - 1.0).abs() < 1e-9);
+    assert!(!campaign_to_csv(&points).is_empty());
+}
+
+#[test]
+fn fig11_sweep_has_paper_shape() {
+    let sweep = fig11(&SingleRandConfig { n_tasks: 20, steps: 10 });
+    let top = sweep.points.last().unwrap();
+    // With ample memory all four schedulers succeed and none beats the bound.
+    for outcome in &top.outcomes {
+        let mk = outcome.makespan.expect("ample memory");
+        assert!(mk >= sweep.lower_bound - 1e-9);
+    }
+    // The memory-aware heuristics keep producing schedules at bounds where
+    // the oblivious baselines' footprints no longer fit.
+    let min_feasible = |name: &str| {
+        sweep
+            .points
+            .iter()
+            .filter(|p| p.outcome(name).unwrap().makespan.is_some())
+            .map(|p| p.memory_bound)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(min_feasible("MemHEFT") <= min_feasible("HEFT") + 1e-9);
+    assert!(min_feasible("MemMinMin") <= min_feasible("MinMin") + 1e-9);
+    assert!(!sweep_to_csv(&sweep.points).is_empty());
+}
+
+#[test]
+fn fig12_memminmin_wins_under_scarce_memory() {
+    let config = Fig12Config {
+        n_dags: 3,
+        n_tasks: 120,
+        alphas: vec![0.4, 0.7, 1.0],
+        parallel: ParallelConfig::sequential(),
+    };
+    let points = fig12(&config);
+    // Paper: both heuristics schedule every DAG from ~40% of HEFT's memory.
+    for p in &points {
+        assert!(p.method("MemHEFT").unwrap().success_rate >= 0.99, "alpha {}", p.alpha);
+        assert!(p.method("MemMinMin").unwrap().success_rate >= 0.99, "alpha {}", p.alpha);
+    }
+    // Paper: MemMinMin is clearly the best heuristic when memory is critical.
+    let scarce = &points[0];
+    let memminmin = scarce.method("MemMinMin").unwrap().mean_normalized_makespan.unwrap();
+    let memheft = scarce.method("MemHEFT").unwrap().mean_normalized_makespan.unwrap();
+    assert!(
+        memminmin <= memheft + 1e-9,
+        "MemMinMin ({memminmin}) should not lose to MemHEFT ({memheft}) under scarce memory"
+    );
+}
+
+#[test]
+fn linalg_figures_memheft_survives_tighter_memory_than_memminmin() {
+    // Paper (Figures 14/15): MemHEFT keeps producing feasible schedules with
+    // far less memory than MemMinMin on the factorisation DAGs.
+    for sweep in [fig14(&LinalgConfig { tiles: 5, steps: 12 }), fig15(&LinalgConfig { tiles: 6, steps: 12 })] {
+        let min_feasible = |name: &str| {
+            sweep
+                .points
+                .iter()
+                .filter(|p| p.outcome(name).unwrap().makespan.is_some())
+                .map(|p| p.memory_bound)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            min_feasible("MemHEFT") <= min_feasible("MemMinMin"),
+            "MemHEFT should tolerate at most as much memory pressure as MemMinMin"
+        );
+        // Both eventually succeed.
+        assert!(min_feasible("MemHEFT").is_finite());
+        assert!(min_feasible("MemMinMin").is_finite());
+    }
+}

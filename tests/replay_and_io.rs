@@ -1,0 +1,117 @@
+//! Integration and property tests for the auxiliary subsystems: execution
+//! statistics replay, text serialisation of DAGs, structured graph shapes and
+//! the minimum-memory bisection.
+
+use mals::dag::serialize;
+use mals::experiments::minimum_memory;
+use mals::gen::{chain, fork_join, DaggenParams, ShapeWeights, WeightRanges};
+use mals::prelude::*;
+use mals::sim::replay::execution_stats;
+use mals::sim::memory_peaks;
+use proptest::prelude::*;
+
+fn random_graph(seed: u64, size: usize) -> TaskGraph {
+    let mut rng = Pcg64::new(seed);
+    mals::gen::daggen::generate(
+        &DaggenParams { size, width: 0.4, density: 0.5, jumps: 3 },
+        &WeightRanges::small_rand(),
+        &mut rng,
+    )
+}
+
+#[test]
+fn execution_stats_agree_with_validator_on_linalg() {
+    let graph = lu_dag(4, &KernelCosts::table1());
+    let platform = Platform::mirage(f64::INFINITY, f64::INFINITY);
+    let schedule = MemMinMin::new().schedule(&graph, &platform).unwrap();
+    let report = validate(&graph, &platform, &schedule);
+    let stats = execution_stats(&graph, &platform, &schedule);
+    assert!(report.is_valid());
+    assert_eq!(stats.makespan, report.makespan);
+    assert_eq!(stats.memories[0].peak, report.peaks.blue);
+    assert_eq!(stats.memories[1].peak, report.peaks.red);
+    // Every task is accounted to exactly one processor.
+    let total_tasks: usize = stats.processors.iter().map(|p| p.tasks).sum();
+    assert_eq!(total_tasks, graph.n_tasks());
+    // Parallelism can never exceed the processor count.
+    assert!(stats.peak_parallelism <= platform.n_procs());
+}
+
+#[test]
+fn minimum_memory_is_consistent_with_sweeps() {
+    let graph = random_graph(0xFEED, 25);
+    let platform = Platform::single_pair(0.0, 0.0);
+    let unbounded = platform.unbounded();
+    let heft = Heft::new().schedule(&graph, &unbounded).unwrap();
+    let upper = memory_peaks(&graph, &unbounded, &heft).max() * 1.2;
+    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
+        let result = minimum_memory(&graph, &platform, scheduler, upper, 0.25);
+        let min = result.min_memory.expect("feasible at 1.2x HEFT's footprint");
+        // Just above the reported minimum the scheduler succeeds...
+        let above = platform.with_memory_bounds(min + 0.3, min + 0.3);
+        assert!(scheduler.schedule(&graph, &above).is_ok(), "{}", scheduler.name());
+        // ...and comfortably below it, it fails.
+        let below = platform.with_memory_bounds(min * 0.5, min * 0.5);
+        assert!(scheduler.schedule(&graph, &below).is_err(), "{}", scheduler.name());
+    }
+}
+
+#[test]
+fn chain_needs_little_memory_fork_join_needs_fanout() {
+    let platform = Platform::single_pair(0.0, 0.0);
+    let weights = ShapeWeights::default();
+    // A chain never needs more than two files resident at once under MemHEFT.
+    let chain_graph = chain(12, &weights);
+    let chain_min =
+        minimum_memory(&chain_graph, &platform, &MemHeft::new(), 24.0, 0.1).min_memory.unwrap();
+    assert!(chain_min <= 2.0 + 0.2, "chain minimum {chain_min}");
+    // A fork-join of width w needs at least w files on the fork's side.
+    let fj = fork_join(6, &weights);
+    let fj_min = minimum_memory(&fj, &platform, &MemHeft::new(), 24.0, 0.1).min_memory.unwrap();
+    assert!(fj_min >= 6.0 - 0.2, "fork-join minimum {fj_min}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serialisation round-trips arbitrary generated DAGs exactly.
+    #[test]
+    fn serialization_roundtrip(seed in any::<u64>(), size in 1usize..40) {
+        let graph = random_graph(seed, size);
+        let text = serialize::to_text(&graph);
+        let parsed = serialize::from_text(&text).unwrap();
+        prop_assert_eq!(graph, parsed);
+    }
+
+    /// Execution statistics are internally consistent for every schedule the
+    /// heuristics produce: utilisations in [0, 1], busy time bounded by the
+    /// makespan, transfer counts bounded by the edge count.
+    #[test]
+    fn execution_stats_invariants(seed in any::<u64>(), size in 2usize..25) {
+        let graph = random_graph(seed, size);
+        let platform = Platform::new(2, 2, 1e6, 1e6).unwrap();
+        let schedule = MemMinMin::new().schedule(&graph, &platform).unwrap();
+        let stats = execution_stats(&graph, &platform, &schedule);
+        prop_assert!(stats.makespan > 0.0);
+        for proc in &stats.processors {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&proc.utilization));
+            prop_assert!(proc.busy <= stats.makespan + 1e-9);
+        }
+        prop_assert!(stats.transfers <= graph.n_edges());
+        prop_assert!(stats.peak_parallelism <= platform.n_procs());
+        prop_assert!(stats.average_parallelism <= stats.peak_parallelism as f64 + 1e-9);
+        for mem in &stats.memories {
+            prop_assert!(mem.average <= mem.peak + 1e-9);
+        }
+    }
+
+    /// The DOT export always contains one node line per task and one edge
+    /// line per edge.
+    #[test]
+    fn dot_export_covers_graph(seed in any::<u64>(), size in 1usize..30) {
+        let graph = random_graph(seed, size);
+        let dot = mals::dag::dot::to_dot(&graph);
+        prop_assert_eq!(dot.matches(" [label=").count(), graph.n_tasks() + graph.n_edges());
+        prop_assert_eq!(dot.matches(" -> ").count(), graph.n_edges());
+    }
+}
