@@ -20,26 +20,40 @@ fn variants() -> Vec<(&'static str, MemHeftVariant)> {
         ("priority_upward_rank", MemHeftVariant::paper_default()),
         (
             "priority_cp_sum",
-            MemHeftVariant { priority: PriorityScheme::CriticalPathSum, ..Default::default() },
+            MemHeftVariant {
+                priority: PriorityScheme::CriticalPathSum,
+                ..Default::default()
+            },
         ),
         (
             "priority_mem_req",
-            MemHeftVariant { priority: PriorityScheme::MemoryRequirement, ..Default::default() },
+            MemHeftVariant {
+                priority: PriorityScheme::MemoryRequirement,
+                ..Default::default()
+            },
         ),
         (
             "tiebreak_random",
-            MemHeftVariant { tie_break: TieBreak::Random(42), ..Default::default() },
+            MemHeftVariant {
+                tie_break: TieBreak::Random(42),
+                ..Default::default()
+            },
         ),
         (
             "prefer_red_memory",
-            MemHeftVariant { memory_preference: MemoryPreference::Red, ..Default::default() },
+            MemHeftVariant {
+                memory_preference: MemoryPreference::Red,
+                ..Default::default()
+            },
         ),
     ]
 }
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let graph = small_rand_dag(24, 0xAB);
     let platform = single_pair(0.0);
@@ -82,7 +96,9 @@ fn bench_ablation(c: &mut Criterion) {
     let tiny = small_rand_dag(10, 0xAC);
     for budget in [1_000u64, 10_000, 100_000] {
         group.bench_function(format!("bb_node_budget_{budget}"), |b| {
-            b.iter(|| BranchAndBound::with_node_limit(budget).solve(black_box(&tiny), black_box(&bounded)))
+            b.iter(|| {
+                BranchAndBound::with_node_limit(budget).solve(black_box(&tiny), black_box(&bounded))
+            })
         });
     }
     group.finish();

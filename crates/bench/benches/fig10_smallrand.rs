@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // One representative DAG at the tightest of {70%, 80%, 90%, 100%} of
     // HEFT's memory requirement that is still schedulable, so the heuristics
@@ -25,7 +27,9 @@ fn bench_fig10(c: &mut Criterion) {
         .iter()
         .map(|f| f * reference.heft_peaks.max())
         .find(|&b| {
-            MemHeft::new().schedule(&graph, &platform.with_memory_bounds(b, b)).is_ok()
+            MemHeft::new()
+                .schedule(&graph, &platform.with_memory_bounds(b, b))
+                .is_ok()
         })
         .unwrap_or(reference.heft_peaks.max());
     let bounded = platform.with_memory_bounds(bound, bound);
@@ -41,7 +45,9 @@ fn bench_fig10(c: &mut Criterion) {
         b.iter(|| MemMinMin::new().schedule(black_box(&graph), black_box(&bounded)))
     });
     group.bench_function("optimal_bb_one_dag_70pct", |b| {
-        b.iter(|| BranchAndBound::with_node_limit(20_000).solve(black_box(&graph), black_box(&bounded)))
+        b.iter(|| {
+            BranchAndBound::with_node_limit(20_000).solve(black_box(&graph), black_box(&bounded))
+        })
     });
 
     // The whole (scaled-down) campaign, sequentially, as one measurement.

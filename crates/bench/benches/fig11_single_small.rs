@@ -12,12 +12,16 @@ use std::time::Duration;
 
 fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let graph = small_rand_dag(30, 0x5EED_0001);
     let platform = single_pair(0.0);
     let reference = heft_reference(&graph, &platform);
-    let grid: Vec<f64> = (0..=10).map(|i| reference.heft_peaks.max() * i as f64 / 10.0).collect();
+    let grid: Vec<f64> = (0..=10)
+        .map(|i| reference.heft_peaks.max() * i as f64 / 10.0)
+        .collect();
 
     group.bench_function("sweep_30_tasks_11_bounds", |b| {
         let memheft = MemHeft::new();
@@ -38,7 +42,10 @@ fn bench_fig11(c: &mut Criterion) {
         b.iter(|| makespan_lower_bound(black_box(&graph), black_box(&platform)))
     });
     group.bench_function("figure_entry_point_default", |b| {
-        let config = SingleRandConfig { n_tasks: 20, steps: 8 };
+        let config = SingleRandConfig {
+            n_tasks: 20,
+            steps: 8,
+        };
         b.iter(|| fig11(black_box(&config)))
     });
     group.finish();

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     let graph = large_rand_dag(200, 0x12);
     let platform = single_pair(0.0);

@@ -9,12 +9,16 @@ use std::time::Duration;
 
 fn bench_fig13(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     let graph = large_rand_dag(300, 0x13);
     let platform = single_pair(0.0);
     let reference = heft_reference(&graph, &platform);
-    let grid: Vec<f64> = (2..=10).map(|i| reference.heft_peaks.max() * i as f64 / 10.0).collect();
+    let grid: Vec<f64> = (2..=10)
+        .map(|i| reference.heft_peaks.max() * i as f64 / 10.0)
+        .collect();
 
     group.bench_function("sweep_300_tasks_9_bounds", |b| {
         let memheft = MemHeft::new();

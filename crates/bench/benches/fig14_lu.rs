@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     let graph = lu_fixture(6);
     let platform = mirage(0.0);

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_fig15(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     let graph = cholesky_fixture(7);
     let platform = mirage(0.0);

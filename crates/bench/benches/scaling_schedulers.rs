@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for &n_tasks in &[50usize, 100, 200, 400] {
         let graph = large_rand_dag(n_tasks, 0x5CA1E + n_tasks as u64);

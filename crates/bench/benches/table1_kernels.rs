@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("kernel_cost_rows", |b| {
         b.iter(|| table1::rows(black_box(&KernelCosts::table1())))

@@ -1,0 +1,274 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The MALS workspace must build in environments with no access to a crates
+//! registry, so the bench targets under `crates/bench/benches/` depend on
+//! this shim (renamed to `criterion` in the workspace manifest) instead of
+//! the real crate. It implements exactly the API surface those benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop: each benchmark is warmed up once, then run
+//! for up to `sample_size` samples or `measurement_time`, whichever ends
+//! first, and the per-iteration mean / min / max are printed.
+//!
+//! The numbers are honest but unsophisticated (no outlier rejection, no
+//! statistical comparison against saved baselines). Once a registry is
+//! reachable, point the `criterion` entry of `[workspace.dependencies]` back
+//! at crates.io and everything recompiles unchanged.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function by [`criterion_group!`].
+pub struct Criterion {
+    /// Optional substring filter taken from the command line (`cargo bench
+    /// -- <filter>`); benchmarks whose id does not contain it are skipped.
+    filter: Option<String>,
+    /// How many benchmarks the filter let through, so a filter that matches
+    /// nothing (e.g. a flag value misread as a filter) is not a silent no-op.
+    matched: Cell<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` (and sometimes harness flags) to the
+        // binary; the first free argument, if any, is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            matched: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(filter) = &self.filter {
+            if self.matched.get() == 0 {
+                eprintln!(
+                    "warning: benchmark filter `{filter}` matched nothing \
+                     (the shim treats the first non-dash argument as a name filter)"
+                );
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure a closure under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, |b| f(b));
+        self
+    }
+
+    /// Measure a closure parameterised by `input` under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&self, full_id: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.criterion.matched.set(self.criterion.matched.get() + 1);
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.measurement_time,
+            max_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(full_id);
+    }
+}
+
+/// Identifies one benchmark inside a group: a name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter shown after a `/`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Runs the measured closure and records per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly until the sample target or time budget is hit.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, not recorded
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples.is_empty() {
+            println!("{full_id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{full_id:<48} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], matching criterion's export.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a single runner function, like criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_chain() {
+        let mut c = Criterion {
+            filter: None,
+            matched: Cell::new(0),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // warm-up + at least one recorded sample
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            matched: Cell::new(0),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        assert_eq!(c.matched.get(), 0);
+        c.matched.set(1); // silence the Drop warning for this deliberate no-match
+    }
+
+    #[test]
+    fn filter_match_is_counted() {
+        let mut c = Criterion {
+            filter: Some("count".into()),
+            matched: Cell::new(0),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("counting", |b| b.iter(|| ()));
+        assert_eq!(c.matched.get(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("memheft", 400).to_string(), "memheft/400");
+    }
+}

@@ -145,9 +145,9 @@ pub fn redundant_edges(g: &TaskGraph) -> Vec<EdgeId> {
     for e in g.edge_ids() {
         let edge = g.edge(e);
         // Is dst reachable from src through some *other* child?
-        let via_other = g.children(edge.src).any(|c| {
-            c != edge.dst && closure_contains(&closure[c.index()], edge.dst.index())
-        });
+        let via_other = g
+            .children(edge.src)
+            .any(|c| c != edge.dst && closure_contains(&closure[c.index()], edge.dst.index()));
         if via_other {
             redundant.push(e);
         }
@@ -180,7 +180,10 @@ pub fn critical_path(
     edge_cost: impl Fn(EdgeId) -> f64,
 ) -> CriticalPath {
     if g.is_empty() {
-        return CriticalPath { length: 0.0, tasks: Vec::new() };
+        return CriticalPath {
+            length: 0.0,
+            tasks: Vec::new(),
+        };
     }
     let order = topological_order(g).expect("critical path requires an acyclic graph");
     let n = g.n_tasks();
@@ -252,7 +255,9 @@ mod tests {
     #[test]
     fn chain_topo_order_is_the_chain() {
         let mut g = TaskGraph::new();
-        let t: Vec<TaskId> = (0..5).map(|i| g.add_task(format!("t{i}"), 1.0, 1.0)).collect();
+        let t: Vec<TaskId> = (0..5)
+            .map(|i| g.add_task(format!("t{i}"), 1.0, 1.0))
+            .collect();
         for w in t.windows(2) {
             g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
         }
@@ -364,7 +369,9 @@ mod tests {
     #[test]
     fn closure_handles_more_than_64_tasks() {
         let mut g = TaskGraph::new();
-        let tasks: Vec<TaskId> = (0..130).map(|i| g.add_task(format!("t{i}"), 1.0, 1.0)).collect();
+        let tasks: Vec<TaskId> = (0..130)
+            .map(|i| g.add_task(format!("t{i}"), 1.0, 1.0))
+            .collect();
         for w in tasks.windows(2) {
             g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
         }

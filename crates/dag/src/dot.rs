@@ -19,7 +19,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { name: "taskgraph".to_string(), show_work: true, show_edge_weights: true }
+        DotOptions {
+            name: "taskgraph".to_string(),
+            show_work: true,
+            show_edge_weights: true,
+        }
     }
 }
 
@@ -40,7 +44,11 @@ pub fn to_dot_with(g: &TaskGraph, opts: &DotOptions) -> String {
         } else {
             data.name.clone()
         };
-        out.push_str(&format!("  n{} [label=\"{}\"];\n", t.index(), escape(&label)));
+        out.push_str(&format!(
+            "  n{} [label=\"{}\"];\n",
+            t.index(),
+            escape(&label)
+        ));
     }
     for e in g.edge_ids() {
         let edge = g.edge(e);
@@ -53,7 +61,11 @@ pub fn to_dot_with(g: &TaskGraph, opts: &DotOptions) -> String {
                 edge.comm_cost
             ));
         } else {
-            out.push_str(&format!("  n{} -> n{};\n", edge.src.index(), edge.dst.index()));
+            out.push_str(&format!(
+                "  n{} -> n{};\n",
+                edge.src.index(),
+                edge.dst.index()
+            ));
         }
     }
     out.push_str("}\n");
@@ -63,7 +75,13 @@ pub fn to_dot_with(g: &TaskGraph, opts: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "taskgraph".to_string()
@@ -101,7 +119,11 @@ mod tests {
 
     #[test]
     fn options_hide_weights() {
-        let opts = DotOptions { name: "g".into(), show_work: false, show_edge_weights: false };
+        let opts = DotOptions {
+            name: "g".into(),
+            show_work: false,
+            show_edge_weights: false,
+        };
         let dot = to_dot_with(&small(), &opts);
         assert!(dot.contains("n0 [label=\"A\"]"));
         assert!(dot.contains("n0 -> n1;"));
@@ -110,7 +132,10 @@ mod tests {
 
     #[test]
     fn sanitizes_graph_name() {
-        let opts = DotOptions { name: "my graph/1".into(), ..Default::default() };
+        let opts = DotOptions {
+            name: "my graph/1".into(),
+            ..Default::default()
+        };
         let dot = to_dot_with(&small(), &opts);
         assert!(dot.starts_with("digraph my_graph_1 {"));
     }

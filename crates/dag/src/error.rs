@@ -30,7 +30,10 @@ impl std::fmt::Display for GraphError {
             GraphError::Cycle(t) => write!(f, "dependency cycle involving task {t}"),
             GraphError::InvalidWeight(t) => write!(f, "invalid processing time on task {t}"),
             GraphError::InvalidEdgeWeight(a, b) => {
-                write!(f, "invalid file size or communication cost on edge {a} -> {b}")
+                write!(
+                    f,
+                    "invalid file size or communication cost on edge {a} -> {b}"
+                )
             }
         }
     }
@@ -47,7 +50,9 @@ mod tests {
         let t = TaskId::from_index(1);
         let u = TaskId::from_index(2);
         assert!(GraphError::SelfLoop(t).to_string().contains("self loop"));
-        assert!(GraphError::DuplicateEdge(t, u).to_string().contains("duplicate"));
+        assert!(GraphError::DuplicateEdge(t, u)
+            .to_string()
+            .contains("duplicate"));
         assert!(GraphError::Cycle(t).to_string().contains("cycle"));
         assert!(GraphError::UnknownTask(t).to_string().contains("unknown"));
     }

@@ -110,7 +110,11 @@ impl TaskGraph {
     /// its id.
     pub fn add_task(&mut self, name: impl Into<String>, work_blue: f64, work_red: f64) -> TaskId {
         let id = TaskId::from_index(self.tasks.len());
-        self.tasks.push(TaskData { name: name.into(), work_blue, work_red });
+        self.tasks.push(TaskData {
+            name: name.into(),
+            work_blue,
+            work_red,
+        });
         self.out_edges.push(Vec::new());
         self.in_edges.push(Vec::new());
         id
@@ -145,7 +149,12 @@ impl TaskGraph {
             return Err(GraphError::DuplicateEdge(src, dst));
         }
         let id = EdgeId::from_index(self.edges.len());
-        self.edges.push(EdgeData { src, dst, size, comm_cost });
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            size,
+            comm_cost,
+        });
         self.out_edges[src.index()].push(id);
         self.in_edges[dst.index()].push(id);
         Ok(id)
@@ -199,12 +208,16 @@ impl TaskGraph {
 
     /// Children (immediate successors) of `id`.
     pub fn children(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.out_edges[id.index()].iter().map(move |&e| self.edges[e.index()].dst)
+        self.out_edges[id.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Parents (immediate predecessors) of `id`.
     pub fn parents(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.in_edges[id.index()].iter().map(move |&e| self.edges[e.index()].src)
+        self.in_edges[id.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// Number of parents of `id`.
@@ -230,22 +243,32 @@ impl TaskGraph {
 
     /// Tasks with no parents (graph entry points).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Tasks with no children (graph exit points).
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// Total size of the input files of `id` (`Σ_{j ∈ Parents(i)} F_{j,i}`).
     pub fn input_size(&self, id: TaskId) -> f64 {
-        self.in_edges[id.index()].iter().map(|&e| self.edges[e.index()].size).sum()
+        self.in_edges[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].size)
+            .sum()
     }
 
     /// Total size of the output files of `id` (`Σ_{j ∈ Children(i)} F_{i,j}`).
     pub fn output_size(&self, id: TaskId) -> f64 {
-        self.out_edges[id.index()].iter().map(|&e| self.edges[e.index()].size).sum()
+        self.out_edges[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].size)
+            .sum()
     }
 
     /// Memory requirement `MemReq(i)` of the paper: the memory hosting task
@@ -386,7 +409,10 @@ mod tests {
         let a = g.add_task("a", 1.0, 1.0);
         let b = g.add_task("b", 1.0, 1.0);
         g.add_edge(a, b, 1.0, 1.0).unwrap();
-        assert_eq!(g.add_edge(a, b, 2.0, 2.0), Err(GraphError::DuplicateEdge(a, b)));
+        assert_eq!(
+            g.add_edge(a, b, 2.0, 2.0),
+            Err(GraphError::DuplicateEdge(a, b))
+        );
     }
 
     #[test]
@@ -394,8 +420,14 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", 1.0, 1.0);
         let ghost = TaskId::from_index(10);
-        assert_eq!(g.add_edge(a, ghost, 1.0, 1.0), Err(GraphError::UnknownTask(ghost)));
-        assert_eq!(g.add_edge(ghost, a, 1.0, 1.0), Err(GraphError::UnknownTask(ghost)));
+        assert_eq!(
+            g.add_edge(a, ghost, 1.0, 1.0),
+            Err(GraphError::UnknownTask(ghost))
+        );
+        assert_eq!(
+            g.add_edge(ghost, a, 1.0, 1.0),
+            Err(GraphError::UnknownTask(ghost))
+        );
     }
 
     #[test]
@@ -403,8 +435,14 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", 1.0, 1.0);
         let b = g.add_task("b", 1.0, 1.0);
-        assert!(matches!(g.add_edge(a, b, -1.0, 1.0), Err(GraphError::InvalidEdgeWeight(_, _))));
-        assert!(matches!(g.add_edge(a, b, 1.0, f64::NAN), Err(GraphError::InvalidEdgeWeight(_, _))));
+        assert!(matches!(
+            g.add_edge(a, b, -1.0, 1.0),
+            Err(GraphError::InvalidEdgeWeight(_, _))
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, 1.0, f64::NAN),
+            Err(GraphError::InvalidEdgeWeight(_, _))
+        ));
     }
 
     #[test]
@@ -446,7 +484,11 @@ mod tests {
 
     #[test]
     fn work_on_and_mean() {
-        let t = TaskData { name: "x".into(), work_blue: 3.0, work_red: 1.0 };
+        let t = TaskData {
+            name: "x".into(),
+            work_blue: 3.0,
+            work_red: 1.0,
+        };
         assert_eq!(t.work_on(true), 3.0);
         assert_eq!(t.work_on(false), 1.0);
         assert_eq!(t.mean_work(), 2.0);

@@ -146,7 +146,9 @@ mod tests {
         let (g, _) = dex();
         let u = upward_ranks(&g);
         let d = downward_ranks(&g);
-        let max_sum = (0..g.n_tasks()).map(|i| u[i] + d[i]).fold(f64::MIN, f64::max);
+        let max_sum = (0..g.n_tasks())
+            .map(|i| u[i] + d[i])
+            .fold(f64::MIN, f64::max);
         // T1, T3 and T4 form the critical path: their sums equal the maximum.
         assert!(approx_eq(u[0] + d[0], max_sum));
         assert!(approx_eq(u[2] + d[2], max_sum));

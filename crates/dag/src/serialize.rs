@@ -107,14 +107,20 @@ pub fn from_text(text: &str) -> Result<TaskGraph, ParseError> {
                 let size: f64 = parse_field(&mut fields, line_no, "file size")?;
                 let comm: f64 = parse_field(&mut fields, line_no, "communication cost")?;
                 if src >= graph.n_tasks() || dst >= graph.n_tasks() {
-                    return Err(ParseError::BadLine(line_no, "edge references unknown task".into()));
+                    return Err(ParseError::BadLine(
+                        line_no,
+                        "edge references unknown task".into(),
+                    ));
                 }
                 graph
                     .add_edge(TaskId::from_index(src), TaskId::from_index(dst), size, comm)
                     .map_err(|e| ParseError::BadLine(line_no, e.to_string()))?;
             }
             other => {
-                return Err(ParseError::BadLine(line_no, format!("unknown record `{other}`")));
+                return Err(ParseError::BadLine(
+                    line_no,
+                    format!("unknown record `{other}`"),
+                ));
             }
         }
     }
@@ -205,7 +211,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ParseError::BadHeader.to_string().contains("header"));
-        assert!(ParseError::BadLine(3, "oops".into()).to_string().contains("line 3"));
+        assert!(ParseError::BadLine(3, "oops".into())
+            .to_string()
+            .contains("line 3"));
     }
 
     #[test]

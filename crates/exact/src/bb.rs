@@ -40,7 +40,9 @@ pub struct BranchAndBound {
 
 impl Default for BranchAndBound {
     fn default() -> Self {
-        BranchAndBound { node_limit: 500_000 }
+        BranchAndBound {
+            node_limit: 500_000,
+        }
     }
 }
 
@@ -227,15 +229,14 @@ impl Scheduler for BranchAndBound {
         "Optimal(B&B)"
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         match self.solve(graph, platform).schedule {
             Some(s) => Ok(s),
-            None => Err(ScheduleError::Infeasible { scheduled: 0, total: graph.n_tasks() }),
+            None => Err(ScheduleError::Infeasible {
+                scheduled: 0,
+                total: graph.n_tasks(),
+            }),
         }
     }
 }
@@ -271,8 +272,14 @@ mod tests {
         let result = BranchAndBound::default().solve(&g, &platform);
         assert!(result.proven_optimal);
         let makespan = result.makespan.expect("a schedule exists with bound 4");
-        assert!(makespan > 6.0, "makespan {makespan} should exceed the bound-5 optimum");
-        assert!(makespan <= 7.0 + 1e-9, "the paper exhibits a schedule of makespan 7");
+        assert!(
+            makespan > 6.0,
+            "makespan {makespan} should exceed the bound-5 optimum"
+        );
+        assert!(
+            makespan <= 7.0 + 1e-9,
+            "the paper exhibits a schedule of makespan 7"
+        );
         let report = validate(&g, &platform, &result.schedule.unwrap());
         assert!(report.is_valid(), "{:?}", report.errors);
         assert!(report.peaks.blue <= 4.0 && report.peaks.red <= 4.0);
@@ -283,7 +290,12 @@ mod tests {
         let mut rng = Pcg64::new(3);
         for _ in 0..5 {
             let g = mals_gen::daggen::generate(
-                &DaggenParams { size: 8, width: 0.4, density: 0.5, jumps: 3 },
+                &DaggenParams {
+                    size: 8,
+                    width: 0.4,
+                    density: 0.5,
+                    jumps: 3,
+                },
                 &WeightRanges::small_rand(),
                 &mut rng,
             );
@@ -310,8 +322,13 @@ mod tests {
         let platform = Platform::single_pair(2.0, 2.0);
         let result = BranchAndBound::default().solve(&g, &platform);
         assert!(result.schedule.is_none());
-        assert!(result.proven_optimal, "exhaustive search proves infeasibility");
-        let err = BranchAndBound::default().schedule(&g, &platform).unwrap_err();
+        assert!(
+            result.proven_optimal,
+            "exhaustive search proves infeasibility"
+        );
+        let err = BranchAndBound::default()
+            .schedule(&g, &platform)
+            .unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
     }
 
@@ -319,7 +336,12 @@ mod tests {
     fn node_limit_degrades_gracefully() {
         let mut rng = Pcg64::new(9);
         let g = mals_gen::daggen::generate(
-            &DaggenParams { size: 12, width: 0.5, density: 0.5, jumps: 3 },
+            &DaggenParams {
+                size: 12,
+                width: 0.5,
+                density: 0.5,
+                jumps: 3,
+            },
             &WeightRanges::small_rand(),
             &mut rng,
         );

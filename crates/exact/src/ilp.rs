@@ -70,10 +70,10 @@ struct Builder<'a> {
     delta: Vec<Vec<Option<VarId>>>,
     sigma: Vec<Vec<Option<VarId>>>,
     m_ord: Vec<Vec<Option<VarId>>>,
-    m_prime: Vec<Vec<VarId>>,   // [edge][task]
-    sigma_prime: Vec<Vec<VarId>>, // [edge][task]
-    c_ind: Vec<Vec<VarId>>,     // [edge][task]
-    d_ind: Vec<Vec<VarId>>,     // [edge][task]
+    m_prime: Vec<Vec<VarId>>,         // [edge][task]
+    sigma_prime: Vec<Vec<VarId>>,     // [edge][task]
+    c_ind: Vec<Vec<VarId>>,           // [edge][task]
+    d_ind: Vec<Vec<VarId>>,           // [edge][task]
     c_prime: Vec<Vec<Option<VarId>>>, // [edge][edge]
     d_prime: Vec<Vec<Option<VarId>>>, // [edge][edge]
 }
@@ -102,7 +102,9 @@ impl<'a> Builder<'a> {
         let p: Vec<VarId> = (0..n)
             .map(|i| model.add_var(format!("p_{i}"), VarKind::Integer(0, total_procs - 1)))
             .collect();
-        let b: Vec<VarId> = (0..n).map(|i| model.add_var(format!("b_{i}"), VarKind::Binary)).collect();
+        let b: Vec<VarId> = (0..n)
+            .map(|i| model.add_var(format!("b_{i}"), VarKind::Binary))
+            .collect();
         let w: Vec<VarId> = (0..n)
             .map(|i| model.add_var(format!("w_{i}"), VarKind::Continuous(0.0, f64::INFINITY)))
             .collect();
@@ -144,8 +146,9 @@ impl<'a> Builder<'a> {
                 .map(|e| {
                     (0..m)
                         .map(|f| {
-                            (e != f)
-                                .then(|| model.add_var(format!("{prefix}_{e}_{f}"), VarKind::Binary))
+                            (e != f).then(|| {
+                                model.add_var(format!("{prefix}_{e}_{f}"), VarKind::Binary)
+                            })
                         })
                         .collect()
                 })
@@ -240,7 +243,11 @@ impl<'a> Builder<'a> {
             let delta_ij = self.delta[i][j].expect("edge endpoints are distinct");
             self.model.add_constraint(
                 format!("c3_{e}"),
-                vec![(1.0, self.tau[e]), (-edge.comm_cost, delta_ij), (-1.0, self.t[j])],
+                vec![
+                    (1.0, self.tau[e]),
+                    (-edge.comm_cost, delta_ij),
+                    (-1.0, self.t[j]),
+                ],
                 Sense::Le,
                 -edge.comm_cost,
             );
@@ -268,13 +275,23 @@ impl<'a> Builder<'a> {
                 let s_ij = self.sigma[i][j].unwrap();
                 self.model.add_constraint(
                     format!("c6a_{i}_{j}"),
-                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-1.0, self.w[i]), (-m_max, s_ij)],
+                    vec![
+                        (1.0, self.t[j]),
+                        (-1.0, self.t[i]),
+                        (-1.0, self.w[i]),
+                        (-m_max, s_ij),
+                    ],
                     Sense::Le,
                     0.0,
                 );
                 self.model.add_constraint(
                     format!("c6b_{i}_{j}"),
-                    vec![(1.0, self.t[j]), (-1.0, self.t[i]), (-1.0, self.w[i]), (-m_max, s_ij)],
+                    vec![
+                        (1.0, self.t[j]),
+                        (-1.0, self.t[i]),
+                        (-1.0, self.w[i]),
+                        (-m_max, s_ij),
+                    ],
                     Sense::Ge,
                     -m_max,
                 );
@@ -303,13 +320,23 @@ impl<'a> Builder<'a> {
                 let sp = self.sigma_prime[e][k];
                 self.model.add_constraint(
                     format!("c7a_{e}_{k}"),
-                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-1.0, self.w[k]), (-m_max, sp)],
+                    vec![
+                        (1.0, self.tau[e]),
+                        (-1.0, self.t[k]),
+                        (-1.0, self.w[k]),
+                        (-m_max, sp),
+                    ],
                     Sense::Le,
                     0.0,
                 );
                 self.model.add_constraint(
                     format!("c7b_{e}_{k}"),
-                    vec![(1.0, self.tau[e]), (-1.0, self.t[k]), (-1.0, self.w[k]), (-m_max, sp)],
+                    vec![
+                        (1.0, self.tau[e]),
+                        (-1.0, self.t[k]),
+                        (-1.0, self.w[k]),
+                        (-m_max, sp),
+                    ],
                     Sense::Ge,
                     -m_max,
                 );
@@ -415,7 +442,10 @@ impl<'a> Builder<'a> {
             let task = self.graph.task(TaskId::from_index(i));
             self.model.add_constraint(
                 format!("c24_{i}"),
-                vec![(1.0, self.w[i]), (task.work_blue - task.work_red, self.b[i])],
+                vec![
+                    (1.0, self.w[i]),
+                    (task.work_blue - task.work_red, self.b[i]),
+                ],
                 Sense::Eq,
                 task.work_blue,
             );
@@ -442,14 +472,20 @@ impl<'a> Builder<'a> {
                 if i < j {
                     self.model.add_constraint(
                         format!("c14_{i}_{j}"),
-                        vec![(1.0, self.m_ord[i][j].unwrap()), (1.0, self.m_ord[j][i].unwrap())],
+                        vec![
+                            (1.0, self.m_ord[i][j].unwrap()),
+                            (1.0, self.m_ord[j][i].unwrap()),
+                        ],
                         Sense::Ge,
                         1.0,
                     );
                     // (15) sigma_ij + sigma_ji <= 1
                     self.model.add_constraint(
                         format!("c15_{i}_{j}"),
-                        vec![(1.0, self.sigma[i][j].unwrap()), (1.0, self.sigma[j][i].unwrap())],
+                        vec![
+                            (1.0, self.sigma[i][j].unwrap()),
+                            (1.0, self.sigma[j][i].unwrap()),
+                        ],
                         Sense::Le,
                         1.0,
                     );
@@ -469,7 +505,10 @@ impl<'a> Builder<'a> {
                 // (19) sigma_ij <= m_ij
                 self.model.add_constraint(
                     format!("c19_{i}_{j}"),
-                    vec![(1.0, self.sigma[i][j].unwrap()), (-1.0, self.m_ord[i][j].unwrap())],
+                    vec![
+                        (1.0, self.sigma[i][j].unwrap()),
+                        (-1.0, self.m_ord[i][j].unwrap()),
+                    ],
                     Sense::Le,
                     0.0,
                 );
@@ -547,13 +586,19 @@ impl<'a> Builder<'a> {
                 // (17) c'_ef + c'_fe >= 1 ; (18) d'_ef + d'_fe <= 1.
                 self.model.add_constraint(
                     format!("c17_{e}_{f}"),
-                    vec![(1.0, self.c_prime[e][f].unwrap()), (1.0, self.c_prime[f][e].unwrap())],
+                    vec![
+                        (1.0, self.c_prime[e][f].unwrap()),
+                        (1.0, self.c_prime[f][e].unwrap()),
+                    ],
                     Sense::Ge,
                     1.0,
                 );
                 self.model.add_constraint(
                     format!("c18_{e}_{f}"),
-                    vec![(1.0, self.d_prime[e][f].unwrap()), (1.0, self.d_prime[f][e].unwrap())],
+                    vec![
+                        (1.0, self.d_prime[e][f].unwrap()),
+                        (1.0, self.d_prime[f][e].unwrap()),
+                    ],
                     Sense::Le,
                     1.0,
                 );
@@ -573,8 +618,9 @@ impl<'a> Builder<'a> {
                     constant_lhs += edge.size;
                     continue;
                 }
-                let alpha =
-                    self.model.add_var(format!("alpha_{e}_{i}"), VarKind::Binary);
+                let alpha = self
+                    .model
+                    .add_var(format!("alpha_{e}_{i}"), VarKind::Binary);
                 let beta = self.model.add_var(format!("beta_{e}_{i}"), VarKind::Binary);
                 terms.push((edge.size, Ind::Var(alpha)));
                 terms.push((edge.size, Ind::Var(beta)));
@@ -585,14 +631,24 @@ impl<'a> Builder<'a> {
                 let d_kpi = Ind::Var(self.d_ind[e][i]);
                 self.add_ind_constraint(
                     format!("c26a_{e}_{i}"),
-                    vec![(1.0, Ind::Var(alpha)), (-1.0, delta_ik), (-1.0, m_ki), (1.0, d_kpi)],
+                    vec![
+                        (1.0, Ind::Var(alpha)),
+                        (-1.0, delta_ik),
+                        (-1.0, m_ki),
+                        (1.0, d_kpi),
+                    ],
                     Sense::Ge,
                     -1.0,
                 );
                 // (26b) 2 alpha <= delta_ik + m_ki - d_kpi
                 self.add_ind_constraint(
                     format!("c26b_{e}_{i}"),
-                    vec![(2.0, Ind::Var(alpha)), (-1.0, delta_ik), (-1.0, m_ki), (1.0, d_kpi)],
+                    vec![
+                        (2.0, Ind::Var(alpha)),
+                        (-1.0, delta_ik),
+                        (-1.0, m_ki),
+                        (1.0, d_kpi),
+                    ],
                     Sense::Le,
                     0.0,
                 );
@@ -602,14 +658,24 @@ impl<'a> Builder<'a> {
                 let sigma_pi = Ind::Var(self.sigma[p][i].unwrap());
                 self.add_ind_constraint(
                     format!("c26c_{e}_{i}"),
-                    vec![(1.0, Ind::Var(beta)), (-1.0, delta_ip), (-1.0, c_kpi), (1.0, sigma_pi)],
+                    vec![
+                        (1.0, Ind::Var(beta)),
+                        (-1.0, delta_ip),
+                        (-1.0, c_kpi),
+                        (1.0, sigma_pi),
+                    ],
                     Sense::Ge,
                     -1.0,
                 );
                 // (26d) 2 beta <= delta_ip + c_kpi - sigma_pi
                 self.add_ind_constraint(
                     format!("c26d_{e}_{i}"),
-                    vec![(2.0, Ind::Var(beta)), (-1.0, delta_ip), (-1.0, c_kpi), (1.0, sigma_pi)],
+                    vec![
+                        (2.0, Ind::Var(beta)),
+                        (-1.0, delta_ip),
+                        (-1.0, c_kpi),
+                        (1.0, sigma_pi),
+                    ],
                     Sense::Le,
                     0.0,
                 );
@@ -643,8 +709,12 @@ impl<'a> Builder<'a> {
                     constant_lhs += edge_f.size;
                     continue;
                 }
-                let alpha = self.model.add_var(format!("alphap_{f}_{e}"), VarKind::Binary);
-                let beta = self.model.add_var(format!("betap_{f}_{e}"), VarKind::Binary);
+                let alpha = self
+                    .model
+                    .add_var(format!("alphap_{f}_{e}"), VarKind::Binary);
+                let beta = self
+                    .model
+                    .add_var(format!("betap_{f}_{e}"), VarKind::Binary);
                 terms.push((edge_f.size, Ind::Var(alpha)));
                 terms.push((edge_f.size, Ind::Var(beta)));
 
@@ -770,8 +840,9 @@ mod tests {
         // dominant quadratic growth empirically on chains of increasing size.
         let count = |n_tasks: usize| {
             let mut g = mals_dag::TaskGraph::new();
-            let tasks: Vec<_> =
-                (0..n_tasks).map(|i| g.add_task(format!("t{i}"), 1.0, 2.0)).collect();
+            let tasks: Vec<_> = (0..n_tasks)
+                .map(|i| g.add_task(format!("t{i}"), 1.0, 2.0))
+                .collect();
             for w in tasks.windows(2) {
                 g.add_edge(w[0], w[1], 1.0, 1.0).unwrap();
             }
@@ -800,7 +871,10 @@ mod tests {
         // of m*n = 16 binaries each, 2 edge-edge families of m(m-1) = 12 each,
         // plus alpha/beta (26): 2 per (task, non-incident edge) = 2 * 8,
         // and alpha'/beta' (27): 2 per ordered pair of distinct edges = 2 * 12.
-        assert_eq!(stats.n_variables, 21 + 4 * 12 + 4 * 16 + 2 * 12 + 2 * 8 + 2 * 12);
+        assert_eq!(
+            stats.n_variables,
+            21 + 4 * 12 + 4 * 16 + 2 * 12 + 2 * 8 + 2 * 12
+        );
         assert!(stats.n_binaries > 100);
         assert!(stats.n_constraints > 400);
     }
@@ -851,7 +925,9 @@ mod tests {
         assert_eq!(g.makespan_horizon(), 23.0);
         let model = build_ilp(&g, &dex_platform());
         // Some big-M constraint should carry the coefficient 23.
-        let has_big_m = model.constraints().any(|c| c.terms.iter().any(|(coef, _)| *coef == -23.0));
+        let has_big_m = model
+            .constraints()
+            .any(|c| c.terms.iter().any(|(coef, _)| *coef == -23.0));
         assert!(has_big_m);
     }
 }

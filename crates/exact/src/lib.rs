@@ -28,6 +28,6 @@ pub mod ilp;
 pub mod model;
 
 pub use bb::{BranchAndBound, ExactResult};
-pub use bounds::{load_lower_bound, makespan_lower_bound, critical_path_lower_bound};
+pub use bounds::{critical_path_lower_bound, load_lower_bound, makespan_lower_bound};
 pub use ilp::{build_ilp, IlpStats};
 pub use model::{Constraint, LpModel, Sense, VarId, VarKind};

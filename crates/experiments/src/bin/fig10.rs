@@ -9,7 +9,11 @@ use mals_util::ParallelConfig;
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config = if options.full { Fig10Config::paper() } else { Fig10Config::default() };
+    let mut config = if options.full {
+        Fig10Config::paper()
+    } else {
+        Fig10Config::default()
+    };
     if let Some(dags) = options.dags {
         config.n_dags = dags;
     }
@@ -24,7 +28,11 @@ fn main() {
         config.n_dags,
         config.n_tasks,
         config.optimal_node_limit,
-        if options.full { " (paper scale)" } else { " (scaled down; use --full for the paper scale)" }
+        if options.full {
+            " (paper scale)"
+        } else {
+            " (scaled down; use --full for the paper scale)"
+        }
     );
     let points = fig10(&config);
     print!("{}", campaign_to_csv(&points));

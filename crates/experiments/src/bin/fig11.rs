@@ -10,12 +10,18 @@ use mals_experiments::figures::{fig11, SingleRandConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config =
-        if options.full { SingleRandConfig::fig11_paper() } else { SingleRandConfig::fig11_default() };
+    let mut config = if options.full {
+        SingleRandConfig::fig11_paper()
+    } else {
+        SingleRandConfig::fig11_default()
+    };
     if let Some(tasks) = options.tasks {
         config.n_tasks = tasks;
     }
-    eprintln!("# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1)", config.n_tasks);
+    eprintln!(
+        "# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1)",
+        config.n_tasks
+    );
     let sweep = fig11(&config);
     if options.dump_dot {
         println!("{}", dot::to_dot(&sweep.graph));

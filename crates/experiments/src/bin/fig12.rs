@@ -8,7 +8,11 @@ use mals_util::ParallelConfig;
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config = if options.full { Fig12Config::paper() } else { Fig12Config::default() };
+    let mut config = if options.full {
+        Fig12Config::paper()
+    } else {
+        Fig12Config::default()
+    };
     if let Some(dags) = options.dags {
         config.n_dags = dags;
     }
@@ -22,7 +26,11 @@ fn main() {
         "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}",
         config.n_dags,
         config.n_tasks,
-        if options.full { " (paper scale)" } else { " (scaled down; use --full for the paper scale)" }
+        if options.full {
+            " (paper scale)"
+        } else {
+            " (scaled down; use --full for the paper scale)"
+        }
     );
     let points = fig12(&config);
     print!("{}", campaign_to_csv(&points));

@@ -9,15 +9,22 @@ use mals_experiments::figures::{fig13, SingleRandConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config =
-        if options.full { SingleRandConfig::fig13_paper() } else { SingleRandConfig::fig13_default() };
+    let mut config = if options.full {
+        SingleRandConfig::fig13_paper()
+    } else {
+        SingleRandConfig::fig13_default()
+    };
     if let Some(tasks) = options.tasks {
         config.n_tasks = tasks;
     }
     eprintln!(
         "# Figure 13 — one LargeRandSet DAG of {} tasks (P1 = P2 = 1){}",
         config.n_tasks,
-        if options.full { "" } else { " (scaled down; use --full for the paper scale)" }
+        if options.full {
+            ""
+        } else {
+            " (scaled down; use --full for the paper scale)"
+        }
     );
     let sweep = fig13(&config);
     if options.dump_dot {

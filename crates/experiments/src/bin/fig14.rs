@@ -7,14 +7,22 @@ use mals_experiments::figures::{fig14, LinalgConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config = if options.full { LinalgConfig::paper() } else { LinalgConfig::small() };
+    let mut config = if options.full {
+        LinalgConfig::paper()
+    } else {
+        LinalgConfig::small()
+    };
     if let Some(tiles) = options.tiles {
         config.tiles = tiles;
     }
     eprintln!(
         "# Figure 14 — LU factorisation of a {0}x{0} tile matrix on 12 CPUs + 3 accelerators{1}",
         config.tiles,
-        if options.full { " (paper scale)" } else { " (scaled down; use --full for 13x13)" }
+        if options.full {
+            " (paper scale)"
+        } else {
+            " (scaled down; use --full for 13x13)"
+        }
     );
     let sweep = fig14(&config);
     eprintln!(

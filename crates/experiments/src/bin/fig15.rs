@@ -8,7 +8,11 @@ use mals_experiments::figures::{fig15, LinalgConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
-    let mut config = if options.full { LinalgConfig::paper() } else { LinalgConfig::small() };
+    let mut config = if options.full {
+        LinalgConfig::paper()
+    } else {
+        LinalgConfig::small()
+    };
     if let Some(tiles) = options.tiles {
         config.tiles = tiles;
     }

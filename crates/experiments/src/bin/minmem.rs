@@ -19,10 +19,18 @@ fn main() {
     let workloads: Vec<(String, mals_dag::TaskGraph, Platform)> = vec![
         (
             format!("random_{rand_tasks}_tasks"),
-            SetParams::small_rand().scaled(1, rand_tasks).generate().pop().unwrap(),
+            SetParams::small_rand()
+                .scaled(1, rand_tasks)
+                .generate()
+                .pop()
+                .unwrap(),
             Platform::single_pair(0.0, 0.0),
         ),
-        (format!("lu_{tiles}x{tiles}"), lu_dag(tiles, &costs), Platform::mirage(0.0, 0.0)),
+        (
+            format!("lu_{tiles}x{tiles}"),
+            lu_dag(tiles, &costs),
+            Platform::mirage(0.0, 0.0),
+        ),
         (
             format!("cholesky_{tiles}x{tiles}"),
             cholesky_dag(tiles, &costs),
@@ -41,8 +49,14 @@ fn main() {
             println!(
                 "{name},{},{},{},{},{}",
                 entry.name,
-                entry.min_memory.map(|v| format!("{v:.1}")).unwrap_or_else(|| "na".into()),
-                entry.makespan_at_min.map(|v| format!("{v:.1}")).unwrap_or_else(|| "na".into()),
+                entry
+                    .min_memory
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "na".into()),
+                entry
+                    .makespan_at_min
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "na".into()),
                 reference.heft_peaks.max(),
                 reference.heft_makespan
             );

@@ -153,7 +153,9 @@ fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) 
             let bounded = platform.with_memory_bounds(bound, bound);
             let mut row: Vec<Option<f64>> = Vec::new();
             for scheduler in [&memheft as &dyn Scheduler, &memminmin] {
-                row.push(run_memory_aware(graph, &bounded, scheduler).map(|m| m / baseline_makespan));
+                row.push(
+                    run_memory_aware(graph, &bounded, scheduler).map(|m| m / baseline_makespan),
+                );
             }
             if config.include_optimal {
                 let result = optimal.solve(graph, &bounded);
@@ -217,16 +219,25 @@ mod tests {
         let memheft = full.method("MemHEFT").unwrap();
         assert_eq!(memheft.success_rate, 1.0);
         let mean = memheft.mean_normalized_makespan.unwrap();
-        assert!((mean - 1.0).abs() < 1e-9, "mean normalised makespan {mean} should be 1 at alpha=1");
+        assert!(
+            (mean - 1.0).abs() < 1e-9,
+            "mean normalised makespan {mean} should be 1 at alpha=1"
+        );
     }
 
     #[test]
     fn success_rate_increases_with_memory() {
         let points = tiny_campaign(false);
         for name in ["MemHEFT", "MemMinMin"] {
-            let rates: Vec<f64> = points.iter().map(|p| p.method(name).unwrap().success_rate).collect();
+            let rates: Vec<f64> = points
+                .iter()
+                .map(|p| p.method(name).unwrap().success_rate)
+                .collect();
             for w in rates.windows(2) {
-                assert!(w[1] >= w[0] - 1e-9, "{name} success rate must not decrease with memory");
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "{name} success rate must not decrease with memory"
+                );
             }
         }
     }
@@ -247,7 +258,10 @@ mod tests {
     #[test]
     fn empty_dag_set() {
         let platform = Platform::single_pair(0.0, 0.0);
-        let config = CampaignConfig { alphas: vec![0.5], ..Default::default() };
+        let config = CampaignConfig {
+            alphas: vec![0.5],
+            ..Default::default()
+        };
         let points = run_normalized_campaign(&[], &platform, &config);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].methods[0].success_rate, 0.0);

@@ -48,7 +48,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
 
 fn parse_value(flag: &str, value: Option<String>) -> Result<usize, String> {
     let value = value.ok_or_else(|| format!("{flag} expects a value"))?;
-    value.parse::<usize>().map_err(|_| format!("{flag} expects an integer, got `{value}`"))
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} expects an integer, got `{value}`"))
 }
 
 /// Parses the process arguments, printing the error and exiting on failure.
@@ -79,8 +81,19 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let o = parse_strs(&["--full", "--dags", "7", "--tasks", "25", "--tiles", "9",
-                             "--threads", "4", "--dump-dot"]).unwrap();
+        let o = parse_strs(&[
+            "--full",
+            "--dags",
+            "7",
+            "--tasks",
+            "25",
+            "--tiles",
+            "9",
+            "--threads",
+            "4",
+            "--dump-dot",
+        ])
+        .unwrap();
         assert!(o.full);
         assert_eq!(o.dags, Some(7));
         assert_eq!(o.tasks, Some(25));

@@ -24,13 +24,20 @@ pub fn campaign_to_csv(points: &[CampaignPoint]) -> String {
     }
     out.push_str("alpha");
     for m in &points[0].methods {
-        out.push_str(&format!(",{}_norm_makespan,{}_success_rate", m.name, m.name));
+        out.push_str(&format!(
+            ",{}_norm_makespan,{}_success_rate",
+            m.name, m.name
+        ));
     }
     out.push('\n');
     for p in points {
         out.push_str(&format!("{:.3}", p.alpha));
         for m in &p.methods {
-            out.push_str(&format!(",{},{:.3}", opt(m.mean_normalized_makespan), m.success_rate));
+            out.push_str(&format!(
+                ",{},{:.3}",
+                opt(m.mean_normalized_makespan),
+                m.success_rate
+            ));
         }
         out.push('\n');
     }
@@ -96,8 +103,14 @@ mod tests {
         let points = vec![SweepPoint {
             memory_bound: 10.0,
             outcomes: vec![
-                SchedulerOutcome { name: "HEFT", makespan: Some(42.0) },
-                SchedulerOutcome { name: "MemHEFT", makespan: None },
+                SchedulerOutcome {
+                    name: "HEFT",
+                    makespan: Some(42.0),
+                },
+                SchedulerOutcome {
+                    name: "MemHEFT",
+                    makespan: None,
+                },
             ],
         }];
         let csv = sweep_to_csv(&points);

@@ -59,7 +59,9 @@ impl Fig10Config {
 /// MemMinMin and the optimal schedule, as a function of the normalised memory
 /// bound, on a 1 blue + 1 red platform.
 pub fn fig10(config: &Fig10Config) -> Vec<CampaignPoint> {
-    let dags = SetParams::small_rand().scaled(config.n_dags, config.n_tasks).generate();
+    let dags = SetParams::small_rand()
+        .scaled(config.n_dags, config.n_tasks)
+        .generate();
     let platform = Platform::single_pair(0.0, 0.0);
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
@@ -110,7 +112,9 @@ impl Fig12Config {
 /// and MemMinMin (the optimal is out of reach at this size), on a 1 blue +
 /// 1 red platform.
 pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
-    let dags = SetParams::large_rand().scaled(config.n_dags, config.n_tasks).generate();
+    let dags = SetParams::large_rand()
+        .scaled(config.n_dags, config.n_tasks)
+        .generate();
     let platform = Platform::single_pair(0.0, 0.0);
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
@@ -140,7 +144,9 @@ pub struct SingleDagSweep {
 /// bounds from 0 to ~110% of HEFT's requirement.
 fn memory_grid(heft_memory: f64, steps: usize) -> Vec<f64> {
     let top = (heft_memory * 1.1).max(1.0);
-    (0..=steps).map(|i| (top * i as f64 / steps as f64).round()).collect()
+    (0..=steps)
+        .map(|i| (top * i as f64 / steps as f64).round())
+        .collect()
 }
 
 fn single_dag_sweep(graph: TaskGraph, platform: &Platform, steps: usize) -> SingleDagSweep {
@@ -159,7 +165,12 @@ fn single_dag_sweep(graph: TaskGraph, platform: &Platform, steps: usize) -> Sing
         &[&heft, &minmin],
     );
     let lower_bound = makespan_lower_bound(&graph, platform);
-    SingleDagSweep { graph, points, lower_bound, heft_memory }
+    SingleDagSweep {
+        graph,
+        points,
+        lower_bound,
+        heft_memory,
+    }
 }
 
 /// Configuration for the single-DAG random sweeps (Figures 11 and 13).
@@ -174,22 +185,34 @@ pub struct SingleRandConfig {
 impl SingleRandConfig {
     /// Figure 11 default (paper: the 30-task DAG of Figure 8).
     pub fn fig11_default() -> Self {
-        SingleRandConfig { n_tasks: 30, steps: 20 }
+        SingleRandConfig {
+            n_tasks: 30,
+            steps: 20,
+        }
     }
 
     /// Figure 11 paper configuration.
     pub fn fig11_paper() -> Self {
-        SingleRandConfig { n_tasks: 30, steps: 35 }
+        SingleRandConfig {
+            n_tasks: 30,
+            steps: 35,
+        }
     }
 
     /// Figure 13 default (scaled down from the paper's 1000-task DAG).
     pub fn fig13_default() -> Self {
-        SingleRandConfig { n_tasks: 300, steps: 20 }
+        SingleRandConfig {
+            n_tasks: 300,
+            steps: 20,
+        }
     }
 
     /// Figure 13 paper configuration.
     pub fn fig13_paper() -> Self {
-        SingleRandConfig { n_tasks: 1000, steps: 25 }
+        SingleRandConfig {
+            n_tasks: 1000,
+            steps: 25,
+        }
     }
 }
 
@@ -229,12 +252,18 @@ pub struct LinalgConfig {
 impl LinalgConfig {
     /// Default (scaled-down) configuration: a 6×6 tile matrix.
     pub fn small() -> Self {
-        LinalgConfig { tiles: 6, steps: 16 }
+        LinalgConfig {
+            tiles: 6,
+            steps: 16,
+        }
     }
 
     /// The paper's configuration: a 13×13 tile matrix.
     pub fn paper() -> Self {
-        LinalgConfig { tiles: 13, steps: 24 }
+        LinalgConfig {
+            tiles: 13,
+            steps: 24,
+        }
     }
 }
 
@@ -275,7 +304,12 @@ mod tests {
         // The optimal normalised makespan is never worse than MemHEFT's.
         assert!(
             opt.mean_normalized_makespan.unwrap()
-                <= full.method("MemHEFT").unwrap().mean_normalized_makespan.unwrap() + 1e-9
+                <= full
+                    .method("MemHEFT")
+                    .unwrap()
+                    .mean_normalized_makespan
+                    .unwrap()
+                    + 1e-9
         );
     }
 
@@ -290,12 +324,18 @@ mod tests {
         let points = fig12(&config);
         assert_eq!(points.len(), 2);
         assert!(points[1].method("MemHEFT").unwrap().success_rate >= 0.99);
-        assert!(points[0].method("Optimal(B&B)").is_none(), "no exact solver at this scale");
+        assert!(
+            points[0].method("Optimal(B&B)").is_none(),
+            "no exact solver at this scale"
+        );
     }
 
     #[test]
     fn fig11_tiny_run() {
-        let sweep = fig11(&SingleRandConfig { n_tasks: 12, steps: 6 });
+        let sweep = fig11(&SingleRandConfig {
+            n_tasks: 12,
+            steps: 6,
+        });
         assert_eq!(sweep.points.len(), 7);
         assert!(sweep.lower_bound > 0.0);
         assert!(sweep.heft_memory > 0.0);

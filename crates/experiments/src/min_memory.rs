@@ -59,7 +59,11 @@ pub fn minimum_memory(
     let tolerance = tolerance.max(1e-6);
     // The scheduler must succeed at the upper end for the search to make sense.
     let Some(makespan_at_upper) = succeeds(graph, platform, scheduler, upper_bound) else {
-        return MinMemory { name: scheduler.name(), min_memory: None, makespan_at_min: None };
+        return MinMemory {
+            name: scheduler.name(),
+            min_memory: None,
+            makespan_at_min: None,
+        };
     };
     let mut lo = 0.0f64; // known infeasible (or untested but minimal)
     let mut hi = upper_bound; // known feasible
@@ -154,8 +158,9 @@ mod tests {
         let narrow_min = minimum_memory(&narrow, &platform, &MemHeft::new(), 64.0, 0.01)
             .min_memory
             .unwrap();
-        let wide_min =
-            minimum_memory(&wide, &platform, &MemHeft::new(), 64.0, 0.01).min_memory.unwrap();
+        let wide_min = minimum_memory(&wide, &platform, &MemHeft::new(), 64.0, 0.01)
+            .min_memory
+            .unwrap();
         assert!(wide_min > narrow_min);
         assert!(wide_min >= 8.0 - 0.02);
     }
@@ -166,8 +171,7 @@ mod tests {
         let platform = Platform::single_pair(0.0, 0.0);
         let memheft = MemHeft::new();
         let memminmin = MemMinMin::new();
-        let table =
-            minimum_memory_table(&graph, &platform, &[&memheft, &memminmin], 20.0, 0.05);
+        let table = minimum_memory_table(&graph, &platform, &[&memheft, &memminmin], 20.0, 0.05);
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].name, "MemHEFT");
         assert_eq!(table[1].name, "MemMinMin");

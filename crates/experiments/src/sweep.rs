@@ -29,8 +29,12 @@ pub struct Reference {
 /// bounds of `platform` are ignored).
 pub fn heft_reference(graph: &TaskGraph, platform: &Platform) -> Reference {
     let unbounded = platform.unbounded();
-    let heft = Heft::new().schedule(graph, &unbounded).expect("HEFT cannot fail");
-    let minmin = MinMin::new().schedule(graph, &unbounded).expect("MinMin cannot fail");
+    let heft = Heft::new()
+        .schedule(graph, &unbounded)
+        .expect("HEFT cannot fail");
+    let minmin = MinMin::new()
+        .schedule(graph, &unbounded)
+        .expect("MinMin cannot fail");
     Reference {
         heft_makespan: heft.makespan(),
         heft_peaks: memory_peaks(graph, &unbounded, &heft),
@@ -121,7 +125,10 @@ pub fn sweep_absolute(
                     makespan: memory_aware_result(graph, &bounded, s),
                 });
             }
-            SweepPoint { memory_bound: bound, outcomes }
+            SweepPoint {
+                memory_bound: bound,
+                outcomes,
+            }
         })
         .collect()
 }
@@ -177,7 +184,11 @@ mod tests {
             for point in &sweep {
                 let ok = point.outcome(name).unwrap().makespan.is_some();
                 if seen_success {
-                    assert!(ok, "{name} succeeded at a smaller bound but failed at {}", point.memory_bound);
+                    assert!(
+                        ok,
+                        "{name} succeeded at a smaller bound but failed at {}",
+                        point.memory_bound
+                    );
                 }
                 seen_success |= ok;
             }

@@ -22,12 +22,36 @@ pub struct KernelRow {
 /// The rows of Table 1 for a given cost model.
 pub fn rows(costs: &KernelCosts) -> Vec<KernelRow> {
     vec![
-        KernelRow { kernel: "getrf", cpu_ms: costs.getrf.0, accelerator_ms: costs.getrf.1 },
-        KernelRow { kernel: "gemm", cpu_ms: costs.gemm.0, accelerator_ms: costs.gemm.1 },
-        KernelRow { kernel: "trsm_l", cpu_ms: costs.trsm_l.0, accelerator_ms: costs.trsm_l.1 },
-        KernelRow { kernel: "trsm_u", cpu_ms: costs.trsm_u.0, accelerator_ms: costs.trsm_u.1 },
-        KernelRow { kernel: "potrf", cpu_ms: costs.potrf.0, accelerator_ms: costs.potrf.1 },
-        KernelRow { kernel: "syrk", cpu_ms: costs.syrk.0, accelerator_ms: costs.syrk.1 },
+        KernelRow {
+            kernel: "getrf",
+            cpu_ms: costs.getrf.0,
+            accelerator_ms: costs.getrf.1,
+        },
+        KernelRow {
+            kernel: "gemm",
+            cpu_ms: costs.gemm.0,
+            accelerator_ms: costs.gemm.1,
+        },
+        KernelRow {
+            kernel: "trsm_l",
+            cpu_ms: costs.trsm_l.0,
+            accelerator_ms: costs.trsm_l.1,
+        },
+        KernelRow {
+            kernel: "trsm_u",
+            cpu_ms: costs.trsm_u.0,
+            accelerator_ms: costs.trsm_u.1,
+        },
+        KernelRow {
+            kernel: "potrf",
+            cpu_ms: costs.potrf.0,
+            accelerator_ms: costs.potrf.1,
+        },
+        KernelRow {
+            kernel: "syrk",
+            cpu_ms: costs.syrk.0,
+            accelerator_ms: costs.syrk.1,
+        },
     ]
 }
 
@@ -35,9 +59,15 @@ pub fn rows(costs: &KernelCosts) -> Vec<KernelRow> {
 pub fn to_csv(costs: &KernelCosts) -> String {
     let mut out = String::from("kernel,cpu_ms,accelerator_ms\n");
     for row in rows(costs) {
-        out.push_str(&format!("{},{},{}\n", row.kernel, row.cpu_ms, row.accelerator_ms));
+        out.push_str(&format!(
+            "{},{},{}\n",
+            row.kernel, row.cpu_ms, row.accelerator_ms
+        ));
     }
-    out.push_str(&format!("tile_transfer,{},{}\n", costs.tile_transfer, costs.tile_transfer));
+    out.push_str(&format!(
+        "tile_transfer,{},{}\n",
+        costs.tile_transfer, costs.tile_transfer
+    ));
     out
 }
 
@@ -60,7 +90,11 @@ mod tests {
     #[test]
     fn accelerator_is_faster_for_every_kernel() {
         for row in rows(&KernelCosts::table1()) {
-            assert!(row.accelerator_ms < row.cpu_ms, "{} should be faster on the accelerator", row.kernel);
+            assert!(
+                row.accelerator_ms < row.cpu_ms,
+                "{} should be faster on the accelerator",
+                row.kernel
+            );
         }
     }
 

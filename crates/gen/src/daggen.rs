@@ -46,13 +46,23 @@ impl DaggenParams {
     /// The SmallRandSet shape of the paper: 30 tasks, width 0.3, density 0.5,
     /// jumps 5.
     pub fn small_rand() -> Self {
-        DaggenParams { size: 30, width: 0.3, density: 0.5, jumps: 5 }
+        DaggenParams {
+            size: 30,
+            width: 0.3,
+            density: 0.5,
+            jumps: 5,
+        }
     }
 
     /// The LargeRandSet shape of the paper: 1000 tasks, width 0.3,
     /// density 0.5, jumps 5.
     pub fn large_rand() -> Self {
-        DaggenParams { size: 1000, width: 0.3, density: 0.5, jumps: 5 }
+        DaggenParams {
+            size: 1000,
+            width: 0.3,
+            density: 0.5,
+            jumps: 5,
+        }
     }
 
     /// Same shape with a different number of tasks (used by the scaled-down
@@ -77,12 +87,20 @@ pub struct WeightRanges {
 impl WeightRanges {
     /// SmallRandSet weights: `W ∈ [1, 20]`, `F, C ∈ [1, 10]`.
     pub fn small_rand() -> Self {
-        WeightRanges { work: (1, 20), file_size: (1, 10), comm_cost: (1, 10) }
+        WeightRanges {
+            work: (1, 20),
+            file_size: (1, 10),
+            comm_cost: (1, 10),
+        }
     }
 
     /// LargeRandSet weights: `W, F, C ∈ [1, 100]`.
     pub fn large_rand() -> Self {
-        WeightRanges { work: (1, 100), file_size: (1, 100), comm_cost: (1, 100) }
+        WeightRanges {
+            work: (1, 100),
+            file_size: (1, 100),
+            comm_cost: (1, 100),
+        }
     }
 }
 
@@ -120,7 +138,11 @@ pub fn generate(params: &DaggenParams, weights: &WeightRanges, rng: &mut Pcg64) 
                 // level structure is respected; the others may jump back up to
                 // `jumps` levels.
                 let span = params.jumps.max(1).min(lvl);
-                let src_level = if k == 0 { lvl - 1 } else { lvl - rng.uniform_usize(1, span) };
+                let src_level = if k == 0 {
+                    lvl - 1
+                } else {
+                    lvl - rng.uniform_usize(1, span)
+                };
                 let candidates = &level_tasks[src_level];
                 let src = *rng.choose(candidates).expect("levels are never empty");
                 if graph.edge_between(src, task).is_some() {
@@ -128,7 +150,9 @@ pub fn generate(params: &DaggenParams, weights: &WeightRanges, rng: &mut Pcg64) 
                 }
                 let size = rng.uniform_u64(weights.file_size.0, weights.file_size.1) as f64;
                 let comm = rng.uniform_u64(weights.comm_cost.0, weights.comm_cost.1) as f64;
-                graph.add_edge(src, task, size, comm).expect("generator edges are valid");
+                graph
+                    .add_edge(src, task, size, comm)
+                    .expect("generator edges are valid");
             }
         }
     }
@@ -214,7 +238,11 @@ mod tests {
 
     #[test]
     fn acyclic_and_connected_enough() {
-        let g = gen(13, DaggenParams::large_rand().with_size(200), WeightRanges::large_rand());
+        let g = gen(
+            13,
+            DaggenParams::large_rand().with_size(200),
+            WeightRanges::large_rand(),
+        );
         assert_eq!(g.n_tasks(), 200);
         assert!(algo::topological_order(&g).is_ok());
         // Edges never point "forward to backward": guaranteed by construction,
@@ -228,10 +256,26 @@ mod tests {
 
     #[test]
     fn width_parameter_controls_parallelism() {
-        let narrow = gen(5, DaggenParams { size: 120, width: 0.1, density: 0.5, jumps: 2 },
-                         WeightRanges::small_rand());
-        let wide = gen(5, DaggenParams { size: 120, width: 0.9, density: 0.5, jumps: 2 },
-                       WeightRanges::small_rand());
+        let narrow = gen(
+            5,
+            DaggenParams {
+                size: 120,
+                width: 0.1,
+                density: 0.5,
+                jumps: 2,
+            },
+            WeightRanges::small_rand(),
+        );
+        let wide = gen(
+            5,
+            DaggenParams {
+                size: 120,
+                width: 0.9,
+                density: 0.5,
+                jumps: 2,
+            },
+            WeightRanges::small_rand(),
+        );
         let max_level_width = |g: &TaskGraph| {
             let levels = algo::levels(g);
             let mut counts = vec![0usize; levels.iter().max().map(|&m| m + 1).unwrap_or(1)];
@@ -248,28 +292,52 @@ mod tests {
 
     #[test]
     fn jumps_allow_level_skipping() {
-        let g = gen(3, DaggenParams { size: 100, width: 0.3, density: 0.9, jumps: 5 },
-                    WeightRanges::small_rand());
+        let g = gen(
+            3,
+            DaggenParams {
+                size: 100,
+                width: 0.3,
+                density: 0.9,
+                jumps: 5,
+            },
+            WeightRanges::small_rand(),
+        );
         let levels = algo::levels(&g);
         let has_jump = g.edge_ids().any(|e| {
             let edge = g.edge(e);
             levels[edge.dst.index()] - levels[edge.src.index()] >= 2
         });
-        assert!(has_jump, "with jumps=5 and high density some edge should skip a level");
+        assert!(
+            has_jump,
+            "with jumps=5 and high density some edge should skip a level"
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty DAG")]
     fn zero_size_panics() {
         let mut rng = Pcg64::new(0);
-        let params = DaggenParams { size: 0, width: 0.3, density: 0.5, jumps: 1 };
+        let params = DaggenParams {
+            size: 0,
+            width: 0.3,
+            density: 0.5,
+            jumps: 1,
+        };
         let _ = generate(&params, &WeightRanges::small_rand(), &mut rng);
     }
 
     #[test]
     fn single_task_graph() {
-        let g = gen(0, DaggenParams { size: 1, width: 0.3, density: 0.5, jumps: 1 },
-                    WeightRanges::small_rand());
+        let g = gen(
+            0,
+            DaggenParams {
+                size: 1,
+                width: 0.3,
+                density: 0.5,
+                jumps: 1,
+            },
+            WeightRanges::small_rand(),
+        );
         assert_eq!(g.n_tasks(), 1);
         assert_eq!(g.n_edges(), 0);
     }

@@ -95,21 +95,25 @@ fn broadcast(g: &mut TaskGraph, producer: TaskId, consumers: &[TaskId], transfer
     match consumers {
         [] => {}
         [only] => {
-            g.add_edge(producer, *only, 1.0, transfer).expect("broadcast edge");
+            g.add_edge(producer, *only, 1.0, transfer)
+                .expect("broadcast edge");
         }
         _ => {
             let mut upstream = producer;
             for (idx, &consumer) in consumers.iter().enumerate() {
                 if idx + 1 == consumers.len() {
-                    g.add_edge(upstream, consumer, 1.0, transfer).expect("broadcast edge");
+                    g.add_edge(upstream, consumer, 1.0, transfer)
+                        .expect("broadcast edge");
                 } else {
                     let stage = g.add_task(
                         format!("{}_bc{}", g.task(producer).name.clone(), idx),
                         0.0,
                         0.0,
                     );
-                    g.add_edge(upstream, stage, 1.0, transfer).expect("broadcast edge");
-                    g.add_edge(stage, consumer, 1.0, transfer).expect("broadcast edge");
+                    g.add_edge(upstream, stage, 1.0, transfer)
+                        .expect("broadcast edge");
+                    g.add_edge(stage, consumer, 1.0, transfer)
+                        .expect("broadcast edge");
                     upstream = stage;
                 }
             }
@@ -137,15 +141,16 @@ pub fn lu_dag(n: usize, costs: &KernelCosts) -> TaskGraph {
     // step so the consumer order is deterministic.
     let mut consumers: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
 
-    let record = |consumers: &mut Vec<(TaskId, Vec<TaskId>)>, producer: Option<TaskId>, user: TaskId| {
-        if let Some(p) = producer {
-            if let Some(entry) = consumers.iter_mut().find(|(t, _)| *t == p) {
-                entry.1.push(user);
-            } else {
-                consumers.push((p, vec![user]));
+    let record =
+        |consumers: &mut Vec<(TaskId, Vec<TaskId>)>, producer: Option<TaskId>, user: TaskId| {
+            if let Some(p) = producer {
+                if let Some(entry) = consumers.iter_mut().find(|(t, _)| *t == p) {
+                    entry.1.push(user);
+                } else {
+                    consumers.push((p, vec![user]));
+                }
             }
-        }
-    };
+        };
 
     for k in 0..n {
         consumers.clear();
@@ -205,15 +210,16 @@ pub fn cholesky_dag(n: usize, costs: &KernelCosts) -> TaskGraph {
     let mut owner: Vec<Vec<Option<TaskId>>> = vec![vec![None; n]; n];
     let mut consumers: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
 
-    let record = |consumers: &mut Vec<(TaskId, Vec<TaskId>)>, producer: Option<TaskId>, user: TaskId| {
-        if let Some(p) = producer {
-            if let Some(entry) = consumers.iter_mut().find(|(t, _)| *t == p) {
-                entry.1.push(user);
-            } else {
-                consumers.push((p, vec![user]));
+    let record =
+        |consumers: &mut Vec<(TaskId, Vec<TaskId>)>, producer: Option<TaskId>, user: TaskId| {
+            if let Some(p) = producer {
+                if let Some(entry) = consumers.iter_mut().find(|(t, _)| *t == p) {
+                    entry.1.push(user);
+                } else {
+                    consumers.push((p, vec![user]));
+                }
             }
-        }
-    };
+        };
 
     for k in 0..n {
         consumers.clear();
@@ -256,12 +262,16 @@ pub fn cholesky_dag(n: usize, costs: &KernelCosts) -> TaskGraph {
 
 /// Counts the kernel tasks (excluding broadcast stages) in a generated graph.
 pub fn kernel_count(g: &TaskGraph) -> usize {
-    g.task_ids().filter(|&t| !g.task(t).name.contains("_bc")).count()
+    g.task_ids()
+        .filter(|&t| !g.task(t).name.contains("_bc"))
+        .count()
 }
 
 /// Counts the fictitious broadcast tasks in a generated graph.
 pub fn broadcast_count(g: &TaskGraph) -> usize {
-    g.task_ids().filter(|&t| g.task(t).name.contains("_bc")).count()
+    g.task_ids()
+        .filter(|&t| g.task(t).name.contains("_bc"))
+        .count()
 }
 
 #[cfg(test)]
@@ -274,10 +284,12 @@ mod tests {
         // Kernels at step k: 1 GETRF + 2(n-k-1) TRSM + (n-k-1)^2 GEMM.
         for n in 1..=6 {
             let g = lu_dag(n, &KernelCosts::table1());
-            let expected: usize = (0..n).map(|k| {
-                let m = n - k - 1;
-                1 + 2 * m + m * m
-            }).sum();
+            let expected: usize = (0..n)
+                .map(|k| {
+                    let m = n - k - 1;
+                    1 + 2 * m + m * m
+                })
+                .sum();
             assert_eq!(kernel_count(&g), expected, "n = {n}");
             assert!(g.validate().is_ok());
         }
@@ -288,10 +300,12 @@ mod tests {
         // Kernels at step k: 1 POTRF + (n-k-1) TRSM + (n-k-1) SYRK + C(n-k-1, 2) GEMM.
         for n in 1..=6 {
             let g = cholesky_dag(n, &KernelCosts::table1());
-            let expected: usize = (0..n).map(|k| {
-                let m = n - k - 1;
-                1 + 2 * m + m * (m.saturating_sub(1)) / 2
-            }).sum();
+            let expected: usize = (0..n)
+                .map(|k| {
+                    let m = n - k - 1;
+                    1 + 2 * m + m * (m.saturating_sub(1)) / 2
+                })
+                .sum();
             assert_eq!(kernel_count(&g), expected, "n = {n}");
             assert!(g.validate().is_ok());
         }

@@ -86,7 +86,10 @@ pub fn lu_set(tile_counts: &[usize]) -> Vec<TaskGraph> {
 /// Generates the Cholesky factorisation DAGs for the given tile counts.
 pub fn cholesky_set(tile_counts: &[usize]) -> Vec<TaskGraph> {
     let costs = KernelCosts::table1();
-    tile_counts.iter().map(|&n| cholesky_dag(n, &costs)).collect()
+    tile_counts
+        .iter()
+        .map(|&n| cholesky_dag(n, &costs))
+        .collect()
 }
 
 #[cfg(test)]

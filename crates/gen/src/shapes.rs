@@ -30,7 +30,12 @@ pub struct ShapeWeights {
 
 impl Default for ShapeWeights {
     fn default() -> Self {
-        ShapeWeights { work_blue: 2.0, work_red: 1.0, file_size: 1.0, comm_cost: 1.0 }
+        ShapeWeights {
+            work_blue: 2.0,
+            work_red: 1.0,
+            file_size: 1.0,
+            comm_cost: 1.0,
+        }
     }
 }
 
@@ -93,8 +98,11 @@ pub fn binary_in_tree(leaves: usize, weights: &ShapeWeights) -> TaskGraph {
         level += 1;
         let mut next = Vec::with_capacity(current.len() / 2);
         for (i, pair) in current.chunks(2).enumerate() {
-            let parent =
-                graph.add_task(format!("node_{level}_{i}"), weights.work_blue, weights.work_red);
+            let parent = graph.add_task(
+                format!("node_{level}_{i}"),
+                weights.work_blue,
+                weights.work_red,
+            );
             for &child in pair {
                 graph
                     .add_edge(child, parent, weights.file_size, weights.comm_cost)
@@ -166,7 +174,12 @@ mod tests {
 
     #[test]
     fn custom_weights_are_applied() {
-        let w = ShapeWeights { work_blue: 7.0, work_red: 3.0, file_size: 2.5, comm_cost: 0.5 };
+        let w = ShapeWeights {
+            work_blue: 7.0,
+            work_red: 3.0,
+            file_size: 2.5,
+            comm_cost: 0.5,
+        };
         let g = fork_join(2, &w);
         for t in g.task_ids() {
             assert_eq!(g.task(t).work_blue, 7.0);

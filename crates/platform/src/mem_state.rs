@@ -179,7 +179,7 @@ mod tests {
     fn earliest_fit_waits_for_release() {
         let mut m = bounded(10.0, 10.0);
         m.reserve_range(Memory::Blue, 0.0, 6.0, 8.0); // 8 used until t=6
-        // Need 5: must wait until t=6.
+                                                      // Need 5: must wait until t=6.
         assert_eq!(m.earliest_fit(Memory::Blue, 0.0, 5.0), Some(6.0));
         // Need 2: fits right away.
         assert_eq!(m.earliest_fit(Memory::Blue, 0.0, 2.0), Some(0.0));

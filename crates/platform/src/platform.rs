@@ -19,7 +19,10 @@ impl std::fmt::Display for PlatformError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlatformError::NoProcessors => {
-                write!(f, "a dual-memory platform needs at least one processor of each colour")
+                write!(
+                    f,
+                    "a dual-memory platform needs at least one processor of each colour"
+                )
             }
             PlatformError::InvalidMemoryBound => write!(f, "memory bounds must be non-negative"),
         }
@@ -56,20 +59,35 @@ impl Platform {
         if mem_blue.is_nan() || mem_red.is_nan() || mem_blue < 0.0 || mem_red < 0.0 {
             return Err(PlatformError::InvalidMemoryBound);
         }
-        Ok(Platform { blue_procs, red_procs, mem_blue, mem_red })
+        Ok(Platform {
+            blue_procs,
+            red_procs,
+            mem_blue,
+            mem_red,
+        })
     }
 
     /// The minimal platform of the paper's small experiments: one blue and
     /// one red processor (`P1 = P2 = 1`) with the given memory bounds.
     pub fn single_pair(mem_blue: f64, mem_red: f64) -> Self {
-        Platform { blue_procs: 1, red_procs: 1, mem_blue, mem_red }
+        Platform {
+            blue_procs: 1,
+            red_procs: 1,
+            mem_blue,
+            mem_red,
+        }
     }
 
     /// A platform shaped like the *mirage* node used for the linear-algebra
     /// experiments: 12 CPU cores and 3 GPUs, with the given memory bounds
     /// expressed in number of tiles.
     pub fn mirage(mem_blue: f64, mem_red: f64) -> Self {
-        Platform { blue_procs: 12, red_procs: 3, mem_blue, mem_red }
+        Platform {
+            blue_procs: 12,
+            red_procs: 3,
+            mem_blue,
+            mem_red,
+        }
     }
 
     /// Total number of processors `P1 + P2`.
@@ -118,7 +136,11 @@ impl Platform {
     /// Returns a copy of the platform with new memory bounds (used by the
     /// memory-sweep experiment drivers).
     pub fn with_memory_bounds(&self, mem_blue: f64, mem_red: f64) -> Self {
-        Platform { mem_blue, mem_red, ..self.clone() }
+        Platform {
+            mem_blue,
+            mem_red,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy of the platform with both memories unbounded — the
@@ -157,10 +179,22 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(Platform::new(1, 1, 10.0, 10.0).is_ok());
-        assert_eq!(Platform::new(0, 1, 10.0, 10.0), Err(PlatformError::NoProcessors));
-        assert_eq!(Platform::new(1, 0, 10.0, 10.0), Err(PlatformError::NoProcessors));
-        assert_eq!(Platform::new(1, 1, -1.0, 10.0), Err(PlatformError::InvalidMemoryBound));
-        assert_eq!(Platform::new(1, 1, 1.0, f64::NAN), Err(PlatformError::InvalidMemoryBound));
+        assert_eq!(
+            Platform::new(0, 1, 10.0, 10.0),
+            Err(PlatformError::NoProcessors)
+        );
+        assert_eq!(
+            Platform::new(1, 0, 10.0, 10.0),
+            Err(PlatformError::NoProcessors)
+        );
+        assert_eq!(
+            Platform::new(1, 1, -1.0, 10.0),
+            Err(PlatformError::InvalidMemoryBound)
+        );
+        assert_eq!(
+            Platform::new(1, 1, 1.0, f64::NAN),
+            Err(PlatformError::InvalidMemoryBound)
+        );
         assert!(Platform::new(1, 1, f64::INFINITY, 0.0).is_ok());
     }
 

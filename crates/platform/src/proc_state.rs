@@ -18,7 +18,10 @@ impl ProcessorState {
     /// Creates the state for `platform`, with every processor available at
     /// time 0.
     pub fn new(platform: &Platform) -> Self {
-        ProcessorState { blue_procs: platform.blue_procs, avail: vec![0.0; platform.n_procs()] }
+        ProcessorState {
+            blue_procs: platform.blue_procs,
+            avail: vec![0.0; platform.n_procs()],
+        }
     }
 
     /// Number of processors tracked.

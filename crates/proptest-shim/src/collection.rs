@@ -1,0 +1,46 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate a `Vec` whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.size.start, self.size.end - 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let mut rng = TestRng::from_name("vec");
+        let strategy = vec(0.0f64..50.0, 0..12);
+        let mut seen_empty = false;
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!(v.len() < 12);
+            seen_empty |= v.is_empty();
+            assert!(v.iter().all(|x| (0.0..50.0).contains(x)));
+        }
+        assert!(seen_empty, "length 0 should occur within 200 draws");
+    }
+}

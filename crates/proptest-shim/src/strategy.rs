@@ -1,0 +1,188 @@
+//! The [`Strategy`] trait and the strategy combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from a [`TestRng`].
+///
+/// Mirrors proptest's trait of the same name, minus shrinking: `generate`
+/// plays the role of `new_tree(..).current()`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+pub trait Arbitrary {
+    /// Draw an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for a type: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize range strategy");
+        rng.usize_in(self.start, self.end - 1)
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty usize range strategy");
+        rng.usize_in(*self.start(), *self.end())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty f64 range strategy");
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let u = (4usize..=18).generate(&mut rng);
+            assert!((4..=18).contains(&u));
+            let x = (0.2f64..1.5).generate(&mut rng);
+            assert!((0.2..1.5).contains(&x));
+            let h = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&h));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_both_endpoints() {
+        let mut rng = TestRng::from_name("endpoints");
+        let draws: Vec<usize> = (0..500).map(|_| (1usize..=3).generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2) && draws.contains(&3));
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strategy = (any::<u64>(), 1usize..=4).prop_map(|(seed, n)| (seed % 10, n * 2));
+        for _ in 0..100 {
+            let (s, n) = strategy.generate(&mut rng);
+            assert!(s < 10);
+            assert!([2, 4, 6, 8].contains(&n));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let draw = || {
+            let mut rng = TestRng::from_name("same-name");
+            (0..10)
+                .map(|_| any::<u64>().generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+        let mut other = TestRng::from_name("other-name");
+        let other_draws: Vec<u64> = (0..10).map(|_| any::<u64>().generate(&mut other)).collect();
+        assert_ne!(draw(), other_draws);
+    }
+}

@@ -83,7 +83,9 @@ impl MemHeftVariant {
             TieBreak::ByIndex => vec![0.0; graph.n_tasks()],
             TieBreak::Random(seed) => {
                 let mut rng = Pcg64::new(seed);
-                (0..graph.n_tasks()).map(|_| rng.next_f64() * 1e-9).collect()
+                (0..graph.n_tasks())
+                    .map(|_| rng.next_f64() * 1e-9)
+                    .collect()
             }
         };
         let mut tasks: Vec<TaskId> = graph.task_ids().collect();
@@ -105,11 +107,7 @@ impl Scheduler for MemHeftVariant {
         }
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         if self.memory_preference == MemoryPreference::Blue {
             let order = self.priority_list(graph);
             return schedule_with_priority(graph, platform, &order);
@@ -160,7 +158,9 @@ mod tests {
     fn default_variant_matches_memheft() {
         let (g, _) = dex();
         let platform = Platform::single_pair(8.0, 8.0);
-        let a = MemHeftVariant::paper_default().schedule(&g, &platform).unwrap();
+        let a = MemHeftVariant::paper_default()
+            .schedule(&g, &platform)
+            .unwrap();
         let b = MemHeft::new().schedule(&g, &platform).unwrap();
         assert_eq!(a, b);
     }
@@ -175,11 +175,26 @@ mod tests {
         );
         let platform = Platform::new(2, 2, 120.0, 120.0).unwrap();
         let variants = [
-            MemHeftVariant { priority: PriorityScheme::UpwardRank, ..Default::default() },
-            MemHeftVariant { priority: PriorityScheme::CriticalPathSum, ..Default::default() },
-            MemHeftVariant { priority: PriorityScheme::MemoryRequirement, ..Default::default() },
-            MemHeftVariant { tie_break: TieBreak::Random(1), ..Default::default() },
-            MemHeftVariant { memory_preference: MemoryPreference::Red, ..Default::default() },
+            MemHeftVariant {
+                priority: PriorityScheme::UpwardRank,
+                ..Default::default()
+            },
+            MemHeftVariant {
+                priority: PriorityScheme::CriticalPathSum,
+                ..Default::default()
+            },
+            MemHeftVariant {
+                priority: PriorityScheme::MemoryRequirement,
+                ..Default::default()
+            },
+            MemHeftVariant {
+                tie_break: TieBreak::Random(1),
+                ..Default::default()
+            },
+            MemHeftVariant {
+                memory_preference: MemoryPreference::Red,
+                ..Default::default()
+            },
         ];
         for v in variants {
             let s = v.schedule(&g, &platform).unwrap();
@@ -196,7 +211,10 @@ mod tests {
             PriorityScheme::CriticalPathSum,
             PriorityScheme::MemoryRequirement,
         ] {
-            let v = MemHeftVariant { priority, ..Default::default() };
+            let v = MemHeftVariant {
+                priority,
+                ..Default::default()
+            };
             let mut order = v.priority_list(&g);
             order.sort();
             assert_eq!(order, g.task_ids().collect::<Vec<_>>());
@@ -206,16 +224,26 @@ mod tests {
     #[test]
     fn random_tie_break_is_seed_deterministic() {
         let (g, _) = dex();
-        let v = MemHeftVariant { tie_break: TieBreak::Random(7), ..Default::default() };
+        let v = MemHeftVariant {
+            tie_break: TieBreak::Random(7),
+            ..Default::default()
+        };
         assert_eq!(v.priority_list(&g), v.priority_list(&g));
     }
 
     #[test]
     fn names_distinguish_variants() {
         assert_ne!(
-            MemHeftVariant { priority: PriorityScheme::UpwardRank, ..Default::default() }.name(),
-            MemHeftVariant { priority: PriorityScheme::CriticalPathSum, ..Default::default() }
-                .name()
+            MemHeftVariant {
+                priority: PriorityScheme::UpwardRank,
+                ..Default::default()
+            }
+            .name(),
+            MemHeftVariant {
+                priority: PriorityScheme::CriticalPathSum,
+                ..Default::default()
+            }
+            .name()
         );
     }
 }

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ScheduleError::Infeasible { scheduled: 3, total: 10 };
+        let e = ScheduleError::Infeasible {
+            scheduled: 3,
+            total: 10,
+        };
         assert!(e.to_string().contains("memory bounds"));
         assert!(e.to_string().contains("3/10"));
         let g = ScheduleError::InvalidGraph(GraphError::Cycle(TaskId::from_index(0)));
@@ -73,7 +76,10 @@ mod tests {
         use std::error::Error;
         let e = ScheduleError::InvalidGraph(GraphError::Cycle(TaskId::from_index(0)));
         assert!(e.source().is_some());
-        let i = ScheduleError::Infeasible { scheduled: 0, total: 1 };
+        let i = ScheduleError::Infeasible {
+            scheduled: 0,
+            total: 1,
+        };
         assert!(i.source().is_none());
     }
 }

@@ -35,11 +35,7 @@ impl Scheduler for Heft {
         "HEFT"
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         MemHeft::new().schedule(graph, &platform.unbounded())
     }
 }
@@ -75,8 +71,7 @@ mod tests {
         );
         let platform = Platform::new(2, 1, 40.0, 40.0).unwrap();
         let heft = Heft::new().schedule(&g, &platform).unwrap();
-        let memheft_unbounded =
-            MemHeft::new().schedule(&g, &platform.unbounded()).unwrap();
+        let memheft_unbounded = MemHeft::new().schedule(&g, &platform.unbounded()).unwrap();
         assert_eq!(heft, memheft_unbounded);
     }
 

@@ -46,7 +46,11 @@ pub fn schedule_with_priority(
     order: &[TaskId],
 ) -> Result<Schedule, ScheduleError> {
     graph.validate()?;
-    debug_assert_eq!(order.len(), graph.n_tasks(), "priority list must cover every task");
+    debug_assert_eq!(
+        order.len(),
+        graph.n_tasks(),
+        "priority list must cover every task"
+    );
     let mut partial = PartialSchedule::new(graph, platform);
     let mut remaining: Vec<TaskId> = order.to_vec();
     while !remaining.is_empty() {
@@ -74,11 +78,7 @@ impl Scheduler for MemHeft {
         "MemHEFT"
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         let order = rank::rank_sorted_tasks(graph);
         schedule_with_priority(graph, platform, &order)
     }

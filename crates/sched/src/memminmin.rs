@@ -50,11 +50,7 @@ impl Scheduler for MemMinMin {
         "MemMinMin"
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         let mut partial = PartialSchedule::new(graph, platform);
         while !partial.is_complete() {
@@ -136,7 +132,9 @@ mod tests {
         let b = g.add_task("b", 1.0, 1.0);
         g.add_edge(a, b, 1.0, 1.0).unwrap();
         g.add_edge(b, a, 1.0, 1.0).unwrap();
-        let err = MemMinMin::new().schedule(&g, &Platform::default()).unwrap_err();
+        let err = MemMinMin::new()
+            .schedule(&g, &Platform::default())
+            .unwrap_err();
         assert!(matches!(err, ScheduleError::InvalidGraph(_)));
     }
 }

@@ -28,11 +28,7 @@ impl Scheduler for MinMin {
         "MinMin"
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         MemMinMin::new().schedule(graph, &platform.unbounded())
     }
 }
@@ -57,7 +53,9 @@ mod tests {
         let (g, _) = dex();
         let platform = Platform::single_pair(3.0, 3.0);
         let a = MinMin::new().schedule(&g, &platform).unwrap();
-        let b = MemMinMin::new().schedule(&g, &platform.unbounded()).unwrap();
+        let b = MemMinMin::new()
+            .schedule(&g, &platform.unbounded())
+            .unwrap();
         assert_eq!(a, b);
     }
 

@@ -123,7 +123,10 @@ impl<'a> PartialSchedule<'a> {
     /// All ready tasks, in task-id order (the `available_tasks` set of
     /// MemMinMin).
     pub fn ready_tasks(&self) -> Vec<TaskId> {
-        self.graph.task_ids().filter(|&t| self.is_ready(t)).collect()
+        self.graph
+            .task_ids()
+            .filter(|&t| self.is_ready(t))
+            .collect()
     }
 
     /// Actual finish time of a placed task.
@@ -220,7 +223,11 @@ impl<'a> PartialSchedule<'a> {
             let parent_mem = self.assigned_memory[edge.src.index()]
                 .expect("ready task implies scheduled parents");
             let arrival = self.finish[edge.src.index()]
-                + if parent_mem == mem { 0.0 } else { edge.comm_cost };
+                + if parent_mem == mem {
+                    0.0
+                } else {
+                    edge.comm_cost
+                };
             precedence = precedence.max(arrival);
         }
 
@@ -286,7 +293,12 @@ impl<'a> PartialSchedule<'a> {
             .best_proc(mem, est)
             .expect("evaluate guarantees a processor is available by EST");
         self.procs.assign(proc, eft);
-        self.schedule.place_task(TaskPlacement { task, proc, start: est, finish: eft });
+        self.schedule.place_task(TaskPlacement {
+            task,
+            proc,
+            start: est,
+            finish: eft,
+        });
 
         // Incoming files.
         for &e in self.graph.in_edges(task) {
@@ -368,7 +380,7 @@ mod tests {
         assert_eq!(blue.eft, 3.0); // W1(T1) = 3
         let red = ps.evaluate(t1, Memory::Red).unwrap();
         assert_eq!(red.eft, 1.0); // W2(T1) = 1
-        // Best memory for T1 is red.
+                                  // Best memory for T1 is red.
         assert_eq!(ps.evaluate_best(t1).unwrap().memory, Memory::Red);
     }
 

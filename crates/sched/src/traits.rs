@@ -17,8 +17,7 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
 
     /// Computes a schedule of `graph` on `platform`.
-    fn schedule(&self, graph: &TaskGraph, platform: &Platform)
-        -> Result<Schedule, ScheduleError>;
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError>;
 }
 
 /// Blanket implementation so `&S` can be used wherever a `Scheduler` is
@@ -28,11 +27,7 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
         (**self).name()
     }
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        platform: &Platform,
-    ) -> Result<Schedule, ScheduleError> {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         (**self).schedule(graph, platform)
     }
 }

@@ -14,8 +14,18 @@ use mals_platform::{Memory, Platform};
 pub fn render_trace(graph: &TaskGraph, platform: &Platform, schedule: &Schedule) -> String {
     #[derive(Debug)]
     enum Row {
-        Task { start: f64, finish: f64, name: String, proc: usize, mem: Memory },
-        Comm { start: f64, finish: f64, name: String },
+        Task {
+            start: f64,
+            finish: f64,
+            name: String,
+            proc: usize,
+            mem: Memory,
+        },
+        Comm {
+            start: f64,
+            finish: f64,
+            name: String,
+        },
     }
     let mut rows: Vec<Row> = Vec::new();
     for p in schedule.task_placements() {
@@ -41,8 +51,10 @@ pub fn render_trace(graph: &TaskGraph, platform: &Platform, schedule: &Schedule)
     }
     rows.sort_by(|a, b| {
         let (sa, sb) = match (a, b) {
-            (Row::Task { start: x, .. } | Row::Comm { start: x, .. },
-             Row::Task { start: y, .. } | Row::Comm { start: y, .. }) => (*x, *y),
+            (
+                Row::Task { start: x, .. } | Row::Comm { start: x, .. },
+                Row::Task { start: y, .. } | Row::Comm { start: y, .. },
+            ) => (*x, *y),
         };
         sa.total_cmp(&sb)
     });
@@ -50,15 +62,23 @@ pub fn render_trace(graph: &TaskGraph, platform: &Platform, schedule: &Schedule)
     out.push_str(&format!("makespan: {:.3}\n", schedule.makespan()));
     for row in rows {
         match row {
-            Row::Task { start, finish, name, proc, mem } => {
+            Row::Task {
+                start,
+                finish,
+                name,
+                proc,
+                mem,
+            } => {
                 out.push_str(&format!(
                     "[{start:8.2} .. {finish:8.2}]  task {name:<16} on proc {proc} ({mem})\n"
                 ));
             }
-            Row::Comm { start, finish, name } => {
-                out.push_str(&format!(
-                    "[{start:8.2} .. {finish:8.2}]  transfer {name}\n"
-                ));
+            Row::Comm {
+                start,
+                finish,
+                name,
+            } => {
+                out.push_str(&format!("[{start:8.2} .. {finish:8.2}]  transfer {name}\n"));
             }
         }
     }
@@ -96,9 +116,16 @@ pub fn render_gantt(
             Memory::Blue => 'B',
             Memory::Red => 'R',
         };
-        out.push_str(&format!("p{proc:<3}{colour} |{}|\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "p{proc:<3}{colour} |{}|\n",
+            row.iter().collect::<String>()
+        ));
     }
-    out.push_str(&format!("        0{}{:.2}\n", " ".repeat(width.saturating_sub(8)), makespan));
+    out.push_str(&format!(
+        "        0{}{:.2}\n",
+        " ".repeat(width.saturating_sub(8)),
+        makespan
+    ));
     out
 }
 
@@ -114,9 +141,23 @@ mod tests {
         let b = g.add_task("B", 2.0, 1.0);
         let e = g.add_edge(a, b, 1.0, 1.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 2.0 });
-        s.place_task(TaskPlacement { task: b, proc: 1, start: 3.0, finish: 4.0 });
-        s.place_comm(CommPlacement { edge: e, start: 2.0, finish: 3.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 2.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 1,
+            start: 3.0,
+            finish: 4.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e,
+            start: 2.0,
+            finish: 3.0,
+        });
         (g, s, Platform::single_pair(10.0, 10.0))
     }
 

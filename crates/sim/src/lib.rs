@@ -7,7 +7,7 @@
 //! * [`Schedule`] — the concrete representation produced by every scheduler
 //!   in the workspace (placements for tasks and for cross-memory
 //!   communications);
-//! * [`validate`] — an independent checker for the three families of
+//! * [`validate()`] — an independent checker for the three families of
 //!   constraints of Section 3 of the paper (flow dependencies, resource
 //!   exclusivity, memory capacity), which replays the file-residency rules to
 //!   compute the actual memory peaks;

@@ -115,14 +115,42 @@ mod tests {
     /// Schedule s1 from Figure 3 of the paper.
     fn s1(g: &TaskGraph, [t1, t2, t3, t4]: [TaskId; 4]) -> Schedule {
         let mut s = Schedule::for_graph(g);
-        s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 1,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 1,
+            start: 1.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 0,
+            start: 2.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 1,
+            start: 5.0,
+            finish: 6.0,
+        });
         let e12 = g.edge_between(t1, t2).unwrap();
         let e24 = g.edge_between(t2, t4).unwrap();
-        s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
-        s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+        s.place_comm(CommPlacement {
+            edge: e12,
+            start: 1.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e24,
+            start: 4.0,
+            finish: 5.0,
+        });
         s
     }
 
@@ -162,10 +190,30 @@ mod tests {
         let (g, [t1, t2, t3, t4]) = dex();
         let mut s = Schedule::for_graph(&g);
         // Everything on the blue processor, sequentially.
-        s.place_task(TaskPlacement { task: t1, proc: 0, start: 0.0, finish: 3.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 0, start: 3.0, finish: 5.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 0, start: 5.0, finish: 11.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 0, start: 11.0, finish: 12.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 0,
+            start: 0.0,
+            finish: 3.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 0,
+            start: 3.0,
+            finish: 5.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 0,
+            start: 5.0,
+            finish: 11.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 0,
+            start: 11.0,
+            finish: 12.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let peaks = memory_peaks(&g, &platform, &s);
         assert_eq!(peaks.red, 0.0);
@@ -183,8 +231,18 @@ mod tests {
         let b = g.add_task("b", 1.0, 1.0);
         g.add_edge(a, b, 0.0, 0.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: b, proc: 0, start: 1.0, finish: 2.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 0,
+            start: 1.0,
+            finish: 2.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let peaks = memory_peaks(&g, &platform, &s);
         assert_eq!(peaks.blue, 0.0);
@@ -195,7 +253,12 @@ mod tests {
     fn incomplete_schedule_ignores_unplaced_endpoints() {
         let (g, [t1, ..]) = dex();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: t1, proc: 0, start: 0.0, finish: 3.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 0,
+            start: 0.0,
+            finish: 3.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let peaks = memory_peaks(&g, &platform, &s);
         assert_eq!(peaks.blue, 0.0);
@@ -208,9 +271,23 @@ mod tests {
         let b = g.add_task("b", 1.0, 1.0);
         let e = g.add_edge(a, b, 4.0, 2.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: b, proc: 1, start: 5.0, finish: 6.0 });
-        s.place_comm(CommPlacement { edge: e, start: 2.0, finish: 4.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 1,
+            start: 5.0,
+            finish: 6.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e,
+            start: 2.0,
+            finish: 4.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let profiles = memory_profiles(&g, &platform, &s);
         let blue = &profiles[Memory::Blue.index()];

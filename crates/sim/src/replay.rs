@@ -65,8 +65,11 @@ pub struct ExecutionStats {
 impl ExecutionStats {
     /// Aggregate utilisation of the processors attached to `memory`.
     pub fn pool_utilization(&self, memory: Memory) -> f64 {
-        let pool: Vec<&ProcessorStats> =
-            self.processors.iter().filter(|p| p.memory == memory).collect();
+        let pool: Vec<&ProcessorStats> = self
+            .processors
+            .iter()
+            .filter(|p| p.memory == memory)
+            .collect();
         if pool.is_empty() {
             0.0
         } else {
@@ -128,7 +131,11 @@ pub fn execution_stats(
         } else {
             0.0
         };
-        MemoryStats { memory: mem, peak, average }
+        MemoryStats {
+            memory: mem,
+            peak,
+            average,
+        }
     });
 
     // Transfers.
@@ -160,7 +167,11 @@ pub fn execution_stats(
         current += delta;
         peak_parallelism = peak_parallelism.max(current.max(0) as usize);
     }
-    let average_parallelism = if makespan > 0.0 { weighted / makespan } else { 0.0 };
+    let average_parallelism = if makespan > 0.0 {
+        weighted / makespan
+    } else {
+        0.0
+    };
 
     ExecutionStats {
         makespan,
@@ -228,14 +239,42 @@ mod tests {
     /// The paper's schedule s1 (Figure 3).
     fn s1(g: &TaskGraph, [t1, t2, t3, t4]: [TaskId; 4]) -> Schedule {
         let mut s = Schedule::for_graph(g);
-        s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 1,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 1,
+            start: 1.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 0,
+            start: 2.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 1,
+            start: 5.0,
+            finish: 6.0,
+        });
         let e12 = g.edge_between(t1, t2).unwrap();
         let e24 = g.edge_between(t2, t4).unwrap();
-        s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
-        s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+        s.place_comm(CommPlacement {
+            edge: e12,
+            start: 1.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e24,
+            start: 4.0,
+            finish: 5.0,
+        });
         s
     }
 
@@ -301,8 +340,18 @@ mod tests {
         let b = g.add_task("b", 2.0, 2.0);
         g.add_edge(a, b, 0.0, 0.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 0.0 });
-        s.place_task(TaskPlacement { task: b, proc: 0, start: 0.0, finish: 2.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 0.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 0,
+            start: 0.0,
+            finish: 2.0,
+        });
         let platform = Platform::single_pair(5.0, 5.0);
         let stats = execution_stats(&g, &platform, &s);
         assert_eq!(stats.peak_parallelism, 1);

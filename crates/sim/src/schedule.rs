@@ -56,7 +56,10 @@ impl Schedule {
     /// Creates an empty schedule for a graph with `n_tasks` tasks and
     /// `n_edges` edges.
     pub fn empty(n_tasks: usize, n_edges: usize) -> Self {
-        Schedule { tasks: vec![None; n_tasks], comms: vec![None; n_edges] }
+        Schedule {
+            tasks: vec![None; n_tasks],
+            comms: vec![None; n_edges],
+        }
     }
 
     /// Creates an empty schedule sized for `graph`.
@@ -113,7 +116,12 @@ impl Schedule {
 
     /// Returns `true` if the endpoints of `edge` are placed on different
     /// memories (so the edge requires a transfer).
-    pub fn is_cross_memory(&self, graph: &TaskGraph, platform: &Platform, edge: EdgeId) -> Option<bool> {
+    pub fn is_cross_memory(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        edge: EdgeId,
+    ) -> Option<bool> {
         let e = graph.edge(edge);
         let src = self.memory_of(platform, e.src)?;
         let dst = self.memory_of(platform, e.dst)?;
@@ -167,15 +175,43 @@ mod tests {
     pub(crate) fn s1(g: &TaskGraph, t: [TaskId; 4]) -> Schedule {
         let [t1, t2, t3, t4] = t;
         let mut s = Schedule::for_graph(g);
-        s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 1,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 1,
+            start: 1.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 0,
+            start: 2.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 1,
+            start: 5.0,
+            finish: 6.0,
+        });
         // Communications: (T1,T2) crosses red -> blue, (T2,T4) blue -> red.
         let e12 = g.edge_between(t1, t2).unwrap();
         let e24 = g.edge_between(t2, t4).unwrap();
-        s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
-        s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+        s.place_comm(CommPlacement {
+            edge: e12,
+            start: 1.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e24,
+            start: 4.0,
+            finish: 5.0,
+        });
         s
     }
 
@@ -229,9 +265,18 @@ mod tests {
 
     #[test]
     fn placement_durations() {
-        let p = TaskPlacement { task: TaskId::from_index(0), proc: 0, start: 2.0, finish: 5.0 };
+        let p = TaskPlacement {
+            task: TaskId::from_index(0),
+            proc: 0,
+            start: 2.0,
+            finish: 5.0,
+        };
         assert_eq!(p.duration(), 3.0);
-        let c = CommPlacement { edge: EdgeId::from_index(0), start: 1.0, finish: 2.5 };
+        let c = CommPlacement {
+            edge: EdgeId::from_index(0),
+            start: 1.0,
+            finish: 2.5,
+        };
         assert_eq!(c.duration(), 1.5);
     }
 }

@@ -76,7 +76,11 @@ impl std::fmt::Display for ValidationError {
             ValidationError::MissingTask(t) => write!(f, "task {t} is not placed"),
             ValidationError::InvalidProcessor(t) => write!(f, "task {t} uses an invalid processor"),
             ValidationError::NegativeTime(t) => write!(f, "task {t} has an invalid time window"),
-            ValidationError::DurationMismatch { task, actual, expected } => {
+            ValidationError::DurationMismatch {
+                task,
+                actual,
+                expected,
+            } => {
                 write!(f, "task {task} runs for {actual} instead of {expected}")
             }
             ValidationError::FlowViolation { edge } => write!(f, "flow violated on edge {edge}"),
@@ -85,12 +89,22 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "transfer on edge {edge} violates timing constraints")
             }
             ValidationError::SpuriousComm(e) => {
-                write!(f, "edge {e} has a transfer although both endpoints share a memory")
+                write!(
+                    f,
+                    "edge {e} has a transfer although both endpoints share a memory"
+                )
             }
             ValidationError::ResourceOverlap { first, second } => {
-                write!(f, "tasks {first} and {second} overlap on the same processor")
+                write!(
+                    f,
+                    "tasks {first} and {second} overlap on the same processor"
+                )
             }
-            ValidationError::MemoryExceeded { memory, peak, bound } => {
+            ValidationError::MemoryExceeded {
+                memory,
+                peak,
+                bound,
+            } => {
                 write!(f, "{memory} memory peak {peak} exceeds bound {bound}")
             }
         }
@@ -192,13 +206,18 @@ pub fn validate(graph: &TaskGraph, platform: &Platform, schedule: &Schedule) -> 
         tasks.sort_by(|&a, &b| {
             let pa = schedule.task(a).unwrap();
             let pb = schedule.task(b).unwrap();
-            pa.start.total_cmp(&pb.start).then(pa.finish.total_cmp(&pb.finish))
+            pa.start
+                .total_cmp(&pb.start)
+                .then(pa.finish.total_cmp(&pb.finish))
         });
         for pair in tasks.windows(2) {
             let first = schedule.task(pair[0]).unwrap();
             let second = schedule.task(pair[1]).unwrap();
             if !approx_le(first.finish, second.start) {
-                errors.push(ValidationError::ResourceOverlap { first: pair[0], second: pair[1] });
+                errors.push(ValidationError::ResourceOverlap {
+                    first: pair[0],
+                    second: pair[1],
+                });
             }
         }
     }
@@ -208,11 +227,19 @@ pub fn validate(graph: &TaskGraph, platform: &Platform, schedule: &Schedule) -> 
     for mem in Memory::BOTH {
         let bound = platform.memory_bound(mem);
         if !approx_le(peaks.get(mem), bound) {
-            errors.push(ValidationError::MemoryExceeded { memory: mem, peak: peaks.get(mem), bound });
+            errors.push(ValidationError::MemoryExceeded {
+                memory: mem,
+                peak: peaks.get(mem),
+                bound,
+            });
         }
     }
 
-    ValidationReport { makespan: schedule.makespan(), peaks, errors }
+    ValidationReport {
+        makespan: schedule.makespan(),
+        peaks,
+        errors,
+    }
 }
 
 #[cfg(test)]
@@ -235,14 +262,42 @@ mod tests {
 
     fn s1(g: &TaskGraph, [t1, t2, t3, t4]: [TaskId; 4]) -> Schedule {
         let mut s = Schedule::for_graph(g);
-        s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 1,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 1,
+            start: 1.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 0,
+            start: 2.0,
+            finish: 4.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 1,
+            start: 5.0,
+            finish: 6.0,
+        });
         let e12 = g.edge_between(t1, t2).unwrap();
         let e24 = g.edge_between(t2, t4).unwrap();
-        s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
-        s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+        s.place_comm(CommPlacement {
+            edge: e12,
+            start: 1.0,
+            finish: 2.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e24,
+            start: 4.0,
+            finish: 5.0,
+        });
         s
     }
 
@@ -267,10 +322,13 @@ mod tests {
         let platform = Platform::single_pair(4.0, 4.0);
         let report = validate(&g, &platform, &s);
         assert!(!report.is_valid());
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, ValidationError::MemoryExceeded { memory: Memory::Red, .. })));
+        assert!(report.errors.iter().any(|e| matches!(
+            e,
+            ValidationError::MemoryExceeded {
+                memory: Memory::Red,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -287,7 +345,10 @@ mod tests {
         };
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::MissingTask(x) if *x == t[3])));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingTask(x) if *x == t[3])));
     }
 
     #[test]
@@ -295,7 +356,12 @@ mod tests {
         let (g, t) = dex();
         let mut s = s1(&g, t);
         // T1 on the red processor should take 1 unit; claim 2.
-        s.place_task(TaskPlacement { task: t[0], proc: 1, start: 0.0, finish: 2.0 });
+        s.place_task(TaskPlacement {
+            task: t[0],
+            proc: 1,
+            start: 0.0,
+            finish: 2.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
         assert!(report
@@ -309,17 +375,46 @@ mod tests {
         let (g, [t1, t2, t3, t4]) = dex();
         let mut s = Schedule::for_graph(&g);
         // T3 starts before its parent T1 finishes, both on blue.
-        s.place_task(TaskPlacement { task: t1, proc: 0, start: 0.0, finish: 3.0 });
-        s.place_task(TaskPlacement { task: t3, proc: 0, start: 2.0, finish: 8.0 });
-        s.place_task(TaskPlacement { task: t2, proc: 1, start: 3.0, finish: 5.0 });
-        s.place_task(TaskPlacement { task: t4, proc: 1, start: 9.0, finish: 10.0 });
+        s.place_task(TaskPlacement {
+            task: t1,
+            proc: 0,
+            start: 0.0,
+            finish: 3.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t3,
+            proc: 0,
+            start: 2.0,
+            finish: 8.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t2,
+            proc: 1,
+            start: 3.0,
+            finish: 5.0,
+        });
+        s.place_task(TaskPlacement {
+            task: t4,
+            proc: 1,
+            start: 9.0,
+            finish: 10.0,
+        });
         let platform = Platform::single_pair(100.0, 100.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::FlowViolation { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::FlowViolation { .. })));
         // T1 -> T2 crosses memories without a transfer.
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::MissingComm(_))));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingComm(_))));
         // T3 and T1 also overlap on processor 0.
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::ResourceOverlap { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::ResourceOverlap { .. })));
     }
 
     #[test]
@@ -329,13 +424,30 @@ mod tests {
         let b = g.add_task("b", 1.0, 1.0);
         let e = g.add_edge(a, b, 1.0, 3.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: b, proc: 1, start: 2.0, finish: 3.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 1,
+            start: 2.0,
+            finish: 3.0,
+        });
         // Transfer of duration 1 instead of 3, overlapping b's start.
-        s.place_comm(CommPlacement { edge: e, start: 1.0, finish: 2.0 });
+        s.place_comm(CommPlacement {
+            edge: e,
+            start: 1.0,
+            finish: 2.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::CommViolation { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CommViolation { .. })));
     }
 
     #[test]
@@ -345,12 +457,29 @@ mod tests {
         let b = g.add_task("b", 1.0, 1.0);
         let e = g.add_edge(a, b, 1.0, 1.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 0.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: b, proc: 0, start: 2.0, finish: 3.0 });
-        s.place_comm(CommPlacement { edge: e, start: 1.0, finish: 2.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 0.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 0,
+            start: 2.0,
+            finish: 3.0,
+        });
+        s.place_comm(CommPlacement {
+            edge: e,
+            start: 1.0,
+            finish: 2.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|er| matches!(er, ValidationError::SpuriousComm(_))));
+        assert!(report
+            .errors
+            .iter()
+            .any(|er| matches!(er, ValidationError::SpuriousComm(_))));
     }
 
     #[test]
@@ -358,10 +487,18 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", 1.0, 1.0);
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 7, start: 0.0, finish: 1.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 7,
+            start: 0.0,
+            finish: 1.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::InvalidProcessor(_))));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::InvalidProcessor(_))));
     }
 
     #[test]
@@ -369,10 +506,18 @@ mod tests {
         let mut g = TaskGraph::new();
         let a = g.add_task("a", 1.0, 1.0);
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: -2.0, finish: -1.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: -2.0,
+            finish: -1.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::NegativeTime(_))));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::NegativeTime(_))));
     }
 
     #[test]
@@ -382,8 +527,18 @@ mod tests {
         let b = g.add_task("b", 0.0, 0.0);
         g.add_edge(a, b, 0.0, 0.0).unwrap();
         let mut s = Schedule::for_graph(&g);
-        s.place_task(TaskPlacement { task: a, proc: 0, start: 1.0, finish: 1.0 });
-        s.place_task(TaskPlacement { task: b, proc: 0, start: 1.0, finish: 1.0 });
+        s.place_task(TaskPlacement {
+            task: a,
+            proc: 0,
+            start: 1.0,
+            finish: 1.0,
+        });
+        s.place_task(TaskPlacement {
+            task: b,
+            proc: 0,
+            start: 1.0,
+            finish: 1.0,
+        });
         let platform = Platform::single_pair(10.0, 10.0);
         let report = validate(&g, &platform, &s);
         assert!(report.is_valid(), "{:?}", report.errors);
@@ -391,7 +546,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = ValidationError::MemoryExceeded { memory: Memory::Red, peak: 7.0, bound: 5.0 };
+        let e = ValidationError::MemoryExceeded {
+            memory: Memory::Red,
+            peak: 7.0,
+            bound: 5.0,
+        };
         assert!(e.to_string().contains("red"));
         assert!(e.to_string().contains('7'));
         let e2 = ValidationError::MissingTask(TaskId::from_index(3));

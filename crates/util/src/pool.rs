@@ -23,7 +23,10 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { threads: 0, chunk: 1 }
+        ParallelConfig {
+            threads: 0,
+            chunk: 1,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl ParallelConfig {
     /// A configuration that runs everything sequentially on the caller
     /// thread. Useful for deterministic debugging and in tests.
     pub fn sequential() -> Self {
-        ParallelConfig { threads: 1, chunk: usize::MAX }
+        ParallelConfig {
+            threads: 1,
+            chunk: usize::MAX,
+        }
     }
 
     /// A configuration using `threads` workers and chunk size 1.
@@ -40,7 +46,9 @@ impl ParallelConfig {
     }
 
     fn effective_threads(&self, items: usize) -> usize {
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let requested = if self.threads == 0 { hw } else { self.threads };
         requested.clamp(1, items.max(1))
     }
@@ -165,7 +173,10 @@ mod tests {
     fn every_item_processed_exactly_once() {
         static COUNT: AtomicUsize = AtomicUsize::new(0);
         let items: Vec<usize> = (0..5000).collect();
-        let cfg = ParallelConfig { threads: 8, chunk: 7 };
+        let cfg = ParallelConfig {
+            threads: 8,
+            chunk: 7,
+        };
         let out = parallel_map(&items, cfg, |&x| {
             COUNT.fetch_add(1, Ordering::Relaxed);
             x

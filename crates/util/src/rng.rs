@@ -38,7 +38,10 @@ impl Pcg64 {
         let mut s = seed;
         let init_state = splitmix64(&mut s);
         let init_inc = splitmix64(&mut s) | 1; // stream selector must be odd
-        let mut rng = Pcg64 { state: 0, inc: init_inc };
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: init_inc,
+        };
         rng.state = rng.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(rng.inc);
         rng.state = rng.state.wrapping_add(init_state);
         rng.state = rng.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(rng.inc);

@@ -28,7 +28,9 @@ pub struct Staircase {
 impl Staircase {
     /// Creates a function that is constant and equal to `value` everywhere.
     pub fn constant(value: f64) -> Self {
-        Staircase { points: vec![(0.0, value)] }
+        Staircase {
+            points: vec![(0.0, value)],
+        }
     }
 
     /// Number of breakpoints in the internal representation.
@@ -53,7 +55,10 @@ impl Staircase {
 
     /// Returns the value of the last (rightmost) segment, i.e. `f(+∞)`.
     pub fn final_value(&self) -> f64 {
-        self.points.last().expect("staircase always has a segment").1
+        self.points
+            .last()
+            .expect("staircase always has a segment")
+            .1
     }
 
     /// Returns the minimum of the function over `[0, +∞)`.
@@ -81,7 +86,11 @@ impl Staircase {
         }
         let mut max = f64::NEG_INFINITY;
         for (i, &(x, v)) in self.points.iter().enumerate() {
-            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            let seg_end = self
+                .points
+                .get(i + 1)
+                .map(|&(x2, _)| x2)
+                .unwrap_or(f64::INFINITY);
             if seg_end > t1 + EPSILON && x < t2 - EPSILON {
                 max = max.max(v);
             }
@@ -115,7 +124,11 @@ impl Staircase {
         let mut min = f64::INFINITY;
         for (i, &(x, v)) in self.points.iter().enumerate() {
             let seg_start = x;
-            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            let seg_end = self
+                .points
+                .get(i + 1)
+                .map(|&(x2, _)| x2)
+                .unwrap_or(f64::INFINITY);
             // Segment [seg_start, seg_end) intersects [t1, t2)?
             if seg_end > t1 + EPSILON && seg_start < t2 - EPSILON {
                 min = min.min(v);
@@ -171,7 +184,11 @@ impl Staircase {
         let mut answer = t_min;
         for i in (0..self.points.len()).rev() {
             let (x, v) = self.points[i];
-            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            let seg_end = self
+                .points
+                .get(i + 1)
+                .map(|&(x2, _)| x2)
+                .unwrap_or(f64::INFINITY);
             // Segments entirely before t_min cannot constrain the answer.
             if seg_end <= t_min + EPSILON {
                 break;
@@ -201,7 +218,11 @@ impl Staircase {
         let mut answer = t_min;
         for i in (0..self.points.len()).rev() {
             let (_x, v) = self.points[i];
-            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2).unwrap_or(f64::INFINITY);
+            let seg_end = self
+                .points
+                .get(i + 1)
+                .map(|&(x2, _)| x2)
+                .unwrap_or(f64::INFINITY);
             if seg_end <= t_min + EPSILON {
                 break;
             }
@@ -380,7 +401,7 @@ mod tests {
     fn earliest_sustained_ignores_future_dips_only_if_threshold_met() {
         let mut s = Staircase::constant(10.0);
         s.add_range(5.0, 8.0, -7.0); // dip to 3 on [5,8)
-        // Threshold 5 cannot be sustained from t=0; must wait until t=8.
+                                     // Threshold 5 cannot be sustained from t=0; must wait until t=8.
         assert_eq!(s.earliest_sustained_ge(0.0, 5.0), Some(8.0));
         // Threshold 2 is fine from the start.
         assert_eq!(s.earliest_sustained_ge(0.0, 2.0), Some(0.0));

@@ -18,7 +18,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -152,7 +158,10 @@ impl Summary {
 /// `q` must be in `[0, 1]`.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "percentile fraction out of range: {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile fraction out of range: {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -7,7 +7,10 @@ use mals::experiments::csv::sweep_to_csv;
 use mals::experiments::figures::{fig15, LinalgConfig};
 
 fn main() {
-    let tiles: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let tiles: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     let sweep = fig15(&LinalgConfig { tiles, steps: 16 });
     eprintln!(
         "Cholesky {tiles}x{tiles}: {} tasks, HEFT needs {:.0} tiles, lower bound {:.0} ms",

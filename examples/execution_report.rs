@@ -8,7 +8,10 @@ use mals::sim::replay::{execution_stats, render_stats};
 use mals::sim::{gantt, memory_peaks};
 
 fn main() {
-    let tiles: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let tiles: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let graph = cholesky_dag(tiles, &KernelCosts::table1());
     println!(
         "Cholesky {tiles}x{tiles}: {} tasks ({} kernels), {} edges\n",

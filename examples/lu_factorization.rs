@@ -8,7 +8,10 @@ use mals::prelude::*;
 use mals::sim::memory_peaks;
 
 fn main() {
-    let tiles: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let tiles: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let graph = lu_dag(tiles, &KernelCosts::table1());
     println!(
         "LU factorisation of a {tiles}x{tiles} tile matrix: {} tasks, {} edges",

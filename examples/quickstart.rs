@@ -11,8 +11,11 @@ fn main() {
     // (blue) time and an accelerator (red) time, and a file on every edge.
     let (graph, [t1, _t2, t3, _t4]) = dex();
     println!("D_ex: {} tasks, {} edges", graph.n_tasks(), graph.n_edges());
-    println!("T1 runs in {} on the CPU and {} on the accelerator",
-             graph.task(t1).work_blue, graph.task(t1).work_red);
+    println!(
+        "T1 runs in {} on the CPU and {} on the accelerator",
+        graph.task(t1).work_blue,
+        graph.task(t1).work_red
+    );
     println!("MemReq(T3) = {} memory units\n", graph.mem_req(t3));
 
     // One CPU and one accelerator, each with 5 units of memory.

@@ -12,8 +12,14 @@ use mals::prelude::*;
 use mals::util::ParallelConfig;
 
 fn main() {
-    let n_dags: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let n_tasks: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let n_dags: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let n_tasks: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
     let dags = SetParams::small_rand().scaled(n_dags, n_tasks).generate();
     eprintln!("campaign over {n_dags} random DAGs of {n_tasks} tasks (P1 = P2 = 1)");

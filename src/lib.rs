@@ -58,7 +58,7 @@ pub use mals_util as util;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mals_dag::{EdgeId, TaskGraph, TaskId};
-    pub use mals_exact::{BranchAndBound, build_ilp};
+    pub use mals_exact::{build_ilp, BranchAndBound};
     pub use mals_gen::{cholesky_dag, dex, lu_dag, DaggenParams, KernelCosts, WeightRanges};
     pub use mals_platform::{Memory, Platform};
     pub use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, ScheduleError, Scheduler};

@@ -21,7 +21,12 @@ fn random_graphs_all_schedulers_valid_under_generous_memory() {
                 .schedule(graph, &platform)
                 .unwrap_or_else(|e| panic!("dag {i}, {}: {e}", scheduler.name()));
             let report = validate(graph, &platform, &schedule);
-            assert!(report.is_valid(), "dag {i}, {}: {:?}", scheduler.name(), report.errors);
+            assert!(
+                report.is_valid(),
+                "dag {i}, {}: {:?}",
+                scheduler.name(),
+                report.errors
+            );
             assert!(schedule.is_complete(graph));
         }
     }
@@ -54,13 +59,22 @@ fn tighter_memory_never_invalidates_produced_schedules() {
     let graph = {
         let mut rng = Pcg64::new(77);
         mals::gen::daggen::generate(
-            &DaggenParams { size: 40, width: 0.4, density: 0.5, jumps: 3 },
+            &DaggenParams {
+                size: 40,
+                width: 0.4,
+                density: 0.5,
+                jumps: 3,
+            },
             &WeightRanges::small_rand(),
             &mut rng,
         )
     };
     let unbounded = Platform::single_pair(f64::INFINITY, f64::INFINITY);
-    let reference = memory_peaks(&graph, &unbounded, &Heft::new().schedule(&graph, &unbounded).unwrap());
+    let reference = memory_peaks(
+        &graph,
+        &unbounded,
+        &Heft::new().schedule(&graph, &unbounded).unwrap(),
+    );
     let full = reference.max();
     for fraction in [1.0, 0.8, 0.6, 0.4, 0.3] {
         let bound = full * fraction;
@@ -88,7 +102,10 @@ fn tighter_memory_never_invalidates_produced_schedules() {
 #[test]
 fn linear_algebra_graphs_schedule_and_validate() {
     let costs = KernelCosts::table1();
-    let graphs = vec![("lu", lu_dag(5, &costs)), ("cholesky", cholesky_dag(6, &costs))];
+    let graphs = vec![
+        ("lu", lu_dag(5, &costs)),
+        ("cholesky", cholesky_dag(6, &costs)),
+    ];
     for (name, graph) in graphs {
         let platform = Platform::mirage(f64::INFINITY, f64::INFINITY);
         let heft = Heft::new().schedule(&graph, &platform).unwrap();

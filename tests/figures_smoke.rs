@@ -15,7 +15,14 @@ use mals::util::ParallelConfig;
 #[test]
 fn table1_matches_the_paper() {
     let csv = table1::to_csv(&KernelCosts::table1());
-    for needle in ["getrf,450", "gemm,1450", "trsm_l,990", "trsm_u,830", "potrf,450", "syrk,990"] {
+    for needle in [
+        "getrf,450",
+        "gemm,1450",
+        "trsm_l,990",
+        "trsm_u,830",
+        "potrf,450",
+        "syrk,990",
+    ] {
         assert!(csv.contains(needle), "missing {needle} in:\n{csv}");
     }
 }
@@ -32,26 +39,51 @@ fn fig10_success_rates_grow_with_memory_and_optimal_dominates() {
     let points = fig10(&config);
     assert_eq!(points.len(), 3);
     for name in ["MemHEFT", "MemMinMin", "Optimal(B&B)"] {
-        let rates: Vec<f64> = points.iter().map(|p| p.method(name).unwrap().success_rate).collect();
+        let rates: Vec<f64> = points
+            .iter()
+            .map(|p| p.method(name).unwrap().success_rate)
+            .collect();
         for w in rates.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "{name} success rate decreased: {rates:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{name} success rate decreased: {rates:?}"
+            );
         }
-        assert!((rates.last().unwrap() - 1.0).abs() < 1e-9, "{name} must succeed at alpha=1");
+        assert!(
+            (rates.last().unwrap() - 1.0).abs() < 1e-9,
+            "{name} must succeed at alpha=1"
+        );
     }
     let last = points.last().unwrap();
-    let opt = last.method("Optimal(B&B)").unwrap().mean_normalized_makespan.unwrap();
+    let opt = last
+        .method("Optimal(B&B)")
+        .unwrap()
+        .mean_normalized_makespan
+        .unwrap();
     for name in ["MemHEFT", "MemMinMin"] {
         let h = last.method(name).unwrap().mean_normalized_makespan.unwrap();
         assert!(opt <= h + 1e-9, "optimal ({opt}) worse than {name} ({h})");
     }
     // At alpha = 1 MemHEFT behaves exactly like HEFT: normalised makespan 1.
-    assert!((last.method("MemHEFT").unwrap().mean_normalized_makespan.unwrap() - 1.0).abs() < 1e-9);
+    assert!(
+        (last
+            .method("MemHEFT")
+            .unwrap()
+            .mean_normalized_makespan
+            .unwrap()
+            - 1.0)
+            .abs()
+            < 1e-9
+    );
     assert!(!campaign_to_csv(&points).is_empty());
 }
 
 #[test]
 fn fig11_sweep_has_paper_shape() {
-    let sweep = fig11(&SingleRandConfig { n_tasks: 20, steps: 10 });
+    let sweep = fig11(&SingleRandConfig {
+        n_tasks: 20,
+        steps: 10,
+    });
     let top = sweep.points.last().unwrap();
     // With ample memory all four schedulers succeed and none beats the bound.
     for outcome in &top.outcomes {
@@ -84,13 +116,29 @@ fn fig12_memminmin_wins_under_scarce_memory() {
     let points = fig12(&config);
     // Paper: both heuristics schedule every DAG from ~40% of HEFT's memory.
     for p in &points {
-        assert!(p.method("MemHEFT").unwrap().success_rate >= 0.99, "alpha {}", p.alpha);
-        assert!(p.method("MemMinMin").unwrap().success_rate >= 0.99, "alpha {}", p.alpha);
+        assert!(
+            p.method("MemHEFT").unwrap().success_rate >= 0.99,
+            "alpha {}",
+            p.alpha
+        );
+        assert!(
+            p.method("MemMinMin").unwrap().success_rate >= 0.99,
+            "alpha {}",
+            p.alpha
+        );
     }
     // Paper: MemMinMin is clearly the best heuristic when memory is critical.
     let scarce = &points[0];
-    let memminmin = scarce.method("MemMinMin").unwrap().mean_normalized_makespan.unwrap();
-    let memheft = scarce.method("MemHEFT").unwrap().mean_normalized_makespan.unwrap();
+    let memminmin = scarce
+        .method("MemMinMin")
+        .unwrap()
+        .mean_normalized_makespan
+        .unwrap();
+    let memheft = scarce
+        .method("MemHEFT")
+        .unwrap()
+        .mean_normalized_makespan
+        .unwrap();
     assert!(
         memminmin <= memheft + 1e-9,
         "MemMinMin ({memminmin}) should not lose to MemHEFT ({memheft}) under scarce memory"
@@ -101,7 +149,16 @@ fn fig12_memminmin_wins_under_scarce_memory() {
 fn linalg_figures_memheft_survives_tighter_memory_than_memminmin() {
     // Paper (Figures 14/15): MemHEFT keeps producing feasible schedules with
     // far less memory than MemMinMin on the factorisation DAGs.
-    for sweep in [fig14(&LinalgConfig { tiles: 5, steps: 12 }), fig15(&LinalgConfig { tiles: 6, steps: 12 })] {
+    for sweep in [
+        fig14(&LinalgConfig {
+            tiles: 5,
+            steps: 12,
+        }),
+        fig15(&LinalgConfig {
+            tiles: 6,
+            steps: 12,
+        }),
+    ] {
         let min_feasible = |name: &str| {
             sweep
                 .points

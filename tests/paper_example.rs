@@ -9,14 +9,42 @@ use mals::sim::{CommPlacement, TaskPlacement};
 fn schedule_s1(graph: &mals::dag::TaskGraph, t: [TaskId; 4]) -> Schedule {
     let [t1, t2, t3, t4] = t;
     let mut s = Schedule::for_graph(graph);
-    s.place_task(TaskPlacement { task: t1, proc: 1, start: 0.0, finish: 1.0 });
-    s.place_task(TaskPlacement { task: t3, proc: 1, start: 1.0, finish: 4.0 });
-    s.place_task(TaskPlacement { task: t2, proc: 0, start: 2.0, finish: 4.0 });
-    s.place_task(TaskPlacement { task: t4, proc: 1, start: 5.0, finish: 6.0 });
+    s.place_task(TaskPlacement {
+        task: t1,
+        proc: 1,
+        start: 0.0,
+        finish: 1.0,
+    });
+    s.place_task(TaskPlacement {
+        task: t3,
+        proc: 1,
+        start: 1.0,
+        finish: 4.0,
+    });
+    s.place_task(TaskPlacement {
+        task: t2,
+        proc: 0,
+        start: 2.0,
+        finish: 4.0,
+    });
+    s.place_task(TaskPlacement {
+        task: t4,
+        proc: 1,
+        start: 5.0,
+        finish: 6.0,
+    });
     let e12 = graph.edge_between(t1, t2).unwrap();
     let e24 = graph.edge_between(t2, t4).unwrap();
-    s.place_comm(CommPlacement { edge: e12, start: 1.0, finish: 2.0 });
-    s.place_comm(CommPlacement { edge: e24, start: 4.0, finish: 5.0 });
+    s.place_comm(CommPlacement {
+        edge: e12,
+        start: 1.0,
+        finish: 2.0,
+    });
+    s.place_comm(CommPlacement {
+        edge: e24,
+        start: 4.0,
+        finish: 5.0,
+    });
     s
 }
 
@@ -56,7 +84,9 @@ fn memory_4_forces_a_slower_schedule_like_s2() {
     let platform = Platform::single_pair(4.0, 4.0);
     let result = BranchAndBound::default().solve(&graph, &platform);
     assert!(result.proven_optimal);
-    let makespan = result.makespan.expect("D_ex is schedulable with 4 units per side");
+    let makespan = result
+        .makespan
+        .expect("D_ex is schedulable with 4 units per side");
     assert!(makespan > 6.0 && makespan <= 7.0 + 1e-9, "got {makespan}");
     let schedule = result.schedule.unwrap();
     let report = validate(&graph, &platform, &schedule);

@@ -13,7 +13,12 @@ fn arb_graph() -> impl Strategy<Value = TaskGraph> {
     (any::<u64>(), 4usize..=18, 2usize..=6).prop_map(|(seed, size, jumps)| {
         let mut rng = Pcg64::new(seed);
         mals::gen::daggen::generate(
-            &DaggenParams { size, width: 0.4, density: 0.5, jumps },
+            &DaggenParams {
+                size,
+                width: 0.4,
+                density: 0.5,
+                jumps,
+            },
             &WeightRanges::small_rand(),
             &mut rng,
         )

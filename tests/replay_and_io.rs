@@ -6,14 +6,19 @@ use mals::dag::serialize;
 use mals::experiments::minimum_memory;
 use mals::gen::{chain, fork_join, DaggenParams, ShapeWeights, WeightRanges};
 use mals::prelude::*;
-use mals::sim::replay::execution_stats;
 use mals::sim::memory_peaks;
+use mals::sim::replay::execution_stats;
 use proptest::prelude::*;
 
 fn random_graph(seed: u64, size: usize) -> TaskGraph {
     let mut rng = Pcg64::new(seed);
     mals::gen::daggen::generate(
-        &DaggenParams { size, width: 0.4, density: 0.5, jumps: 3 },
+        &DaggenParams {
+            size,
+            width: 0.4,
+            density: 0.5,
+            jumps: 3,
+        },
         &WeightRanges::small_rand(),
         &mut rng,
     )
@@ -46,13 +51,23 @@ fn minimum_memory_is_consistent_with_sweeps() {
     let upper = memory_peaks(&graph, &unbounded, &heft).max() * 1.2;
     for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
         let result = minimum_memory(&graph, &platform, scheduler, upper, 0.25);
-        let min = result.min_memory.expect("feasible at 1.2x HEFT's footprint");
+        let min = result
+            .min_memory
+            .expect("feasible at 1.2x HEFT's footprint");
         // Just above the reported minimum the scheduler succeeds...
         let above = platform.with_memory_bounds(min + 0.3, min + 0.3);
-        assert!(scheduler.schedule(&graph, &above).is_ok(), "{}", scheduler.name());
+        assert!(
+            scheduler.schedule(&graph, &above).is_ok(),
+            "{}",
+            scheduler.name()
+        );
         // ...and comfortably below it, it fails.
         let below = platform.with_memory_bounds(min * 0.5, min * 0.5);
-        assert!(scheduler.schedule(&graph, &below).is_err(), "{}", scheduler.name());
+        assert!(
+            scheduler.schedule(&graph, &below).is_err(),
+            "{}",
+            scheduler.name()
+        );
     }
 }
 
@@ -62,12 +77,15 @@ fn chain_needs_little_memory_fork_join_needs_fanout() {
     let weights = ShapeWeights::default();
     // A chain never needs more than two files resident at once under MemHEFT.
     let chain_graph = chain(12, &weights);
-    let chain_min =
-        minimum_memory(&chain_graph, &platform, &MemHeft::new(), 24.0, 0.1).min_memory.unwrap();
+    let chain_min = minimum_memory(&chain_graph, &platform, &MemHeft::new(), 24.0, 0.1)
+        .min_memory
+        .unwrap();
     assert!(chain_min <= 2.0 + 0.2, "chain minimum {chain_min}");
     // A fork-join of width w needs at least w files on the fork's side.
     let fj = fork_join(6, &weights);
-    let fj_min = minimum_memory(&fj, &platform, &MemHeft::new(), 24.0, 0.1).min_memory.unwrap();
+    let fj_min = minimum_memory(&fj, &platform, &MemHeft::new(), 24.0, 0.1)
+        .min_memory
+        .unwrap();
     assert!(fj_min >= 6.0 - 0.2, "fork-join minimum {fj_min}");
 }
 
