@@ -7,6 +7,7 @@ use mals_exact::makespan_lower_bound;
 use mals_experiments::figures::{fig11, SingleRandConfig};
 use mals_experiments::{heft_reference, sweep_absolute};
 use mals_sched::{Heft, MemHeft, MemMinMin, MinMin};
+use mals_util::ParallelConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -45,6 +46,7 @@ fn bench_fig11(c: &mut Criterion) {
         let config = SingleRandConfig {
             n_tasks: 20,
             steps: 8,
+            parallel: ParallelConfig::sequential(),
         };
         b.iter(|| fig11(black_box(&config)))
     });

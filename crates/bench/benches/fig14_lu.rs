@@ -6,6 +6,7 @@ use mals_bench::{lu_fixture, mirage};
 use mals_experiments::figures::{fig14, LinalgConfig};
 use mals_experiments::heft_reference;
 use mals_sched::{MemHeft, MemMinMin, Scheduler};
+use mals_util::ParallelConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -28,7 +29,11 @@ fn bench_fig14(c: &mut Criterion) {
         b.iter(|| MemMinMin::new().schedule(black_box(&graph), black_box(&bounded)))
     });
     group.bench_function("full_sweep_lu5", |b| {
-        let config = LinalgConfig { tiles: 5, steps: 8 };
+        let config = LinalgConfig {
+            tiles: 5,
+            steps: 8,
+            parallel: ParallelConfig::sequential(),
+        };
         b.iter(|| fig14(black_box(&config)))
     });
     group.finish();

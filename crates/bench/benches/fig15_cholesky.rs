@@ -5,6 +5,7 @@ use mals_bench::{cholesky_fixture, mirage};
 use mals_experiments::figures::{fig15, LinalgConfig};
 use mals_experiments::heft_reference;
 use mals_sched::{MemHeft, MemMinMin, Scheduler};
+use mals_util::ParallelConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -27,7 +28,11 @@ fn bench_fig15(c: &mut Criterion) {
         b.iter(|| MemMinMin::new().schedule(black_box(&graph), black_box(&bounded)))
     });
     group.bench_function("full_sweep_cholesky6", |b| {
-        let config = LinalgConfig { tiles: 6, steps: 8 };
+        let config = LinalgConfig {
+            tiles: 6,
+            steps: 8,
+            parallel: ParallelConfig::sequential(),
+        };
         b.iter(|| fig15(black_box(&config)))
     });
     group.finish();

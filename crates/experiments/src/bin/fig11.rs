@@ -18,6 +18,9 @@ fn main() {
     if let Some(tasks) = options.tasks {
         config.n_tasks = tasks;
     }
+    if let Some(parallel) = options.parallel() {
+        config.parallel = parallel;
+    }
     eprintln!(
         "# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1)",
         config.n_tasks

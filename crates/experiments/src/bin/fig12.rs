@@ -4,7 +4,6 @@
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
 use mals_experiments::figures::{fig12, Fig12Config};
-use mals_util::ParallelConfig;
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -19,8 +18,8 @@ fn main() {
     if let Some(tasks) = options.tasks {
         config.n_tasks = tasks;
     }
-    if let Some(threads) = options.threads {
-        config.parallel = ParallelConfig::with_threads(threads);
+    if let Some(parallel) = options.parallel() {
+        config.parallel = parallel;
     }
     eprintln!(
         "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}",

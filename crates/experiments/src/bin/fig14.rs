@@ -15,6 +15,9 @@ fn main() {
     if let Some(tiles) = options.tiles {
         config.tiles = tiles;
     }
+    if let Some(parallel) = options.parallel() {
+        config.parallel = parallel;
+    }
     eprintln!(
         "# Figure 14 — LU factorisation of a {0}x{0} tile matrix on 12 CPUs + 3 accelerators{1}",
         config.tiles,

@@ -39,8 +39,11 @@ fn main() {
     ];
 
     println!("workload,scheduler,min_memory,makespan_at_min,heft_memory,heft_makespan");
-    let memheft = MemHeft::new();
-    let memminmin = MemMinMin::new();
+    let parallel = options
+        .parallel()
+        .unwrap_or_else(mals_util::ParallelConfig::sequential);
+    let memheft = MemHeft::with_parallelism(parallel);
+    let memminmin = MemMinMin::with_parallelism(parallel);
     let schedulers: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
     for (name, graph, platform) in &workloads {
         let reference = heft_reference(graph, platform);

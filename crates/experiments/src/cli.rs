@@ -2,7 +2,11 @@
 //!
 //! The binaries accept a handful of flags (`--full`, `--dags N`, `--tasks N`,
 //! `--tiles N`, `--dump-dot`, `--threads N`); anything heavier than this
-//! hand-rolled parser would be an unnecessary dependency.
+//! hand-rolled parser would be an unnecessary dependency. The thread count
+//! can also be set via the `MALS_THREADS` environment variable
+//! (`--threads` wins when both are given, `0` means all cores).
+
+use mals_util::ParallelConfig;
 
 /// Parsed command-line options of a figure binary.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -21,6 +25,17 @@ pub struct Options {
     pub threads: Option<usize>,
 }
 
+impl Options {
+    /// The thread configuration requested by `--threads`, falling back to
+    /// the `MALS_THREADS` environment variable; `None` when neither is set
+    /// (callers keep their default).
+    pub fn parallel(&self) -> Option<ParallelConfig> {
+        self.threads
+            .map(ParallelConfig::with_threads)
+            .or_else(ParallelConfig::env_override)
+    }
+}
+
 /// Parses the options from an iterator of arguments (excluding the program
 /// name). Unknown flags produce an error message listing the valid ones.
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -34,12 +49,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--tasks" => options.tasks = Some(parse_value(&arg, iter.next())?),
             "--tiles" => options.tiles = Some(parse_value(&arg, iter.next())?),
             "--threads" => options.threads = Some(parse_value(&arg, iter.next())?),
-            "--help" | "-h" => {
-                return Err(
-                    "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot]"
-                        .to_string(),
-                )
-            }
+            "--help" | "-h" => return Err(
+                "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot]\n\
+                     (MALS_THREADS=N is honoured when --threads is absent; 0 = all cores)"
+                    .to_string(),
+            ),
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
@@ -100,6 +114,14 @@ mod tests {
         assert_eq!(o.tiles, Some(9));
         assert_eq!(o.threads, Some(4));
         assert!(o.dump_dot);
+    }
+
+    #[test]
+    fn threads_flag_maps_to_parallel_config() {
+        let o = parse_strs(&["--threads", "4"]).unwrap();
+        // The flag always wins over the environment, so this is stable no
+        // matter what MALS_THREADS is set to in the surrounding shell.
+        assert_eq!(o.parallel().unwrap().resolved_threads(), 4);
     }
 
     #[test]

@@ -149,14 +149,22 @@ fn memory_grid(heft_memory: f64, steps: usize) -> Vec<f64> {
         .collect()
 }
 
-fn single_dag_sweep(graph: TaskGraph, platform: &Platform, steps: usize) -> SingleDagSweep {
+fn single_dag_sweep(
+    graph: TaskGraph,
+    platform: &Platform,
+    steps: usize,
+    parallel: ParallelConfig,
+) -> SingleDagSweep {
     let reference = heft_reference(&graph, platform);
     let heft_memory = reference.heft_peaks.max();
     let grid = memory_grid(heft_memory, steps);
-    let memheft = MemHeft::new();
-    let memminmin = MemMinMin::new();
-    let heft = Heft::new();
-    let minmin = MinMin::new();
+    // A single DAG cannot be spread over threads the way a campaign spreads
+    // whole DAGs, so the parallelism goes *inside* each schedule: every
+    // scheduler evaluates its ready list on a worker pool.
+    let memheft = MemHeft::with_parallelism(parallel);
+    let memminmin = MemMinMin::with_parallelism(parallel);
+    let heft = Heft::with_parallelism(parallel);
+    let minmin = MinMin::with_parallelism(parallel);
     let points = sweep_absolute(
         &graph,
         platform,
@@ -180,6 +188,8 @@ pub struct SingleRandConfig {
     pub n_tasks: usize,
     /// Number of memory points in the sweep.
     pub steps: usize,
+    /// Within-schedule thread configuration (ready-list evaluation).
+    pub parallel: ParallelConfig,
 }
 
 impl SingleRandConfig {
@@ -188,6 +198,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 30,
             steps: 20,
+            parallel: ParallelConfig::sequential(),
         }
     }
 
@@ -196,6 +207,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 30,
             steps: 35,
+            parallel: ParallelConfig::sequential(),
         }
     }
 
@@ -204,6 +216,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 300,
             steps: 20,
+            parallel: ParallelConfig::sequential(),
         }
     }
 
@@ -212,6 +225,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 1000,
             steps: 25,
+            parallel: ParallelConfig::sequential(),
         }
     }
 }
@@ -226,7 +240,12 @@ pub fn fig11(config: &SingleRandConfig) -> SingleDagSweep {
         .generate()
         .pop()
         .expect("one DAG requested");
-    single_dag_sweep(graph, &Platform::single_pair(0.0, 0.0), config.steps)
+    single_dag_sweep(
+        graph,
+        &Platform::single_pair(0.0, 0.0),
+        config.steps,
+        config.parallel,
+    )
 }
 
 /// Figure 13: the same sweep for one LargeRandSet DAG (the paper's Figure 9
@@ -237,7 +256,12 @@ pub fn fig13(config: &SingleRandConfig) -> SingleDagSweep {
         .generate()
         .pop()
         .expect("one DAG requested");
-    single_dag_sweep(graph, &Platform::single_pair(0.0, 0.0), config.steps)
+    single_dag_sweep(
+        graph,
+        &Platform::single_pair(0.0, 0.0),
+        config.steps,
+        config.parallel,
+    )
 }
 
 /// Configuration for the linear-algebra sweeps (Figures 14 and 15).
@@ -247,6 +271,8 @@ pub struct LinalgConfig {
     pub tiles: usize,
     /// Number of memory points in the sweep.
     pub steps: usize,
+    /// Within-schedule thread configuration (ready-list evaluation).
+    pub parallel: ParallelConfig,
 }
 
 impl LinalgConfig {
@@ -255,6 +281,7 @@ impl LinalgConfig {
         LinalgConfig {
             tiles: 6,
             steps: 16,
+            parallel: ParallelConfig::sequential(),
         }
     }
 
@@ -263,6 +290,7 @@ impl LinalgConfig {
         LinalgConfig {
             tiles: 13,
             steps: 24,
+            parallel: ParallelConfig::sequential(),
         }
     }
 }
@@ -271,13 +299,23 @@ impl LinalgConfig {
 /// factorisation on the mirage-like platform (12 CPU cores + 3 accelerators).
 pub fn fig14(config: &LinalgConfig) -> SingleDagSweep {
     let graph = lu_dag(config.tiles, &KernelCosts::table1());
-    single_dag_sweep(graph, &Platform::mirage(0.0, 0.0), config.steps)
+    single_dag_sweep(
+        graph,
+        &Platform::mirage(0.0, 0.0),
+        config.steps,
+        config.parallel,
+    )
 }
 
 /// Figure 15: the same sweep for the tiled Cholesky factorisation.
 pub fn fig15(config: &LinalgConfig) -> SingleDagSweep {
     let graph = cholesky_dag(config.tiles, &KernelCosts::table1());
-    single_dag_sweep(graph, &Platform::mirage(0.0, 0.0), config.steps)
+    single_dag_sweep(
+        graph,
+        &Platform::mirage(0.0, 0.0),
+        config.steps,
+        config.parallel,
+    )
 }
 
 #[cfg(test)]
@@ -335,6 +373,7 @@ mod tests {
         let sweep = fig11(&SingleRandConfig {
             n_tasks: 12,
             steps: 6,
+            parallel: ParallelConfig::sequential(),
         });
         assert_eq!(sweep.points.len(), 7);
         assert!(sweep.lower_bound > 0.0);
@@ -350,7 +389,11 @@ mod tests {
 
     #[test]
     fn fig14_and_fig15_tiny_runs() {
-        let config = LinalgConfig { tiles: 3, steps: 6 };
+        let config = LinalgConfig {
+            tiles: 3,
+            steps: 6,
+            parallel: ParallelConfig::sequential(),
+        };
         let lu = fig14(&config);
         let chol = fig15(&config);
         assert!(lu.graph.n_tasks() > chol.graph.n_tasks());
@@ -358,6 +401,29 @@ mod tests {
             let top = sweep.points.last().unwrap();
             assert!(top.outcome("MemHEFT").unwrap().makespan.is_some());
             assert!(top.outcome("MemMinMin").unwrap().makespan.is_some());
+        }
+    }
+
+    #[test]
+    fn single_dag_sweep_is_thread_count_invariant() {
+        let base = SingleRandConfig {
+            n_tasks: 24,
+            steps: 4,
+            parallel: ParallelConfig::sequential(),
+        };
+        let seq = fig11(&base);
+        let par = fig11(&SingleRandConfig {
+            parallel: ParallelConfig::with_threads(4),
+            ..base
+        });
+        for (a, b) in seq.points.iter().zip(&par.points) {
+            assert_eq!(a.memory_bound, b.memory_bound);
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                assert_eq!(oa.name, ob.name);
+                // Bitwise equality: the parallel engine must not perturb a
+                // single makespan anywhere in the sweep.
+                assert_eq!(oa.makespan, ob.makespan, "{} diverged", oa.name);
+            }
         }
     }
 

@@ -7,13 +7,12 @@
 //! ablation benchmarks (`mals-bench`) can quantify their impact.
 
 use crate::error::ScheduleError;
-use crate::memheft::schedule_with_priority;
-use crate::partial::PartialSchedule;
+use crate::memheft::schedule_with_priority_engine;
 use crate::traits::Scheduler;
 use mals_dag::{rank, TaskGraph, TaskId};
-use mals_platform::{Memory, Platform};
+use mals_platform::Platform;
 use mals_sim::Schedule;
-use mals_util::Pcg64;
+use mals_util::{ParallelConfig, Pcg64};
 
 /// How tasks are ordered in the priority list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,7 +49,7 @@ pub enum MemoryPreference {
 }
 
 /// A configurable MemHEFT used by the ablation benchmarks.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemHeftVariant {
     /// Priority list construction.
     pub priority: PriorityScheme,
@@ -58,6 +57,20 @@ pub struct MemHeftVariant {
     pub tie_break: TieBreak,
     /// Memory preferred on EFT ties.
     pub memory_preference: MemoryPreference,
+    /// Thread configuration of the selection engine (sequential by default;
+    /// any setting produces bit-identical schedules).
+    pub parallel: ParallelConfig,
+}
+
+impl Default for MemHeftVariant {
+    fn default() -> Self {
+        MemHeftVariant {
+            priority: PriorityScheme::default(),
+            tie_break: TieBreak::default(),
+            memory_preference: MemoryPreference::default(),
+            parallel: ParallelConfig::sequential(),
+        }
+    }
 }
 
 impl MemHeftVariant {
@@ -108,41 +121,14 @@ impl Scheduler for MemHeftVariant {
     }
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
-        if self.memory_preference == MemoryPreference::Blue {
-            let order = self.priority_list(graph);
-            return schedule_with_priority(graph, platform, &order);
-        }
-        // Red-preference variant: re-implement the selection loop with the
-        // opposite tie-breaking between memories.
-        graph.validate()?;
         let order = self.priority_list(graph);
-        let mut partial = PartialSchedule::new(graph, platform);
-        let mut remaining = order;
-        while !remaining.is_empty() {
-            let mut committed = None;
-            for (position, &task) in remaining.iter().enumerate() {
-                let blue = partial.evaluate(task, Memory::Blue);
-                let red = partial.evaluate(task, Memory::Red);
-                let choice = match (blue, red) {
-                    (Some(b), Some(r)) => Some(if r.eft <= b.eft { r } else { b }),
-                    (Some(b), None) => Some(b),
-                    (None, Some(r)) => Some(r),
-                    (None, None) => None,
-                };
-                if let Some(bd) = choice {
-                    partial.commit(task, &bd);
-                    committed = Some(position);
-                    break;
-                }
-            }
-            match committed {
-                Some(position) => {
-                    remaining.remove(position);
-                }
-                None => return partial.finish_or_error(),
-            }
-        }
-        partial.finish_or_error()
+        schedule_with_priority_engine(
+            graph,
+            platform,
+            &order,
+            self.parallel,
+            self.memory_preference == MemoryPreference::Red,
+        )
     }
 }
 

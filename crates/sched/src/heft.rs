@@ -20,13 +20,30 @@ use mals_platform::Platform;
 use mals_sim::Schedule;
 
 /// The memory-oblivious HEFT baseline.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Heft;
+#[derive(Debug, Clone, Copy)]
+pub struct Heft {
+    parallel: mals_util::ParallelConfig,
+}
+
+impl Default for Heft {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Heft {
-    /// Creates a HEFT scheduler.
+    /// Creates a (sequential) HEFT scheduler.
     pub fn new() -> Self {
-        Heft
+        Heft {
+            parallel: mals_util::ParallelConfig::sequential(),
+        }
+    }
+
+    /// Creates a HEFT scheduler whose selection loop evaluates ready
+    /// candidates with the given thread configuration (same engine as
+    /// [`MemHeft`], so the schedule is identical for every thread count).
+    pub fn with_parallelism(parallel: mals_util::ParallelConfig) -> Self {
+        Heft { parallel }
     }
 }
 
@@ -36,7 +53,7 @@ impl Scheduler for Heft {
     }
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
-        MemHeft::new().schedule(graph, &platform.unbounded())
+        MemHeft::with_parallelism(self.parallel).schedule(graph, &platform.unbounded())
     }
 }
 

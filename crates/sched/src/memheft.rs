@@ -21,19 +21,42 @@ use crate::traits::Scheduler;
 use mals_dag::{rank, TaskGraph, TaskId};
 use mals_platform::Platform;
 use mals_sim::Schedule;
+use mals_util::{ParallelConfig, WorkerPool};
 
 /// The MemHEFT scheduler (Algorithm 1 of the paper).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MemHeft;
+///
+/// With [`MemHeft::with_parallelism`] the per-step scan of the priority list
+/// evaluates the ready candidates on a per-schedule [`WorkerPool`]; the
+/// committed placements — and therefore the schedule — stay bit-identical to
+/// the sequential run.
+#[derive(Debug, Clone, Copy)]
+pub struct MemHeft {
+    parallel: ParallelConfig,
+}
 
-impl MemHeft {
-    /// Creates a MemHEFT scheduler.
-    pub fn new() -> Self {
-        MemHeft
+impl Default for MemHeft {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-/// Runs the MemHEFT selection loop on an externally supplied priority list.
+impl MemHeft {
+    /// Creates a (sequential) MemHEFT scheduler.
+    pub fn new() -> Self {
+        MemHeft {
+            parallel: ParallelConfig::sequential(),
+        }
+    }
+
+    /// Creates a MemHEFT scheduler that evaluates ready candidates with the
+    /// given thread configuration.
+    pub fn with_parallelism(parallel: ParallelConfig) -> Self {
+        MemHeft { parallel }
+    }
+}
+
+/// Runs the MemHEFT selection loop on an externally supplied priority list,
+/// sequentially (see [`schedule_with_priority_engine`]).
 ///
 /// `order` must contain every task exactly once; the list is scanned from the
 /// front and the first task that is both ready and memory-feasible is
@@ -45,6 +68,25 @@ pub fn schedule_with_priority(
     platform: &Platform,
     order: &[TaskId],
 ) -> Result<Schedule, ScheduleError> {
+    schedule_with_priority_engine(graph, platform, order, ParallelConfig::sequential(), false)
+}
+
+/// The shared MemHEFT-family selection engine: scan `order` from the front,
+/// commit the first task that is both ready and memory-feasible, restart.
+///
+/// `parallel` spreads the EST evaluations of the ready candidates over a
+/// [`WorkerPool`]; `prefer_red` flips the memory chosen on exact EFT ties
+/// (the ablation variants exercise both policies). For any fixed inputs the
+/// committed placements are identical for every thread count, because the
+/// parallel scan evaluates the same candidates against the same immutable
+/// state and keeps the first feasible one in priority order.
+pub fn schedule_with_priority_engine(
+    graph: &TaskGraph,
+    platform: &Platform,
+    order: &[TaskId],
+    parallel: ParallelConfig,
+    prefer_red: bool,
+) -> Result<Schedule, ScheduleError> {
     graph.validate()?;
     debug_assert_eq!(
         order.len(),
@@ -53,20 +95,74 @@ pub fn schedule_with_priority(
     );
     let mut partial = PartialSchedule::new(graph, platform);
     let mut remaining: Vec<TaskId> = order.to_vec();
+    if parallel.resolved_threads() <= 1 {
+        // Sequential scan with early exit at the first feasible task.
+        while !remaining.is_empty() {
+            let mut committed = None;
+            for (position, &task) in remaining.iter().enumerate() {
+                if !partial.is_ready(task) {
+                    continue;
+                }
+                if let Some(breakdown) = partial.evaluate_best_with(task, prefer_red) {
+                    partial.commit(task, &breakdown);
+                    committed = Some(position);
+                    break;
+                }
+            }
+            match committed {
+                Some(position) => {
+                    remaining.remove(position);
+                }
+                // No remaining task fits in either memory, now or ever.
+                None => return partial.finish_or_error(),
+            }
+        }
+        return partial.finish_or_error();
+    }
+
+    let pool = WorkerPool::new(parallel);
+    // Ready candidates past the first are evaluated in blocks: a block
+    // bounds the work wasted past the first feasible task (the sequential
+    // scan would have stopped there) while still giving every thread work
+    // per step. Blocks below the inline cutoff would bypass the pool
+    // entirely, so never go smaller.
+    let block = (pool.threads() * 4).max(crate::partial::PAR_EVAL_CUTOFF);
     while !remaining.is_empty() {
+        let ready: Vec<(usize, TaskId)> = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &task)| partial.is_ready(task))
+            .map(|(position, &task)| (position, task))
+            .collect();
         let mut committed = None;
-        for (position, &task) in remaining.iter().enumerate() {
-            if let Some(breakdown) = partial.evaluate_best(task) {
+        // Fast path: with ample memory the head of the priority list is
+        // almost always feasible, so probe it inline before fanning out —
+        // that step then costs exactly what the sequential scan costs.
+        let mut fanout_from = 0;
+        if let Some(&(position, task)) = ready.first() {
+            fanout_from = 1;
+            if let Some(breakdown) = partial.evaluate_best_with(task, prefer_red) {
                 partial.commit(task, &breakdown);
                 committed = Some(position);
-                break;
+            }
+        }
+        if committed.is_none() {
+            'scan: for chunk in ready[fanout_from..].chunks(block) {
+                let tasks: Vec<TaskId> = chunk.iter().map(|&(_, task)| task).collect();
+                let breakdowns = partial.evaluate_tasks_par(&tasks, prefer_red, &pool);
+                for (&(position, task), breakdown) in chunk.iter().zip(breakdowns) {
+                    if let Some(breakdown) = breakdown {
+                        partial.commit(task, &breakdown);
+                        committed = Some(position);
+                        break 'scan;
+                    }
+                }
             }
         }
         match committed {
             Some(position) => {
                 remaining.remove(position);
             }
-            // No remaining task fits in either memory, now or ever.
             None => return partial.finish_or_error(),
         }
     }
@@ -80,7 +176,7 @@ impl Scheduler for MemHeft {
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         let order = rank::rank_sorted_tasks(graph);
-        schedule_with_priority(graph, platform, &order)
+        schedule_with_priority_engine(graph, platform, &order, self.parallel, false)
     }
 }
 
@@ -170,6 +266,39 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(MemHeft::new().name(), "MemHEFT");
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical_to_sequential() {
+        let mut rng = Pcg64::new(4321);
+        for _ in 0..4 {
+            let g = mals_gen::daggen::generate(
+                &DaggenParams::small_rand(),
+                &WeightRanges::small_rand(),
+                &mut rng,
+            );
+            let platform = Platform::new(2, 2, 180.0, 180.0).unwrap();
+            let sequential = MemHeft::new().schedule(&g, &platform).unwrap();
+            for threads in [2, 4, 8] {
+                let parallel =
+                    MemHeft::with_parallelism(mals_util::ParallelConfig::with_threads(threads))
+                        .schedule(&g, &platform)
+                        .unwrap();
+                assert_eq!(sequential, parallel, "{threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_infeasible_instances() {
+        let (g, _) = dex();
+        let platform = Platform::single_pair(2.0, 2.0);
+        let seq = MemHeft::new().schedule(&g, &platform).unwrap_err();
+        let par = MemHeft::with_parallelism(mals_util::ParallelConfig::with_threads(4))
+            .schedule(&g, &platform)
+            .unwrap_err();
+        assert!(matches!(seq, ScheduleError::Infeasible { .. }));
+        assert!(matches!(par, ScheduleError::Infeasible { .. }));
     }
 
     #[test]

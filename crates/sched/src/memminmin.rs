@@ -7,42 +7,43 @@
 //! when no ready task fits in either memory.
 
 use crate::error::ScheduleError;
-use crate::partial::{EstBreakdown, PartialSchedule};
+use crate::partial::PartialSchedule;
 use crate::traits::Scheduler;
-use mals_dag::{TaskGraph, TaskId};
+use mals_dag::TaskGraph;
 use mals_platform::Platform;
 use mals_sim::Schedule;
+use mals_util::{ParallelConfig, WorkerPool};
 
 /// The MemMinMin scheduler (Algorithm 2 of the paper).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MemMinMin;
+///
+/// Every selection step evaluates the whole ready list; with
+/// [`MemMinMin::with_parallelism`] those evaluations are spread over a
+/// per-schedule [`WorkerPool`] and the schedule stays bit-identical to the
+/// sequential run.
+#[derive(Debug, Clone, Copy)]
+pub struct MemMinMin {
+    parallel: ParallelConfig,
+}
 
-impl MemMinMin {
-    /// Creates a MemMinMin scheduler.
-    pub fn new() -> Self {
-        MemMinMin
+impl Default for MemMinMin {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-/// One scheduling step: the ready task with the smallest EFT, if any.
-fn best_ready_choice(partial: &PartialSchedule<'_>) -> Option<(TaskId, EstBreakdown)> {
-    let mut best: Option<(TaskId, EstBreakdown)> = None;
-    for task in partial.ready_tasks() {
-        if let Some(bd) = partial.evaluate_best(task) {
-            let better = match &best {
-                None => true,
-                Some((best_task, best_bd)) => {
-                    bd.eft < best_bd.eft - mals_util::EPSILON
-                        || (mals_util::approx_eq(bd.eft, best_bd.eft)
-                            && task.index() < best_task.index())
-                }
-            };
-            if better {
-                best = Some((task, bd));
-            }
+impl MemMinMin {
+    /// Creates a (sequential) MemMinMin scheduler.
+    pub fn new() -> Self {
+        MemMinMin {
+            parallel: ParallelConfig::sequential(),
         }
     }
-    best
+
+    /// Creates a MemMinMin scheduler that evaluates the ready list with the
+    /// given thread configuration.
+    pub fn with_parallelism(parallel: ParallelConfig) -> Self {
+        MemMinMin { parallel }
+    }
 }
 
 impl Scheduler for MemMinMin {
@@ -53,8 +54,20 @@ impl Scheduler for MemMinMin {
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         let mut partial = PartialSchedule::new(graph, platform);
+        if self.parallel.resolved_threads() <= 1 {
+            while !partial.is_complete() {
+                match partial.best_ready_choice() {
+                    Some((task, breakdown)) => partial.commit(task, &breakdown),
+                    None => return partial.finish_or_error(),
+                }
+            }
+            return partial.finish_or_error();
+        }
+        // One pool for the whole schedule: the workers persist across the
+        // thousands of selection steps instead of being re-spawned.
+        let pool = WorkerPool::new(self.parallel);
         while !partial.is_complete() {
-            match best_ready_choice(&partial) {
+            match partial.evaluate_best_par(&pool) {
                 Some((task, breakdown)) => partial.commit(task, &breakdown),
                 None => return partial.finish_or_error(),
             }
@@ -98,10 +111,30 @@ mod tests {
         let (g, [t1, ..]) = dex();
         let platform = Platform::single_pair(100.0, 100.0);
         let partial = PartialSchedule::new(&g, &platform);
-        let (task, bd) = best_ready_choice(&partial).unwrap();
+        let (task, bd) = partial.best_ready_choice().unwrap();
         assert_eq!(task, t1);
         assert_eq!(bd.memory, mals_platform::Memory::Red);
         assert_eq!(bd.eft, 1.0);
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical_to_sequential() {
+        let mut rng = Pcg64::new(1234);
+        for _ in 0..4 {
+            let g = mals_gen::daggen::generate(
+                &DaggenParams::small_rand(),
+                &WeightRanges::small_rand(),
+                &mut rng,
+            );
+            let platform = Platform::new(2, 2, 150.0, 150.0).unwrap();
+            let sequential = MemMinMin::new().schedule(&g, &platform).unwrap();
+            for threads in [2, 4, 8] {
+                let parallel = MemMinMin::with_parallelism(ParallelConfig::with_threads(threads))
+                    .schedule(&g, &platform)
+                    .unwrap();
+                assert_eq!(sequential, parallel, "{threads} threads diverged");
+            }
+        }
     }
 
     #[test]

@@ -13,13 +13,30 @@ use mals_platform::Platform;
 use mals_sim::Schedule;
 
 /// The memory-oblivious MinMin baseline.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MinMin;
+#[derive(Debug, Clone, Copy)]
+pub struct MinMin {
+    parallel: mals_util::ParallelConfig,
+}
+
+impl Default for MinMin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl MinMin {
-    /// Creates a MinMin scheduler.
+    /// Creates a (sequential) MinMin scheduler.
     pub fn new() -> Self {
-        MinMin
+        MinMin {
+            parallel: mals_util::ParallelConfig::sequential(),
+        }
+    }
+
+    /// Creates a MinMin scheduler whose ready-list evaluation uses the given
+    /// thread configuration (same engine as [`MemMinMin`], so the schedule
+    /// is identical for every thread count).
+    pub fn with_parallelism(parallel: mals_util::ParallelConfig) -> Self {
+        MinMin { parallel }
     }
 }
 
@@ -29,7 +46,7 @@ impl Scheduler for MinMin {
     }
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
-        MemMinMin::new().schedule(graph, &platform.unbounded())
+        MemMinMin::with_parallelism(self.parallel).schedule(graph, &platform.unbounded())
     }
 }
 

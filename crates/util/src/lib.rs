@@ -11,8 +11,9 @@
 //! * [`staircase`] — piecewise-constant functions of time, the data structure
 //!   behind the `free_mem` availability profiles of the memory-aware
 //!   heuristics in the paper (Section 5.1).
-//! * [`pool`] — a scoped-thread parallel map used to run scheduling campaigns
-//!   over many DAGs concurrently.
+//! * [`pool`] — a reusable worker pool and a one-shot parallel map, used to
+//!   run scheduling campaigns over many DAGs concurrently and to evaluate
+//!   the ready list of a single schedule across threads.
 //! * [`float`] — tolerant floating-point comparison helpers and a total-order
 //!   wrapper.
 
@@ -25,7 +26,7 @@ pub mod staircase;
 pub mod stats;
 
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
-pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig};
+pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig, WorkerPool};
 pub use rng::Pcg64;
 pub use staircase::Staircase;
 pub use stats::{OnlineStats, Summary};

@@ -5,13 +5,18 @@
 
 use mals::experiments::csv::sweep_to_csv;
 use mals::experiments::figures::{fig15, LinalgConfig};
+use mals::util::ParallelConfig;
 
 fn main() {
     let tiles: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
-    let sweep = fig15(&LinalgConfig { tiles, steps: 16 });
+    let sweep = fig15(&LinalgConfig {
+        tiles,
+        steps: 16,
+        parallel: ParallelConfig::from_env(),
+    });
     eprintln!(
         "Cholesky {tiles}x{tiles}: {} tasks, HEFT needs {:.0} tiles, lower bound {:.0} ms",
         sweep.graph.n_tasks(),

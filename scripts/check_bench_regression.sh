@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the quick smoke benches and compare their
+# medians against the in-tree baseline (BENCH_baseline.json). Fails when any
+# bench regresses by more than TOLERANCE percent.
+#
+#   scripts/check_bench_regression.sh            # gate against the baseline
+#   BASELINE=path OUT=path TOLERANCE=40 scripts/check_bench_regression.sh
+#
+# Bypasses:
+#   * a commit message containing [bench-skip] skips the gate entirely
+#     (useful for intentional slowdowns — refresh the baseline in the same
+#     PR with: cargo run --release -p mals-bench --bin bench_json -- --quick
+#     --out BENCH_baseline.json);
+#   * a missing baseline records one instead of failing (first run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-BENCH_baseline.json}"
+OUT="${OUT:-target/bench_smoke.json}"
+TOLERANCE="${TOLERANCE:-25}"
+
+# On pull_request events HEAD is GitHub's synthetic merge commit whose
+# message is "Merge X into Y"; the author's message lives on HEAD^2 (the PR
+# head). Check both so [bench-skip] works on pushes and PRs alike.
+if { git log -1 --pretty=%B HEAD 2>/dev/null || true; \
+     git log -1 --pretty=%B HEAD^2 2>/dev/null || true; } \
+        | grep -qF '[bench-skip]'; then
+    echo "bench gate: skipped via [bench-skip] in the commit message"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench gate: no baseline at $BASELINE — recording one"
+    cargo run --release -p mals-bench --bin bench_json -- --quick --out "$BASELINE"
+    exit 0
+fi
+
+mkdir -p "$(dirname "$OUT")"
+cargo run --release -p mals-bench --bin bench_json -- --quick --out "$OUT"
+cargo run --release -p mals-bench --bin bench_json -- compare "$BASELINE" "$OUT" --tolerance "$TOLERANCE"

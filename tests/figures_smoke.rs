@@ -83,6 +83,7 @@ fn fig11_sweep_has_paper_shape() {
     let sweep = fig11(&SingleRandConfig {
         n_tasks: 20,
         steps: 10,
+        parallel: ParallelConfig::sequential(),
     });
     let top = sweep.points.last().unwrap();
     // With ample memory all four schedulers succeed and none beats the bound.
@@ -153,10 +154,12 @@ fn linalg_figures_memheft_survives_tighter_memory_than_memminmin() {
         fig14(&LinalgConfig {
             tiles: 5,
             steps: 12,
+            parallel: ParallelConfig::sequential(),
         }),
         fig15(&LinalgConfig {
             tiles: 6,
             steps: 12,
+            parallel: ParallelConfig::sequential(),
         }),
     ] {
         let min_feasible = |name: &str| {

@@ -1,0 +1,158 @@
+//! Determinism of the within-schedule parallel engine: for any random DAG,
+//! platform and memory bound, the schedules produced with the ready-list
+//! evaluation spread over 1 / 2 / 4 / 8 threads are **bit-identical** to the
+//! sequential engine, and every emitted schedule passes the independent
+//! validator. This is the contract that lets the experiment campaigns use
+//! `--threads` freely without perturbing any figure of the paper.
+
+use mals::gen::{DaggenParams, WeightRanges};
+use mals::prelude::*;
+use mals::sched::MemHeftVariant;
+use mals::sim::memory_peaks;
+use mals::util::ParallelConfig;
+use proptest::prelude::*;
+
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// Strategy: a seeded random DAG of 8..=40 tasks with SmallRandSet-style
+/// weights (the seed is the replayable quantity).
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (any::<u64>(), 8usize..=40, 2usize..=6).prop_map(|(seed, size, jumps)| {
+        let mut rng = Pcg64::new(seed);
+        mals::gen::daggen::generate(
+            &DaggenParams {
+                size,
+                width: 0.4,
+                density: 0.5,
+                jumps,
+            },
+            &WeightRanges::small_rand(),
+            &mut rng,
+        )
+    })
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    (1usize..=3, 1usize..=3).prop_map(|(p1, p2)| Platform::new(p1, p2, 0.0, 0.0).unwrap())
+}
+
+/// Runs one scheduler builder across the thread ladder and asserts all
+/// outcomes agree bit-for-bit with the 1-thread run (both the schedules and
+/// the failures), validating every schedule that comes out.
+fn assert_thread_invariant<S: Scheduler>(
+    build: impl Fn(ParallelConfig) -> S,
+    graph: &TaskGraph,
+    platform: &Platform,
+) {
+    let mut reference: Option<Result<Schedule, String>> = None;
+    for threads in THREAD_LADDER {
+        let scheduler = build(ParallelConfig::with_threads(threads));
+        let outcome = scheduler
+            .schedule(graph, platform)
+            .map_err(|e| e.to_string());
+        if let Ok(schedule) = &outcome {
+            let report = validate(graph, platform, schedule);
+            assert!(
+                report.is_valid(),
+                "{} with {threads} threads emitted an invalid schedule: {:?}",
+                scheduler.name(),
+                report.errors
+            );
+        }
+        match &reference {
+            None => reference = Some(outcome),
+            Some(expected) => assert!(
+                *expected == outcome,
+                "{} diverged at {threads} threads",
+                scheduler.name()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MemHEFT and MemMinMin are thread-count invariant on random DAGs and
+    /// memory bounds from hopeless to ample.
+    #[test]
+    fn memory_aware_heuristics_are_thread_count_invariant(
+        graph in arb_graph(),
+        platform in arb_platform(),
+        fraction in 0.2f64..1.5,
+    ) {
+        let unbounded = platform.unbounded();
+        let reference = memory_peaks(
+            &graph,
+            &unbounded,
+            &Heft::new().schedule(&graph, &unbounded).unwrap(),
+        );
+        let bound = (reference.max() * fraction).ceil();
+        let bounded = platform.with_memory_bounds(bound, bound);
+        assert_thread_invariant(MemHeft::with_parallelism, &graph, &bounded);
+        assert_thread_invariant(MemMinMin::with_parallelism, &graph, &bounded);
+    }
+
+    /// The memory-oblivious baselines go through the same engine and must be
+    /// equally invariant. They ignore memory bounds by design, so they are
+    /// exercised (and validated) on the unbounded platform.
+    #[test]
+    fn oblivious_baselines_are_thread_count_invariant(
+        graph in arb_graph(),
+        platform in arb_platform(),
+    ) {
+        let unbounded = platform.unbounded();
+        assert_thread_invariant(Heft::with_parallelism, &graph, &unbounded);
+        assert_thread_invariant(MinMin::with_parallelism, &graph, &unbounded);
+    }
+
+    /// The red-preference ablation variant exercises the engine's other
+    /// tie-breaking branch; it must be thread-count invariant too.
+    #[test]
+    fn red_preference_variant_is_thread_count_invariant(
+        graph in arb_graph(),
+        platform in arb_platform(),
+    ) {
+        assert_thread_invariant(
+            |parallel| MemHeftVariant {
+                memory_preference: mals::sched::MemoryPreference::Red,
+                parallel,
+                ..Default::default()
+            },
+            &graph,
+            &platform,
+        );
+    }
+}
+
+/// The paper-scale fixture: the exact 1000-task LargeRandSet instance the
+/// `scaling_within_schedule` bench and the `bench_json` CI runner measure
+/// (same seed, via `mals_bench`), scheduled at a binding 70% memory bound
+/// across the full thread ladder. Debug-build friendly: only MemMinMin,
+/// whose every step evaluates the whole ready list.
+#[test]
+fn large_rand_1000_tasks_is_thread_count_invariant() {
+    let graph = mals_bench::large_rand_dag(
+        mals_bench::WITHIN_SCHEDULE_TASKS,
+        mals_bench::WITHIN_SCHEDULE_SEED,
+    );
+    let platform = Platform::single_pair(0.0, 0.0);
+    let unbounded = platform.unbounded();
+    let peaks = memory_peaks(
+        &graph,
+        &unbounded,
+        &Heft::new().schedule(&graph, &unbounded).unwrap(),
+    );
+    let bound = 0.7 * peaks.max();
+    let bounded = platform.with_memory_bounds(bound, bound);
+
+    let reference = MemMinMin::new().schedule(&graph, &bounded).unwrap();
+    let report = validate(&graph, &bounded, &reference);
+    assert!(report.is_valid(), "sequential: {:?}", report.errors);
+    for threads in THREAD_LADDER {
+        let parallel = MemMinMin::with_parallelism(ParallelConfig::with_threads(threads))
+            .schedule(&graph, &bounded)
+            .unwrap();
+        assert_eq!(reference, parallel, "{threads} threads diverged at n=1000");
+    }
+}
