@@ -59,6 +59,7 @@ fn bench_fig10(c: &mut Criterion) {
             alphas: vec![0.4, 0.7, 1.0],
             optimal_node_limit: 5_000,
             parallel: ParallelConfig::sequential(),
+            ..Fig10Config::default()
         };
         b.iter(|| fig10(black_box(&config)))
     });

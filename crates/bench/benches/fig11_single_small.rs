@@ -47,6 +47,7 @@ fn bench_fig11(c: &mut Criterion) {
             n_tasks: 20,
             steps: 8,
             parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         };
         b.iter(|| fig11(black_box(&config)))
     });

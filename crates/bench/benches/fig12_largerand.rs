@@ -34,6 +34,7 @@ fn bench_fig12(c: &mut Criterion) {
             n_tasks: 100,
             alphas: vec![0.4, 0.7, 1.0],
             parallel: ParallelConfig::sequential(),
+            ..Fig12Config::default()
         };
         b.iter(|| fig12(black_box(&config)))
     });

@@ -18,6 +18,7 @@ use mals_bench::{
     large_rand_dag, single_pair, small_rand_dag, WITHIN_SCHEDULE_SEED, WITHIN_SCHEDULE_TASKS,
 };
 use mals_dag::TaskGraph;
+use mals_exact::{ExactBackend, MilpBackend, SolveLimits};
 use mals_experiments::heft_reference;
 use mals_platform::Platform;
 use mals_sched::{MemHeft, MemMinMin, Scheduler};
@@ -107,6 +108,27 @@ fn benches(quick: bool) -> Vec<Bench> {
         medium_platform,
         MemHeft::with_parallelism(ParallelConfig::with_threads(4)),
     ));
+
+    // The MILP exact backend on a 10-task instance at exactly HEFT's memory
+    // requirement (the α = 1 campaign point): the heuristics seed the
+    // incumbent and the solver does the full LP-certified optimality proof,
+    // guarding the simplex + branch-and-bound stack against latency
+    // regressions.
+    {
+        let exact_graph = small_rand_dag(10, 7);
+        let platform = single_pair(0.0);
+        let reference = heft_reference(&exact_graph, &platform);
+        let bound = reference.heft_peaks.max();
+        let exact_platform = platform.with_memory_bounds(bound, bound);
+        set.push(Bench {
+            id: "exact/milp-smallrand-10".into(),
+            run: Box::new(move || {
+                let outcome =
+                    MilpBackend.solve(&exact_graph, &exact_platform, &SolveLimits::default());
+                std::hint::black_box(outcome.nodes());
+            }),
+        });
+    }
 
     set.push(Bench {
         id: "pool/parallel_map-10k".into(),

@@ -23,8 +23,10 @@
 //! restriction shared with all list schedulers; `DESIGN.md` discusses why
 //! this is an adequate substitute for the CPLEX runs of the paper.
 
-use crate::bounds::makespan_lower_bound;
-use mals_dag::{algo, TaskGraph, TaskId};
+use crate::bounds::{
+    makespan_lower_bound_with_memory, memory_feasibility, optimistic_bottom_levels,
+};
+use mals_dag::{TaskGraph, TaskId};
 use mals_platform::{Memory, Platform};
 use mals_sched::{MemHeft, MemMinMin, PartialSchedule, ScheduleError, Scheduler};
 use mals_sim::Schedule;
@@ -96,18 +98,22 @@ impl BranchAndBound {
             };
         }
 
+        // Static memory analysis (shared with the MILP backend): a task
+        // whose files fit in neither memory proves infeasibility without
+        // expanding a single node.
+        if memory_feasibility(graph, platform).is_infeasible() {
+            return ExactResult {
+                schedule: None,
+                makespan: None,
+                proven_optimal: true,
+                nodes_explored: 0,
+            };
+        }
+
         // Optimistic remaining work below each task (zero communications,
         // faster resource): a valid completion-time bound for any descendant
         // chain of the task.
-        let order = algo::topological_order(graph).expect("validated");
-        let mut bottom_level = vec![0.0f64; graph.n_tasks()];
-        for &t in order.iter().rev() {
-            let best_child = graph
-                .children(t)
-                .map(|c| bottom_level[c.index()])
-                .fold(0.0, f64::max);
-            bottom_level[t.index()] = graph.task(t).min_work() + best_child;
-        }
+        let bottom_level = optimistic_bottom_levels(graph);
 
         // Incumbent: best heuristic schedule, if any.
         let mut best_makespan = f64::INFINITY;
@@ -132,8 +138,8 @@ impl BranchAndBound {
         };
 
         // Quick optimality check: the incumbent may already match the global
-        // lower bound.
-        let global_lb = makespan_lower_bound(graph, platform);
+        // lower bound (strengthened by forced memory placements).
+        let global_lb = makespan_lower_bound_with_memory(graph, platform);
         if state.best_makespan <= global_lb + EPSILON {
             return ExactResult {
                 makespan: state.best_schedule.as_ref().map(|s| s.makespan()),
@@ -244,6 +250,7 @@ impl Scheduler for BranchAndBound {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bounds::makespan_lower_bound;
     use mals_gen::{dex, DaggenParams, WeightRanges};
     use mals_sim::validate;
     use mals_util::Pcg64;

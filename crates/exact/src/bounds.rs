@@ -1,11 +1,23 @@
-//! Makespan lower bounds.
+//! Makespan lower bounds and static memory-feasibility analysis.
 //!
-//! Both bounds are independent of the memory capacities, so they hold for
-//! every feasible schedule and can be used to prune the branch-and-bound
-//! search as well as to draw the "Lower bound" series of Figure 11.
+//! This is the pruning arsenal shared by **both** exact solvers — the
+//! combinatorial [`crate::bb::BranchAndBound`] and the MILP backend
+//! ([`crate::compact`]) root node — and the source of the "Lower bound"
+//! series of Figure 11:
+//!
+//! * the **critical-path** and **load (area)** bounds are independent of the
+//!   memory capacities, so they hold for every feasible schedule;
+//! * the **memory-feasibility** analysis compares every task's peak file
+//!   footprint (`MemReq(i)`, inputs + outputs — all of them are resident in
+//!   the host memory the instant the task starts, per Section 3.2) against
+//!   the two capacities: a task that fits in neither memory proves the whole
+//!   instance infeasible without any search, and a task that fits in only
+//!   one memory has its placement *forced*, which in turn strengthens the
+//!   critical-path bound (the forced resource's processing time replaces the
+//!   optimistic minimum).
 
-use mals_dag::{algo, TaskGraph};
-use mals_platform::Platform;
+use mals_dag::{algo, TaskGraph, TaskId};
+use mals_platform::{Memory, Platform};
 
 /// Critical-path bound: the longest path through the DAG where each task
 /// contributes its *smaller* processing time and communications are free.
@@ -13,15 +25,103 @@ pub fn critical_path_lower_bound(graph: &TaskGraph) -> f64 {
     algo::critical_path(graph, |t| graph.task(t).min_work(), |_| 0.0).length
 }
 
-/// Load-balance bound: the total work, counted at the smaller processing time
-/// of every task, spread perfectly over all processors.
+/// Load-balance (area) bound: the total work, counted at the smaller
+/// processing time of every task, spread perfectly over all processors.
 pub fn load_lower_bound(graph: &TaskGraph, platform: &Platform) -> f64 {
     graph.total_min_work() / platform.n_procs() as f64
 }
 
-/// The best (largest) of the two lower bounds.
+/// The best (largest) of the memory-independent lower bounds.
 pub fn makespan_lower_bound(graph: &TaskGraph, platform: &Platform) -> f64 {
     critical_path_lower_bound(graph).max(load_lower_bound(graph, platform))
+}
+
+/// Optimistic remaining work below each task: the task's minimum processing
+/// time plus the largest such value among its children, with communications
+/// free. `bottom_level[t]` is a valid lower bound on the time between the
+/// start of `t` and the completion of any schedule that still has to run `t`
+/// — the pruning quantity of both exact searches.
+pub fn optimistic_bottom_levels(graph: &TaskGraph) -> Vec<f64> {
+    let order = algo::topological_order(graph).expect("graph must be acyclic");
+    let mut bottom = vec![0.0f64; graph.n_tasks()];
+    for &t in order.iter().rev() {
+        let best_child = graph
+            .children(t)
+            .map(|c| bottom[c.index()])
+            .fold(0.0, f64::max);
+        bottom[t.index()] = graph.task(t).min_work() + best_child;
+    }
+    bottom
+}
+
+/// Outcome of the static memory-feasibility analysis (the peak-file-size vs
+/// capacity bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryFeasibility {
+    /// Tasks whose `MemReq` exceeds **both** capacities; non-empty means the
+    /// instance is infeasible under any schedule.
+    pub impossible: Vec<TaskId>,
+    /// Per task: `Some(µ)` when the other memory is too small, so any
+    /// feasible schedule must place the task on `µ`; `None` when both fit.
+    pub forced: Vec<Option<Memory>>,
+}
+
+impl MemoryFeasibility {
+    /// `true` when some task fits in neither memory.
+    pub fn is_infeasible(&self) -> bool {
+        !self.impossible.is_empty()
+    }
+}
+
+/// Compares every task's memory requirement against both capacities.
+///
+/// When task `i` starts on memory `µ`, *all* of its input files and *all* of
+/// its output files are resident in `µ` (same-memory inputs since their
+/// producers started, cross-memory inputs since their transfers started,
+/// outputs from the start of `i` itself), so `MemReq(i) ≤ M_µ` is a
+/// necessary condition for placing `i` on `µ` in **any** valid schedule —
+/// not just list schedules.
+pub fn memory_feasibility(graph: &TaskGraph, platform: &Platform) -> MemoryFeasibility {
+    let mut impossible = Vec::new();
+    let mut forced = Vec::with_capacity(graph.n_tasks());
+    for t in graph.task_ids() {
+        let need = graph.mem_req(t);
+        let fits_blue = need <= platform.mem_blue + mals_util::EPSILON;
+        let fits_red = need <= platform.mem_red + mals_util::EPSILON;
+        forced.push(match (fits_blue, fits_red) {
+            (true, true) => None,
+            (true, false) => Some(Memory::Blue),
+            (false, true) => Some(Memory::Red),
+            (false, false) => {
+                impossible.push(t);
+                None
+            }
+        });
+    }
+    MemoryFeasibility { impossible, forced }
+}
+
+/// Memory-aware critical-path bound: like [`critical_path_lower_bound`], but
+/// a task whose placement is forced by [`memory_feasibility`] contributes its
+/// processing time on the forced resource instead of the optimistic minimum.
+/// Falls back to the plain bound when nothing is forced. Returns the larger
+/// of this and the load bound.
+pub fn makespan_lower_bound_with_memory(graph: &TaskGraph, platform: &Platform) -> f64 {
+    let feas = memory_feasibility(graph, platform);
+    let cp = if feas.forced.iter().any(Option::is_some) {
+        algo::critical_path(
+            graph,
+            |t| match feas.forced[t.index()] {
+                Some(mem) => graph.task(t).work_on(mem.is_blue()),
+                None => graph.task(t).min_work(),
+            },
+            |_| 0.0,
+        )
+        .length
+    } else {
+        critical_path_lower_bound(graph)
+    };
+    cp.max(load_lower_bound(graph, platform))
 }
 
 #[cfg(test)]
@@ -52,6 +152,7 @@ mod tests {
         let p = Platform::single_pair(100.0, 100.0);
         let s = MemMinMin::new().schedule(&g, &p).unwrap();
         assert!(makespan_lower_bound(&g, &p) <= s.makespan() + 1e-9);
+        assert!(makespan_lower_bound_with_memory(&g, &p) <= s.makespan() + 1e-9);
     }
 
     #[test]
@@ -60,5 +161,45 @@ mod tests {
         let small = Platform::new(1, 1, 10.0, 10.0).unwrap();
         let big = Platform::new(4, 4, 10.0, 10.0).unwrap();
         assert!(load_lower_bound(&g, &big) < load_lower_bound(&g, &small));
+    }
+
+    #[test]
+    fn bottom_levels_of_dex() {
+        let (g, [t1, t2, t3, t4]) = dex();
+        let bottom = optimistic_bottom_levels(&g);
+        // T4 = 1; T3 = 3 + 1; T2 = 2 + 1; T1 = 1 + max(3, 4) = 5.
+        assert_eq!(bottom[t4.index()], 1.0);
+        assert_eq!(bottom[t3.index()], 4.0);
+        assert_eq!(bottom[t2.index()], 3.0);
+        assert_eq!(bottom[t1.index()], 5.0);
+    }
+
+    #[test]
+    fn memory_feasibility_detects_hopeless_bounds() {
+        let (g, [t1, _, t3, t4]) = dex();
+        // T1 needs 3 (outputs), T3 needs 4, T4 needs 3 (inputs).
+        let feas = memory_feasibility(&g, &Platform::single_pair(2.0, 2.0));
+        assert!(feas.is_infeasible());
+        assert!(feas.impossible.contains(&t1));
+        assert!(feas.impossible.contains(&t3));
+        assert!(feas.impossible.contains(&t4));
+        // Ample on both sides: nothing forced, nothing impossible.
+        let feas = memory_feasibility(&g, &Platform::single_pair(10.0, 10.0));
+        assert!(!feas.is_infeasible());
+        assert!(feas.forced.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn asymmetric_bounds_force_placements() {
+        let (g, [_, _, t3, _]) = dex();
+        // Blue can hold T3's 4 units, red cannot: T3 is forced blue.
+        let feas = memory_feasibility(&g, &Platform::single_pair(10.0, 3.5));
+        assert!(!feas.is_infeasible());
+        assert_eq!(feas.forced[t3.index()], Some(Memory::Blue));
+        // And the memory-aware critical path uses T3's blue time (6) on the
+        // path T1-T3-T4: 1 + 6 + 1 = 8 > the oblivious bound of 5.
+        let p = Platform::single_pair(10.0, 3.5);
+        assert_eq!(makespan_lower_bound_with_memory(&g, &p), 8.0);
+        assert_eq!(makespan_lower_bound(&g, &p), 5.0);
     }
 }

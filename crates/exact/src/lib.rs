@@ -16,18 +16,38 @@
 //!   makespans within that space for the small instances of the paper's
 //!   Figure 10/11 experiments, replacing the CPLEX runs (see `DESIGN.md` for
 //!   the substitution rationale).
-//! * [`bounds`] — platform- and memory-independent makespan lower bounds
-//!   (critical path, load balance) used to prune the search and plotted as
-//!   the "Lower bound" series of Figure 11.
+//! * [`simplex`] / [`milp`] — an in-tree bounded-variable revised simplex
+//!   and a best-first branch-and-bound MILP solver over [`model::LpModel`],
+//!   so optimal makespans no longer require proprietary tooling;
+//! * [`compact`] — the MILP **exact backend**: a compact disjunctive model
+//!   solved with the in-tree MILP machinery, with lazy memory enforcement
+//!   through the simulator's validator;
+//! * [`backend`] — the pluggable [`backend::ExactBackend`] layer tying the
+//!   three backends (B&B, MILP, LP export) behind one trait for the
+//!   experiment campaigns (`--exact-backend {milp,bb,lp-export}`);
+//! * [`bounds`] — makespan lower bounds (critical path, load balance,
+//!   memory-feasibility) shared by both exact solvers for pruning and
+//!   plotted as the "Lower bound" series of Figure 11.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bb;
 pub mod bounds;
+pub mod compact;
 pub mod ilp;
+pub mod milp;
 pub mod model;
+pub mod simplex;
 
+pub use backend::{ExactBackend, ExactBackendKind, ExactOutcome, ExactScheduler, SolveLimits};
 pub use bb::{BranchAndBound, ExactResult};
-pub use bounds::{critical_path_lower_bound, load_lower_bound, makespan_lower_bound};
+pub use bounds::{
+    critical_path_lower_bound, load_lower_bound, makespan_lower_bound, memory_feasibility,
+    optimistic_bottom_levels, MemoryFeasibility,
+};
+pub use compact::MilpBackend;
 pub use ilp::{build_ilp, IlpStats};
-pub use model::{Constraint, LpModel, Sense, VarId, VarKind};
+pub use milp::{MilpLimits, MilpResult, MilpSolver, MilpStatus};
+pub use model::{Constraint, LpModel, Sense, StandardForm, VarId, VarKind};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

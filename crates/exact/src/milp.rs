@@ -1,0 +1,516 @@
+//! Mixed-integer linear programming by best-first branch-and-bound.
+//!
+//! [`MilpSolver`] minimises any [`LpModel`] whose integer variables have
+//! finite bounds:
+//!
+//! * every node's **LP relaxation** is solved with the bounded-variable
+//!   simplex of [`crate::simplex`] — nodes share one [`StandardForm`] matrix
+//!   and differ only in per-column bound overrides, so branching never
+//!   rebuilds the matrix;
+//! * the open nodes live in a **best-first** priority queue keyed by their
+//!   parent relaxation bound (ties broken by creation order, which makes the
+//!   search fully deterministic);
+//! * branching picks the **most fractional** integer column and splits it at
+//!   `⌊x⌋ / ⌈x⌉`;
+//! * callers with side constraints the LP cannot express (the scheduling
+//!   backend's memory bounds) plug in through the **integral-node callback**:
+//!   every relaxation optimum with integral variables is handed to the
+//!   callback, which either accepts it as a solution or rejects it with a
+//!   globally valid cutting plane (e.g. a no-good cut) — the node is then
+//!   re-solved under the grown cut pool.
+//!
+//! The incumbent can also be seeded from outside (`initial_cutoff`): the
+//! solver then only looks for strictly better solutions, and a `proven`
+//! verdict means nothing better than the cutoff exists.
+
+use crate::model::{LpModel, Sense, StandardForm, VarId};
+use crate::simplex::{solve_lp, LpStatus};
+use mals_util::F64Ord;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Absolute tolerance for integrality and incumbent comparisons.
+pub const INT_TOL: f64 = 1e-6;
+
+/// Budgets of a MILP solve.
+#[derive(Debug, Clone, Copy)]
+pub struct MilpLimits {
+    /// Maximum number of branch-and-bound nodes (LP solves).
+    pub node_limit: u64,
+    /// Simplex iteration budget per LP solve.
+    pub lp_iteration_limit: u64,
+}
+
+impl Default for MilpLimits {
+    fn default() -> Self {
+        MilpLimits {
+            node_limit: 50_000,
+            lp_iteration_limit: 20_000,
+        }
+    }
+}
+
+/// Condensed verdict of a MILP solve (see [`MilpResult::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// The search space was exhausted and an incumbent was found.
+    Optimal,
+    /// A limit was hit; the incumbent (if any) carries no optimality proof.
+    Feasible,
+    /// The search space was exhausted without finding any solution.
+    Infeasible,
+    /// A limit was hit before any solution was found.
+    LimitHit,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    /// `true` when the tree was exhausted with exact node relaxations, i.e.
+    /// no solution better than `min(objective, initial_cutoff) − ε` exists.
+    pub proven: bool,
+    /// Best objective accepted by the solver or the callback.
+    pub objective: Option<f64>,
+    /// Structural variable values of the best *LP-integral* incumbent (absent
+    /// when the incumbent came from a callback's repair value).
+    pub solution: Option<Vec<f64>>,
+    /// Branch-and-bound nodes expanded (= LP solves).
+    pub nodes: u64,
+}
+
+impl MilpResult {
+    /// Condenses the `(proven, objective)` pair into a [`MilpStatus`].
+    pub fn status(&self) -> MilpStatus {
+        match (self.proven, self.objective.is_some()) {
+            (true, true) => MilpStatus::Optimal,
+            (true, false) => MilpStatus::Infeasible,
+            (false, true) => MilpStatus::Feasible,
+            (false, false) => MilpStatus::LimitHit,
+        }
+    }
+}
+
+/// What the integral-node callback decided about a relaxation optimum whose
+/// integer variables all took integral values.
+pub enum IntegralDecision {
+    /// The point is a genuine solution with the given objective value (often
+    /// the LP objective, but a caller may report the value of a repaired /
+    /// re-simulated solution instead — it must not exceed the node bound for
+    /// the node to be closed soundly; a value above the bound is still used
+    /// as an incumbent but forfeits the `proven` verdict).
+    Accept {
+        /// Objective value achieved.
+        objective: f64,
+    },
+    /// The point violates a side constraint: exclude it with a globally
+    /// valid cut and keep searching. `achieved` optionally reports a feasible
+    /// objective the caller obtained while repairing the point (it tightens
+    /// the cutoff but carries no solution vector).
+    Reject {
+        /// Cut terms over model variables (`Σ coeff·var  sense  rhs`).
+        cut: (Vec<(f64, VarId)>, Sense, f64),
+        /// Feasible objective value obtained as a by-product, if any.
+        achieved: Option<f64>,
+    },
+}
+
+/// One open node: bound overrides on structural columns plus the best known
+/// lower bound inherited from the parent relaxation.
+struct Node {
+    bound: f64,
+    overrides: Vec<(usize, f64, f64)>,
+}
+
+/// Best-first branch-and-bound MILP solver.
+#[derive(Debug, Clone, Default)]
+pub struct MilpSolver {
+    /// Node and iteration budgets.
+    pub limits: MilpLimits,
+    /// Optional branching priority class per *model variable* (lower class
+    /// branches first; variables not covered default to class `u8::MAX`).
+    /// Within the best class the most fractional variable is chosen. The
+    /// scheduling backend uses this to branch memory assignments before
+    /// ordering indicators.
+    pub branch_priority: Vec<u8>,
+}
+
+impl MilpSolver {
+    /// Creates a solver with the given limits.
+    pub fn new(limits: MilpLimits) -> Self {
+        MilpSolver {
+            limits,
+            branch_priority: Vec::new(),
+        }
+    }
+
+    /// Sets the per-variable branching priority classes.
+    pub fn with_branch_priority(mut self, priority: Vec<u8>) -> Self {
+        self.branch_priority = priority;
+        self
+    }
+
+    /// Minimises `model`, treating every integral relaxation optimum as a
+    /// solution (the pure-MILP case).
+    pub fn solve(&self, model: &LpModel) -> MilpResult {
+        self.solve_with(model, None, |_x, obj| IntegralDecision::Accept {
+            objective: obj,
+        })
+    }
+
+    /// Minimises `model` with an optional external cutoff and an
+    /// integral-node callback (see the module docs).
+    pub fn solve_with(
+        &self,
+        model: &LpModel,
+        initial_cutoff: Option<f64>,
+        mut on_integral: impl FnMut(&[f64], f64) -> IntegralDecision,
+    ) -> MilpResult {
+        let mut working = model.clone();
+        let mut sf = working.to_standard_form();
+        let int_cols: Vec<usize> = working
+            .integer_var_ids()
+            .iter()
+            .map(|v| v.index())
+            .collect();
+
+        let mut cutoff = initial_cutoff;
+        let mut best_objective: Option<f64> = None;
+        let mut best_solution: Option<Vec<f64>> = None;
+        let mut nodes = 0u64;
+        let mut proven = true;
+        let mut n_cuts = 0usize;
+
+        // Heap of open nodes, popped in (bound, creation order). `Reverse`
+        // turns the max-heap into a min-heap.
+        let mut seq = 0u64;
+        let mut heap: BinaryHeap<Reverse<(F64Ord, u64)>> = BinaryHeap::new();
+        let mut store: Vec<Option<Node>> = Vec::new();
+        let push = |heap: &mut BinaryHeap<Reverse<(F64Ord, u64)>>,
+                    store: &mut Vec<Option<Node>>,
+                    seq: &mut u64,
+                    node: Node| {
+            heap.push(Reverse((F64Ord(node.bound), *seq)));
+            store.push(Some(node));
+            *seq += 1;
+        };
+        push(
+            &mut heap,
+            &mut store,
+            &mut seq,
+            Node {
+                bound: f64::NEG_INFINITY,
+                overrides: Vec::new(),
+            },
+        );
+
+        'search: while let Some(Reverse((F64Ord(bound), id))) = heap.pop() {
+            let Some(mut node) = store[id as usize].take() else {
+                continue;
+            };
+            if let Some(c) = cutoff {
+                if bound >= c - INT_TOL {
+                    // Best-first: every remaining node is at least as bad.
+                    break;
+                }
+            }
+            // A node may be re-queued several times while the callback grows
+            // the cut pool; each re-solve counts against the budget.
+            loop {
+                if nodes >= self.limits.node_limit {
+                    proven = false;
+                    break 'search;
+                }
+                nodes += 1;
+
+                let (lower, upper) = apply_overrides(&sf, &node.overrides);
+                let lp = solve_lp(&sf, &lower, &upper, self.limits.lp_iteration_limit);
+                match lp.status {
+                    LpStatus::Infeasible => break,
+                    LpStatus::Unbounded | LpStatus::IterationLimit => {
+                        // Without a finite relaxation bound the node cannot
+                        // be fathomed soundly; drop it and lose the proof.
+                        proven = false;
+                        break;
+                    }
+                    LpStatus::Optimal => {}
+                }
+                let obj = lp.objective;
+                node.bound = node.bound.max(obj);
+                if let Some(c) = cutoff {
+                    if obj >= c - INT_TOL {
+                        break;
+                    }
+                }
+
+                match most_fractional(&lp.x, &int_cols, &self.branch_priority) {
+                    Some(col) => {
+                        let x = lp.x[col];
+                        let (lo, hi) = (x.floor(), x.ceil());
+                        let mut down = node.overrides.clone();
+                        down.push((col, f64::NEG_INFINITY, lo));
+                        let mut up = node.overrides;
+                        up.push((col, hi, f64::INFINITY));
+                        push(
+                            &mut heap,
+                            &mut store,
+                            &mut seq,
+                            Node {
+                                bound: obj,
+                                overrides: down,
+                            },
+                        );
+                        push(
+                            &mut heap,
+                            &mut store,
+                            &mut seq,
+                            Node {
+                                bound: obj,
+                                overrides: up,
+                            },
+                        );
+                        break;
+                    }
+                    None => match on_integral(&lp.x, obj) {
+                        IntegralDecision::Accept { objective } => {
+                            // Closing the node is only sound when the
+                            // accepted value does not exceed the node's own
+                            // relaxation bound: the node may still contain
+                            // points between the bound and the value. Such
+                            // an accept keeps the incumbent but forfeits
+                            // the optimality proof.
+                            if objective > obj + INT_TOL {
+                                debug_assert!(false, "Accept above the node bound");
+                                proven = false;
+                            }
+                            if cutoff.is_none_or(|c| objective < c - INT_TOL)
+                                || best_objective.is_none()
+                            {
+                                cutoff = Some(cutoff.map_or(objective, |c| c.min(objective)));
+                                if best_objective.is_none_or(|b| objective < b) {
+                                    best_objective = Some(objective);
+                                    best_solution = Some(lp.x.clone());
+                                }
+                            }
+                            break;
+                        }
+                        IntegralDecision::Reject { cut, achieved } => {
+                            if let Some(value) = achieved {
+                                cutoff = Some(cutoff.map_or(value, |c| c.min(value)));
+                                if best_objective.is_none_or(|b| value < b - INT_TOL) {
+                                    best_objective = Some(value);
+                                    best_solution = None;
+                                }
+                            }
+                            let (terms, sense, rhs) = cut;
+                            n_cuts += 1;
+                            working.add_constraint(format!("lazy_{n_cuts}"), terms, sense, rhs);
+                            sf = working.to_standard_form();
+                            // Re-solve this node under the new cut pool.
+                        }
+                    },
+                }
+            }
+        }
+
+        MilpResult {
+            proven,
+            objective: best_objective,
+            solution: best_solution.map(|x| x[..model.n_variables()].to_vec()),
+            nodes,
+        }
+    }
+}
+
+/// Copies the standard-form bounds and narrows them with the node overrides
+/// (later overrides intersect with earlier ones).
+fn apply_overrides(sf: &StandardForm, overrides: &[(usize, f64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let mut lower = sf.lower.clone();
+    let mut upper = sf.upper.clone();
+    for &(col, lo, hi) in overrides {
+        lower[col] = lower[col].max(lo);
+        upper[col] = upper[col].min(hi);
+    }
+    (lower, upper)
+}
+
+/// The fractional integer column to branch on: the most fractional one in
+/// the best (lowest) priority class that has any fractional member.
+fn most_fractional(x: &[f64], int_cols: &[usize], priority: &[u8]) -> Option<usize> {
+    let mut best: Option<(u8, usize, f64)> = None;
+    for &col in int_cols {
+        let frac = x[col] - x[col].floor();
+        let dist = frac.min(1.0 - frac);
+        if dist <= INT_TOL {
+            continue;
+        }
+        let class = priority.get(col).copied().unwrap_or(u8::MAX);
+        let better = match best {
+            None => true,
+            Some((c, _, d)) => class < c || (class == c && dist > d),
+        };
+        if better {
+            best = Some((class, col, dist));
+        }
+    }
+    best.map(|(_, col, _)| col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarKind;
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c ≤ 5 ⇒ a + c, value 17.
+        let mut m = LpModel::new();
+        let a = m.add_var("a", VarKind::Binary);
+        let b = m.add_var("b", VarKind::Binary);
+        let c = m.add_var("c", VarKind::Binary);
+        m.set_objective(vec![(-10.0, a), (-13.0, b), (-7.0, c)]);
+        m.add_constraint("cap", vec![(3.0, a), (4.0, b), (2.0, c)], Sense::Le, 5.0);
+        let r = MilpSolver::default().solve(&m);
+        assert_eq!(r.status(), MilpStatus::Optimal);
+        assert!((r.objective.unwrap() + 17.0).abs() < 1e-6);
+        let x = r.solution.unwrap();
+        assert!(x[0] > 0.5 && x[1] < 0.5 && x[2] > 0.5);
+    }
+
+    #[test]
+    fn general_integer_rounding() {
+        // min x s.t. 2x ≥ 7, x integer ⇒ x = 4.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Integer(0, 10));
+        m.set_objective(vec![(1.0, x)]);
+        m.add_constraint("c", vec![(2.0, x)], Sense::Ge, 7.0);
+        let r = MilpSolver::default().solve(&m);
+        assert_eq!(r.status(), MilpStatus::Optimal);
+        assert!((r.objective.unwrap() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Binary);
+        let y = m.add_var("y", VarKind::Binary);
+        m.add_constraint("lo_x", vec![(1.0, x)], Sense::Ge, 1.0);
+        m.add_constraint("lo_y", vec![(1.0, y)], Sense::Ge, 1.0);
+        m.add_constraint("cap", vec![(1.0, x), (1.0, y)], Sense::Le, 1.0);
+        let r = MilpSolver::default().solve(&m);
+        assert_eq!(r.status(), MilpStatus::Infeasible);
+        assert!(r.proven);
+        assert!(r.objective.is_none());
+    }
+
+    #[test]
+    fn external_cutoff_prunes_everything() {
+        // The only solutions have objective ≥ 0; a cutoff of −1 proves that
+        // nothing better than the cutoff exists without accepting anything.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Binary);
+        m.set_objective(vec![(1.0, x)]);
+        let r = MilpSolver::default().solve_with(&m, Some(-1.0), |_x, obj| {
+            IntegralDecision::Accept { objective: obj }
+        });
+        assert!(r.proven);
+        assert!(r.objective.is_none());
+        assert_eq!(r.status(), MilpStatus::Infeasible); // nothing below cutoff
+    }
+
+    #[test]
+    fn no_good_cuts_enumerate_points() {
+        // Reject every integral point with a no-good cut: the solver must
+        // enumerate all four (x, y) ∈ {0,1}² assignments and prove the pool
+        // empty. The callback records what it saw.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Binary);
+        let y = m.add_var("y", VarKind::Binary);
+        m.set_objective(vec![(1.0, x), (1.0, y)]);
+        let mut seen = Vec::new();
+        let r = MilpSolver::default().solve_with(&m, None, |vals, _obj| {
+            let xi = vals[0].round();
+            let yi = vals[1].round();
+            seen.push((xi as i32, yi as i32));
+            // Σ_{v=1} (1 − v) + Σ_{v=0} v ≥ 1 excludes exactly this point.
+            let mut terms = Vec::new();
+            let mut rhs = 1.0;
+            for (var, val) in [(x, xi), (y, yi)] {
+                if val > 0.5 {
+                    terms.push((-1.0, var));
+                    rhs -= 1.0;
+                } else {
+                    terms.push((1.0, var));
+                }
+            }
+            IntegralDecision::Reject {
+                cut: (terms, Sense::Ge, rhs),
+                achieved: None,
+            }
+        });
+        assert!(r.proven, "cut enumeration must terminate with a proof");
+        assert_eq!(r.objective, None);
+        assert_eq!(seen.len(), 4, "every 0/1 point visited once: {seen:?}");
+    }
+
+    #[test]
+    fn achieved_value_from_reject_becomes_incumbent() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Binary);
+        m.set_objective(vec![(1.0, x)]);
+        let r = MilpSolver::default().solve_with(&m, None, |vals, _obj| {
+            let xi = vals[0].round();
+            let (terms, rhs) = if xi > 0.5 {
+                (vec![(-1.0, x)], 0.0)
+            } else {
+                (vec![(1.0, x)], 1.0)
+            };
+            IntegralDecision::Reject {
+                cut: (terms, Sense::Ge, rhs),
+                achieved: Some(5.0),
+            }
+        });
+        assert!(r.proven);
+        assert_eq!(r.objective, Some(5.0));
+        assert!(r.solution.is_none(), "repair values carry no vector");
+    }
+
+    #[test]
+    fn node_limit_degrades_to_feasible() {
+        // A 12-binary knapsack with a 1-node budget cannot finish.
+        let mut m = LpModel::new();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Binary))
+            .collect();
+        m.set_objective(vars.iter().map(|&v| (-1.0, v)).collect());
+        m.add_constraint(
+            "cap",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (1.0 + (i % 3) as f64, v))
+                .collect(),
+            Sense::Le,
+            7.5,
+        );
+        let solver = MilpSolver::new(MilpLimits {
+            node_limit: 1,
+            lp_iteration_limit: 100_000,
+        });
+        let r = solver.solve(&m);
+        assert!(!r.proven);
+        assert!(matches!(
+            r.status(),
+            MilpStatus::LimitHit | MilpStatus::Feasible
+        ));
+    }
+
+    #[test]
+    fn pure_lp_model_solves_in_one_node() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, 4.0));
+        m.set_objective(vec![(-2.0, x)]);
+        let r = MilpSolver::default().solve(&m);
+        assert_eq!(r.status(), MilpStatus::Optimal);
+        assert!((r.objective.unwrap() + 8.0).abs() < 1e-6);
+        assert_eq!(r.nodes, 1);
+    }
+}

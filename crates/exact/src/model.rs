@@ -1,8 +1,10 @@
 //! A small in-memory representation of mixed-integer linear programs.
 //!
-//! Just enough structure to materialise the paper's ILP (Section 4), count
-//! its variables and constraints, and export it in the CPLEX LP text format
-//! so it can be handed to an external MILP solver.
+//! Enough structure to materialise the paper's ILP (Section 4), count its
+//! variables and constraints, export it in the CPLEX LP text format, and —
+//! since the workspace now ships its own solver — convert any model to the
+//! bounded standard form `min cᵀx  s.t.  Ax = b, l ≤ x ≤ u` consumed by
+//! [`crate::simplex`] and [`crate::milp`].
 
 /// Identifier of a variable inside an [`LpModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +27,22 @@ pub enum VarKind {
     Binary,
     /// General integer variable with the given inclusive bounds.
     Integer(i64, i64),
+}
+
+impl VarKind {
+    /// The `[lower, upper]` bounds implied by the kind.
+    pub fn bounds(self) -> (f64, f64) {
+        match self {
+            VarKind::Continuous(lo, hi) => (lo, hi),
+            VarKind::Binary => (0.0, 1.0),
+            VarKind::Integer(lo, hi) => (lo as f64, hi as f64),
+        }
+    }
+
+    /// Returns `true` for variables with an integrality requirement.
+    pub fn is_integer(self) -> bool {
+        matches!(self, VarKind::Binary | VarKind::Integer(_, _))
+    }
 }
 
 /// Direction of a linear constraint.
@@ -142,6 +160,92 @@ impl LpModel {
             .map(|i| VarId(i as u32))
     }
 
+    /// Iterates over the variables in id order.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        self.variables.iter()
+    }
+
+    /// The (minimisation) objective terms.
+    pub fn objective(&self) -> &[(f64, VarId)] {
+        &self.objective
+    }
+
+    /// Ids of every variable with an integrality requirement, in id order.
+    pub fn integer_var_ids(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind.is_integer())
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// Converts the model to the bounded standard form `min cᵀx` subject to
+    /// `Ax = b`, `l ≤ x ≤ u`.
+    ///
+    /// The first [`LpModel::n_variables`] columns mirror the model variables
+    /// in id order; every `≤` / `≥` constraint contributes one extra slack
+    /// column. Equality rows carry no slack.
+    ///
+    /// # Panics
+    /// Panics if any variable has an infinite *lower* bound: the simplex
+    /// implementation keeps every nonbasic variable on a finite bound, and no
+    /// model built in this workspace needs free variables.
+    pub fn to_standard_form(&self) -> StandardForm {
+        let n_structural = self.variables.len();
+        let n_rows = self.constraints.len();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_structural];
+        let mut obj = vec![0.0; n_structural];
+        let mut lower = Vec::with_capacity(n_structural + n_rows);
+        let mut upper = Vec::with_capacity(n_structural + n_rows);
+        let mut is_integer = Vec::with_capacity(n_structural + n_rows);
+        for v in &self.variables {
+            let (lo, hi) = v.kind.bounds();
+            assert!(
+                lo.is_finite(),
+                "standard form requires a finite lower bound on `{}`",
+                v.name
+            );
+            lower.push(lo);
+            upper.push(hi);
+            is_integer.push(v.kind.is_integer());
+        }
+        for (coeff, var) in &self.objective {
+            obj[var.index()] += *coeff;
+        }
+        let mut rhs = Vec::with_capacity(n_rows);
+        for (row, c) in self.constraints.iter().enumerate() {
+            for (coeff, var) in &c.terms {
+                cols[var.index()].push((row, *coeff));
+            }
+            rhs.push(c.rhs);
+            // One slack per inequality row: `a·x + s = b` with `s ≥ 0` for
+            // `≤`, `a·x − s = b` with `s ≥ 0` for `≥`.
+            let slack_coeff = match c.sense {
+                Sense::Le => Some(1.0),
+                Sense::Ge => Some(-1.0),
+                Sense::Eq => None,
+            };
+            if let Some(coeff) = slack_coeff {
+                cols.push(vec![(row, coeff)]);
+                obj.push(0.0);
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+                is_integer.push(false);
+            }
+        }
+        StandardForm {
+            n_structural,
+            n_rows,
+            cols,
+            obj,
+            rhs,
+            lower,
+            upper,
+            is_integer,
+        }
+    }
+
     /// Exports the model in CPLEX LP text format.
     pub fn to_lp_format(&self) -> String {
         let mut out = String::with_capacity(64 * (self.constraints.len() + self.variables.len()));
@@ -224,6 +328,40 @@ impl LpModel {
     }
 }
 
+/// A model in the bounded standard form `min cᵀx  s.t.  Ax = b, l ≤ x ≤ u`,
+/// produced by [`LpModel::to_standard_form`] and consumed by the in-tree
+/// simplex / MILP solvers.
+///
+/// The matrix is stored column-wise and sparse; the first
+/// [`StandardForm::n_structural`] columns correspond one-to-one to the model
+/// variables, followed by one slack column per inequality row.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of leading columns that mirror the model's variables.
+    pub n_structural: usize,
+    /// Number of rows of `A` (= constraints of the model).
+    pub n_rows: usize,
+    /// Sparse columns of `A`: `(row, coefficient)` pairs.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Dense objective over all columns (slacks cost 0).
+    pub obj: Vec<f64>,
+    /// Right-hand side `b`.
+    pub rhs: Vec<f64>,
+    /// Lower bounds `l` (always finite).
+    pub lower: Vec<f64>,
+    /// Upper bounds `u` (`f64::INFINITY` when unbounded above).
+    pub upper: Vec<f64>,
+    /// Integrality marker per column (slacks are continuous).
+    pub is_integer: Vec<bool>,
+}
+
+impl StandardForm {
+    /// Total number of columns (structural + slacks).
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+}
+
 fn push_term(out: &mut String, coeff: f64, name: &str) {
     if coeff >= 0.0 {
         out.push_str(&format!(" + {} {}", fmt_num(coeff), name));
@@ -232,11 +370,17 @@ fn push_term(out: &mut String, coeff: f64, name: &str) {
     }
 }
 
+/// Formats a number for the LP export: integral values print as integers,
+/// everything else uses the `{:?}` float formatter — the shortest decimal
+/// representation that parses back to exactly the same `f64` (switching to
+/// exponent notation for extreme magnitudes). Rust's float formatting never
+/// consults the process locale, so the emitted text is byte-identical across
+/// runs and machines.
 fn fmt_num(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64)
     } else {
-        format!("{x}")
+        format!("{x:?}")
     }
 }
 
@@ -292,5 +436,88 @@ mod tests {
         let lp = m.to_lp_format();
         assert!(lp.contains("obj: 0"));
         assert!(lp.contains("End"));
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        // Every non-integral coefficient must be printed with the shortest
+        // representation that parses back to the identical f64.
+        for x in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            -7.25e-9,
+            1e300,
+            123_456_789.000_000_12,
+            f64::MAX,
+        ] {
+            let s = fmt_num(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "`{s}` did not round-trip");
+            assert!(!s.contains(','), "locale-style separator in `{s}`");
+        }
+        // Integral values keep the compact integer form.
+        assert_eq!(fmt_num(7.0), "7");
+        assert_eq!(fmt_num(-3.0), "-3");
+        assert_eq!(fmt_num(0.0), "0");
+    }
+
+    #[test]
+    fn lp_export_is_byte_stable_across_runs() {
+        let build = || {
+            let mut m = LpModel::new();
+            let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+            let y = m.add_var("y", VarKind::Binary);
+            let z = m.add_var("z", VarKind::Integer(-2, 9));
+            m.set_objective(vec![(0.1 + 0.2, x), (1.0 / 3.0, y)]);
+            m.add_constraint("c1", vec![(1e-9, x), (-2.5, y), (1.0, z)], Sense::Le, 0.3);
+            m.add_constraint("c2", vec![(7.0, x)], Sense::Ge, -1.0 / 7.0);
+            m.to_lp_format()
+        };
+        let first = build();
+        let second = build();
+        assert_eq!(first.as_bytes(), second.as_bytes());
+        // The tricky coefficients appear in round-trip-exact form.
+        assert!(first.contains("0.30000000000000004"), "{first}");
+        assert!(first.contains("0.3333333333333333"), "{first}");
+        assert!(first.contains("1e-9"), "{first}");
+    }
+
+    #[test]
+    fn standard_form_conversion() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, 10.0));
+        let y = m.add_var("y", VarKind::Binary);
+        let z = m.add_var("z", VarKind::Integer(1, 4));
+        m.set_objective(vec![(2.0, x), (-1.0, z)]);
+        m.add_constraint("le", vec![(1.0, x), (3.0, y)], Sense::Le, 5.0);
+        m.add_constraint("ge", vec![(1.0, x), (1.0, z)], Sense::Ge, 2.0);
+        m.add_constraint("eq", vec![(1.0, y), (1.0, z)], Sense::Eq, 3.0);
+        let sf = m.to_standard_form();
+        assert_eq!(sf.n_structural, 3);
+        assert_eq!(sf.n_rows, 3);
+        // Two slacks: one for the ≤ row (+1), one for the ≥ row (−1).
+        assert_eq!(sf.n_cols(), 5);
+        assert_eq!(sf.cols[3], vec![(0, 1.0)]);
+        assert_eq!(sf.cols[4], vec![(1, -1.0)]);
+        assert_eq!(sf.obj, vec![2.0, 0.0, -1.0, 0.0, 0.0]);
+        assert_eq!(sf.rhs, vec![5.0, 2.0, 3.0]);
+        assert_eq!(sf.lower, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(sf.upper[1], 1.0);
+        assert!(sf.upper[3].is_infinite());
+        assert_eq!(sf.is_integer, vec![false, true, true, false, false]);
+        // Kind helpers.
+        assert_eq!(VarKind::Binary.bounds(), (0.0, 1.0));
+        assert!(VarKind::Integer(0, 3).is_integer());
+        assert!(!VarKind::Continuous(0.0, 1.0).is_integer());
+        assert_eq!(m.integer_var_ids(), vec![y, z]);
+        assert_eq!(m.objective().len(), 2);
+        assert_eq!(m.variables().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite lower bound")]
+    fn standard_form_rejects_free_variables() {
+        let mut m = LpModel::new();
+        m.add_var("free", VarKind::Continuous(f64::NEG_INFINITY, 0.0));
+        let _ = m.to_standard_form();
     }
 }

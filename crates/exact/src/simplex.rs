@@ -1,0 +1,706 @@
+//! Bounded-variable two-phase revised primal simplex.
+//!
+//! Solves linear programs in the standard form produced by
+//! [`LpModel::to_standard_form`](crate::model::LpModel::to_standard_form):
+//! `min cᵀx` subject to `Ax = b`, `l ≤ x ≤ u` (finite lower bounds, possibly
+//! infinite upper bounds). This is the LP-relaxation core underneath the
+//! in-tree MILP solver ([`crate::milp`]); it is written for the model sizes
+//! the exact backends produce (hundreds of rows), not for industrial scale:
+//!
+//! * **revised** iteration: the basis inverse `B⁻¹` is kept explicitly
+//!   (dense, `m × m`) and updated by the product-form pivot; every
+//!   `REFACTOR_EVERY` pivots it is recomputed from scratch (Gauss–Jordan
+//!   with partial pivoting) and the basic values are replayed from the
+//!   nonbasic ones, which keeps the accumulated drift bounded;
+//! * **bounded variables**: nonbasic columns sit on their lower *or* upper
+//!   bound, the ratio test allows the entering variable to flip to its other
+//!   bound without a basis change;
+//! * **phase 1** starts from an all-artificial basis minimising the total
+//!   residual — a strictly positive optimum proves infeasibility;
+//! * **anti-cycling**: pricing uses Dantzig's rule (most negative reduced
+//!   cost) and falls back to Bland's rule — smallest eligible index, which
+//!   provably terminates — whenever a run of degenerate pivots suggests
+//!   cycling.
+
+use crate::model::StandardForm;
+
+/// Reduced-cost optimality tolerance.
+const DJ_TOL: f64 = 1e-9;
+/// Smallest pivot magnitude accepted in the ratio test.
+const PIVOT_TOL: f64 = 1e-9;
+/// Residual above which phase 1 declares the program infeasible.
+const PHASE1_TOL: f64 = 1e-7;
+/// Degenerate-pivot run length that triggers the switch to Bland's rule.
+const BLAND_AFTER: u32 = 40;
+/// Pivots between two from-scratch refactorisations of `B⁻¹`.
+const REFACTOR_EVERY: u32 = 64;
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no solution within the bounds.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration budget ran out (or the basis went numerically
+    /// singular); the result proves nothing.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Outcome of the solve.
+    pub status: LpStatus,
+    /// Objective value (meaningful only for [`LpStatus::Optimal`]).
+    pub objective: f64,
+    /// Values of the *structural* columns (meaningful only for
+    /// [`LpStatus::Optimal`]).
+    pub x: Vec<f64>,
+    /// Simplex iterations spent (both phases).
+    pub iterations: u64,
+}
+
+/// Solves `min cᵀx, Ax = b, lower ≤ x ≤ upper` for the matrix and objective
+/// of `sf`, with the bounds supplied separately so branch-and-bound nodes can
+/// tighten them without copying the matrix. `lower`/`upper` must cover every
+/// column of `sf` (structural first, then slacks).
+pub fn solve_lp(
+    sf: &StandardForm,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: u64,
+) -> LpSolution {
+    debug_assert_eq!(lower.len(), sf.n_cols());
+    debug_assert_eq!(upper.len(), sf.n_cols());
+    // Crossed bounds (possible when a caller derives bounds from an
+    // incumbent-restricted horizon) mean an empty feasible region.
+    if lower.iter().zip(upper).any(|(lo, hi)| lo > hi) {
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: vec![0.0; sf.n_structural],
+            iterations: 0,
+        };
+    }
+    let mut t = Tableau::new(sf, lower, upper);
+    let mut iterations = 0u64;
+
+    // Phase 1: minimise the artificial residual.
+    let phase1 = t.run_phase(true, max_iterations, &mut iterations);
+    match phase1 {
+        PhaseEnd::Optimal => {}
+        // The phase-1 objective is bounded below by zero, so an "unbounded"
+        // verdict can only be numerical noise: report it as inconclusive.
+        PhaseEnd::Unbounded | PhaseEnd::Limit => {
+            return t.bail(LpStatus::IterationLimit, iterations)
+        }
+    }
+    if t.phase1_residual() > PHASE1_TOL {
+        return t.bail(LpStatus::Infeasible, iterations);
+    }
+    t.enter_phase2();
+
+    // Phase 2: minimise the real objective.
+    match t.run_phase(false, max_iterations, &mut iterations) {
+        PhaseEnd::Optimal => {
+            let x = t.structural_values();
+            let objective = sf
+                .obj
+                .iter()
+                .zip(&x)
+                .map(|(c, v)| c * v)
+                .chain(std::iter::once(0.0))
+                .sum();
+            LpSolution {
+                status: LpStatus::Optimal,
+                objective,
+                x,
+                iterations,
+            }
+        }
+        PhaseEnd::Unbounded => t.bail(LpStatus::Unbounded, iterations),
+        PhaseEnd::Limit => t.bail(LpStatus::IterationLimit, iterations),
+    }
+}
+
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    Limit,
+}
+
+/// Working state of a solve: the columns of `sf` plus one artificial column
+/// per row (indices `n_cols..n_cols + m`).
+struct Tableau<'a> {
+    sf: &'a StandardForm,
+    m: usize,
+    n_real: usize,
+    /// `±1` coefficient of each artificial (chosen so its start value ≥ 0).
+    art_coeff: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    at_upper: Vec<bool>,
+    xval: Vec<f64>,
+    /// Dense `B⁻¹`, row-major `m × m`.
+    binv: Vec<f64>,
+    pivots_since_refactor: u32,
+    degenerate_run: u32,
+    singular: bool,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(sf: &'a StandardForm, lower: &[f64], upper: &[f64]) -> Self {
+        let m = sf.n_rows;
+        let n_real = sf.n_cols();
+        let n = n_real + m;
+        let mut lo = lower.to_vec();
+        let mut hi = upper.to_vec();
+        lo.resize(n, 0.0);
+        hi.resize(n, f64::INFINITY);
+
+        // Nonbasic structural/slack columns start on their lower bound
+        // (always finite per StandardForm's contract).
+        let mut xval = vec![0.0; n];
+        let mut at_upper = vec![false; n];
+        for j in 0..n_real {
+            // A fixed column (lo == hi) or an inverted override from a
+            // branch-and-bound node: sit on the lower bound.
+            xval[j] = lo[j];
+            at_upper[j] = false;
+        }
+
+        // Residual of each row under the nonbasic values; the artificial of
+        // row i absorbs it with a ±1 coefficient so it starts non-negative.
+        let mut residual = sf.rhs.clone();
+        for (j, col) in sf.cols.iter().enumerate() {
+            if xval[j] != 0.0 {
+                for &(row, coeff) in col {
+                    residual[row] -= coeff * xval[j];
+                }
+            }
+        }
+        let mut art_coeff = vec![1.0; m];
+        let mut basis = Vec::with_capacity(m);
+        let mut in_basis = vec![false; n];
+        for (i, &r) in residual.iter().enumerate() {
+            if r < 0.0 {
+                art_coeff[i] = -1.0;
+            }
+            let j = n_real + i;
+            xval[j] = r.abs();
+            basis.push(j);
+            in_basis[j] = true;
+        }
+
+        // Phase-1 costs: 1 per artificial.
+        let mut cost = vec![0.0; n];
+        for c in cost.iter_mut().skip(n_real) {
+            *c = 1.0;
+        }
+
+        // B = diag(art_coeff) ⇒ B⁻¹ = diag(art_coeff).
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = art_coeff[i];
+        }
+
+        Tableau {
+            sf,
+            m,
+            n_real,
+            art_coeff,
+            lower: lo,
+            upper: hi,
+            cost,
+            basis,
+            in_basis,
+            at_upper,
+            xval,
+            binv,
+            pivots_since_refactor: 0,
+            degenerate_run: 0,
+            singular: false,
+        }
+    }
+
+    /// Sparse column `j` as `(row, coeff)` pairs (artificials synthesised).
+    fn col(&self, j: usize) -> ColIter<'_> {
+        if j < self.n_real {
+            ColIter::Real(self.sf.cols[j].iter())
+        } else {
+            ColIter::Artificial(Some((j - self.n_real, self.art_coeff[j - self.n_real])))
+        }
+    }
+
+    fn phase1_residual(&self) -> f64 {
+        self.basis
+            .iter()
+            .filter(|&&j| j >= self.n_real)
+            .map(|&j| self.xval[j])
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Switches costs to the real objective and pins every artificial to 0.
+    fn enter_phase2(&mut self) {
+        for j in 0..self.n_real {
+            self.cost[j] = self.sf.obj[j];
+        }
+        for j in self.n_real..self.n_real + self.m {
+            self.cost[j] = 0.0;
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            // Residual dust from phase 1 stays within the feasibility
+            // tolerance; pin the recorded value so the ratio tests see a
+            // consistent bound state.
+            if !self.in_basis[j] {
+                self.xval[j] = 0.0;
+            }
+        }
+        self.degenerate_run = 0;
+    }
+
+    fn bail(&self, status: LpStatus, iterations: u64) -> LpSolution {
+        LpSolution {
+            status,
+            objective: f64::INFINITY,
+            x: self.structural_values(),
+            iterations,
+        }
+    }
+
+    fn structural_values(&self) -> Vec<f64> {
+        self.xval[..self.sf.n_structural].to_vec()
+    }
+
+    /// Runs one simplex phase to optimality, unboundedness or the budget.
+    fn run_phase(&mut self, phase1: bool, max_iterations: u64, iterations: &mut u64) -> PhaseEnd {
+        loop {
+            if *iterations >= max_iterations || self.singular {
+                return PhaseEnd::Limit;
+            }
+            *iterations += 1;
+
+            // Pricing: y = c_B B⁻¹, then reduced costs on demand.
+            let y = self.duals();
+            let bland = self.degenerate_run >= BLAND_AFTER;
+            let mut entering: Option<(usize, f64)> = None; // (col, reduced cost)
+            for j in 0..self.n_real + if phase1 { self.m } else { 0 } {
+                if self.in_basis[j] || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let dj = self.reduced_cost(j, &y);
+                let eligible = if self.at_upper[j] {
+                    dj > DJ_TOL
+                } else {
+                    dj < -DJ_TOL
+                };
+                if !eligible {
+                    continue;
+                }
+                if bland {
+                    entering = Some((j, dj));
+                    break;
+                }
+                match entering {
+                    Some((_, best)) if dj.abs() <= best.abs() => {}
+                    _ => entering = Some((j, dj)),
+                }
+            }
+            let Some((q, _dq)) = entering else {
+                return PhaseEnd::Optimal;
+            };
+
+            // Direction through the basis: w = B⁻¹ a_q.
+            let w = self.ftran(q);
+            // σ = +1 when entering rises off its lower bound, −1 when it
+            // descends from its upper bound. Basic values move by −σ t w.
+            let sigma = if self.at_upper[q] { -1.0 } else { 1.0 };
+
+            let mut t_max = self.upper[q] - self.lower[q]; // bound flip
+            let mut leave: Option<(usize, bool)> = None; // (basis pos, hits upper)
+            for (i, &wi) in w.iter().enumerate() {
+                let delta = sigma * wi;
+                let k = self.basis[i];
+                let (limit, hits_upper) = if delta > PIVOT_TOL {
+                    ((self.xval[k] - self.lower[k]) / delta, false)
+                } else if delta < -PIVOT_TOL {
+                    if self.upper[k].is_infinite() {
+                        continue;
+                    }
+                    ((self.xval[k] - self.upper[k]) / delta, true)
+                } else {
+                    continue;
+                };
+                let limit = limit.max(0.0);
+                // Strictly tighter limits always win; under Bland's rule a
+                // tie goes to the smaller variable index, which is the
+                // anti-cycling half of the rule.
+                let better = match leave {
+                    None => limit < t_max,
+                    Some((prev, _)) => {
+                        limit < t_max - 1e-12
+                            || (bland && limit <= t_max + 1e-12 && k < self.basis[prev])
+                    }
+                };
+                if better {
+                    t_max = t_max.min(limit);
+                    leave = Some((i, hits_upper));
+                }
+            }
+
+            if t_max.is_infinite() {
+                return PhaseEnd::Unbounded;
+            }
+            let step = t_max.max(0.0);
+            self.degenerate_run = if step <= 1e-12 {
+                self.degenerate_run + 1
+            } else {
+                0
+            };
+
+            // Apply the move.
+            for (i, &wi) in w.iter().enumerate() {
+                let k = self.basis[i];
+                self.xval[k] -= sigma * step * wi;
+            }
+            self.xval[q] += sigma * step;
+
+            match leave {
+                None => {
+                    // Bound flip: x_q travelled to its other bound.
+                    self.at_upper[q] = !self.at_upper[q];
+                    self.xval[q] = if self.at_upper[q] {
+                        self.upper[q]
+                    } else {
+                        self.lower[q]
+                    };
+                }
+                Some((r, hits_upper)) => {
+                    let k = self.basis[r];
+                    self.xval[k] = if hits_upper {
+                        self.upper[k]
+                    } else {
+                        self.lower[k]
+                    };
+                    self.at_upper[k] = hits_upper;
+                    self.in_basis[k] = false;
+                    self.in_basis[q] = true;
+                    self.basis[r] = q;
+                    self.update_binv(r, &w);
+                    self.pivots_since_refactor += 1;
+                    if self.pivots_since_refactor >= REFACTOR_EVERY {
+                        self.refactor();
+                    }
+                }
+            }
+        }
+    }
+
+    /// `y = c_Bᵀ B⁻¹`.
+    fn duals(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &k) in self.basis.iter().enumerate() {
+            let cb = self.cost[k];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (yj, &b) in y.iter_mut().zip(row) {
+                    *yj += cb * b;
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut dj = self.cost[j];
+        for (row, coeff) in self.col(j) {
+            dj -= y[row] * coeff;
+        }
+        dj
+    }
+
+    /// `w = B⁻¹ a_j` (dense result).
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for (row, coeff) in self.col(j) {
+            if coeff != 0.0 {
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi += self.binv[i * m + row] * coeff;
+                }
+            }
+        }
+        w
+    }
+
+    /// Product-form update of `B⁻¹` after replacing basis position `r`,
+    /// where `w = B⁻¹ a_q` is the direction used for the pivot.
+    fn update_binv(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let pivot = w[r];
+        if pivot.abs() < PIVOT_TOL {
+            self.singular = true;
+            return;
+        }
+        let inv = 1.0 / pivot;
+        for j in 0..m {
+            self.binv[r * m + j] *= inv;
+        }
+        for (i, &factor) in w.iter().enumerate() {
+            if i == r {
+                continue;
+            }
+            if factor != 0.0 {
+                for j in 0..m {
+                    self.binv[i * m + j] -= factor * self.binv[r * m + j];
+                }
+            }
+        }
+    }
+
+    /// Recomputes `B⁻¹` by Gauss–Jordan elimination with partial pivoting and
+    /// replays the basic values from the nonbasic ones.
+    fn refactor(&mut self) {
+        self.pivots_since_refactor = 0;
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        // Build the dense basis matrix.
+        let mut a = vec![0.0; m * m];
+        for (i, &k) in self.basis.iter().enumerate() {
+            for (row, coeff) in self.col(k) {
+                // `+=` so duplicate (row, var) terms in a constraint merge.
+                a[row * m + i] += coeff;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            for row in col + 1..m {
+                if a[row * m + col].abs() > a[best * m + col].abs() {
+                    best = row;
+                }
+            }
+            if a[best * m + col].abs() < 1e-12 {
+                self.singular = true;
+                return;
+            }
+            if best != col {
+                for j in 0..m {
+                    a.swap(col * m + j, best * m + j);
+                    inv.swap(col * m + j, best * m + j);
+                }
+            }
+            let p = a[col * m + col];
+            let pinv = 1.0 / p;
+            for j in 0..m {
+                a[col * m + j] *= pinv;
+                inv[col * m + j] *= pinv;
+            }
+            for row in 0..m {
+                if row == col {
+                    continue;
+                }
+                let f = a[row * m + col];
+                if f != 0.0 {
+                    for j in 0..m {
+                        a[row * m + j] -= f * a[col * m + j];
+                        inv[row * m + j] -= f * inv[col * m + j];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+
+        // Replay basic values: x_B = B⁻¹ (b − N x_N).
+        let mut resid = self.sf.rhs.clone();
+        for j in 0..self.n_real + self.m {
+            if self.in_basis[j] || self.xval[j] == 0.0 {
+                continue;
+            }
+            for (row, coeff) in self.col(j) {
+                resid[row] -= coeff * self.xval[j];
+            }
+        }
+        for i in 0..m {
+            let mut v = 0.0;
+            for (j, &r) in resid.iter().enumerate() {
+                v += self.binv[i * m + j] * r;
+            }
+            self.xval[self.basis[i]] = v;
+        }
+    }
+}
+
+/// Iterator over the sparse entries of a (possibly artificial) column.
+enum ColIter<'a> {
+    Real(std::slice::Iter<'a, (usize, f64)>),
+    Artificial(Option<(usize, f64)>),
+}
+
+impl Iterator for ColIter<'_> {
+    type Item = (usize, f64);
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColIter::Real(it) => it.next().copied(),
+            ColIter::Artificial(slot) => slot.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, Sense, VarKind};
+
+    fn solve(model: &LpModel) -> LpSolution {
+        let sf = model.to_standard_form();
+        solve_lp(&sf, &sf.lower, &sf.upper, 100_000)
+    }
+
+    #[test]
+    fn two_variable_optimum() {
+        // min −3x − 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (x, y ≥ 0).
+        // Classic optimum: x = 2, y = 6, objective −36.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+        let y = m.add_var("y", VarKind::Continuous(0.0, f64::INFINITY));
+        m.set_objective(vec![(-3.0, x), (-5.0, y)]);
+        m.add_constraint("c1", vec![(1.0, x)], Sense::Le, 4.0);
+        m.add_constraint("c2", vec![(2.0, y)], Sense::Le, 12.0);
+        m.add_constraint("c3", vec![(3.0, x), (2.0, y)], Sense::Le, 18.0);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 36.0).abs() < 1e-7, "{}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        // min x + y  s.t.  x + y = 10, x − y ≥ 2  ⇒  x = 6, y = 4? No:
+        // any point on x + y = 10 has objective 10; check feasibility only.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+        let y = m.add_var("y", VarKind::Continuous(0.0, f64::INFINITY));
+        m.set_objective(vec![(1.0, x), (1.0, y)]);
+        m.add_constraint("sum", vec![(1.0, x), (1.0, y)], Sense::Eq, 10.0);
+        m.add_constraint("gap", vec![(1.0, x), (-1.0, y)], Sense::Ge, 2.0);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-7);
+        assert!(s.x[0] - s.x[1] >= 2.0 - 1e-7);
+        assert!((s.x[0] + s.x[1] - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_program_detected() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, 1.0));
+        m.add_constraint("imp", vec![(1.0, x)], Sense::Ge, 2.0);
+        assert_eq!(solve(&m).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program_detected() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+        let y = m.add_var("y", VarKind::Continuous(0.0, f64::INFINITY));
+        m.set_objective(vec![(-1.0, x)]);
+        // x unconstrained above except through y, which is also free to grow.
+        m.add_constraint("c", vec![(1.0, x), (-1.0, y)], Sense::Le, 1.0);
+        assert_eq!(solve(&m).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn pure_bound_flip_without_rows() {
+        // min −x with x ∈ [0, 5] and no constraints: optimum by bound flip.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, 5.0));
+        m.set_objective(vec![(-1.0, x)]);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 5.0).abs() < 1e-9);
+        assert!((s.x[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x ∈ [−3, 7], x ≥ −1 via a row.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(-3.0, 7.0));
+        m.set_objective(vec![(1.0, x)]);
+        m.add_constraint("floor", vec![(1.0, x)], Sense::Ge, -1.0);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] + 1.0).abs() < 1e-7, "{}", s.x[0]);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Highly degenerate: many redundant rows pinning the same vertex.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+        let y = m.add_var("y", VarKind::Continuous(0.0, f64::INFINITY));
+        m.set_objective(vec![(-1.0, x), (-1.0, y)]);
+        for i in 0..8 {
+            m.add_constraint(format!("r{i}"), vec![(1.0, x), (1.0, y)], Sense::Le, 1.0);
+        }
+        m.add_constraint("cap", vec![(1.0, x)], Sense::Le, 1.0);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bound_overrides_without_matrix_rebuild() {
+        // The same StandardForm solved under tightened bounds (the B&B
+        // branching pattern): min −x − y, x + y ≤ 3, x,y ∈ [0, 2].
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, 2.0));
+        let y = m.add_var("y", VarKind::Continuous(0.0, 2.0));
+        m.set_objective(vec![(-1.0, x), (-1.0, y)]);
+        m.add_constraint("cap", vec![(1.0, x), (1.0, y)], Sense::Le, 3.0);
+        let sf = m.to_standard_form();
+        let base = solve_lp(&sf, &sf.lower, &sf.upper, 10_000);
+        assert!((base.objective + 3.0).abs() < 1e-7);
+        // Fix x = 0 by override.
+        let mut lo = sf.lower.clone();
+        let mut hi = sf.upper.clone();
+        hi[0] = 0.0;
+        let fixed = solve_lp(&sf, &lo, &hi, 10_000);
+        assert!((fixed.objective + 2.0).abs() < 1e-7);
+        // Force x ≥ 1.5 by override.
+        lo[0] = 1.5;
+        hi[0] = 2.0;
+        let forced = solve_lp(&sf, &lo, &hi, 10_000);
+        assert!((forced.objective + 3.0).abs() < 1e-7);
+        assert!(forced.x[0] >= 1.5 - 1e-9);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", VarKind::Continuous(0.0, f64::INFINITY));
+        let y = m.add_var("y", VarKind::Continuous(0.0, f64::INFINITY));
+        m.set_objective(vec![(-1.0, x), (-2.0, y)]);
+        m.add_constraint("c1", vec![(1.0, x), (1.0, y)], Sense::Le, 10.0);
+        m.add_constraint("c2", vec![(1.0, x), (3.0, y)], Sense::Le, 15.0);
+        let sf = m.to_standard_form();
+        let s = solve_lp(&sf, &sf.lower, &sf.upper, 1);
+        assert_eq!(s.status, LpStatus::IterationLimit);
+    }
+}

@@ -5,6 +5,8 @@
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
 use mals_experiments::figures::{fig10, Fig10Config};
+use mals_gen::SetParams;
+use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -22,10 +24,26 @@ fn main() {
     if let Some(parallel) = options.parallel() {
         config.parallel = parallel;
     }
+    // `lp-export` prints the first DAG of the campaign set instead of solving.
+    if cli::handle_lp_export(&options, &Platform::single_pair(0.0, 0.0), || {
+        SetParams::small_rand()
+            .scaled(config.n_dags, config.n_tasks)
+            .generate()
+            .into_iter()
+            .next()
+            .expect("non-empty set")
+    }) {
+        return;
+    }
+    if let Some(kind) = options.exact_backend {
+        config.exact_backend = kind;
+    }
+    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "each campaign DAG");
     eprintln!(
-        "# Figure 10 — SmallRandSet: {} DAGs of {} tasks, optimal node limit {}{}",
+        "# Figure 10 — SmallRandSet: {} DAGs of {} tasks, {} node limit {}{}",
         config.n_dags,
         config.n_tasks,
+        config.exact_backend.method_name(),
         config.optimal_node_limit,
         if options.full {
             " (paper scale)"

@@ -7,6 +7,8 @@ use mals_dag::dot;
 use mals_experiments::cli;
 use mals_experiments::csv::sweep_to_csv;
 use mals_experiments::figures::{fig11, SingleRandConfig};
+use mals_gen::SetParams;
+use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -21,9 +23,24 @@ fn main() {
     if let Some(parallel) = options.parallel() {
         config.parallel = parallel;
     }
+    if cli::handle_lp_export(&options, &Platform::single_pair(0.0, 0.0), || {
+        SetParams::small_rand()
+            .scaled(1, config.n_tasks)
+            .generate()
+            .pop()
+            .expect("one DAG requested")
+    }) {
+        return;
+    }
+    config.exact_backend = options.exact_backend;
+    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "the sweep DAG");
     eprintln!(
-        "# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1)",
-        config.n_tasks
+        "# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1){}",
+        config.n_tasks,
+        match config.exact_backend {
+            Some(kind) => format!(", optimal series via {}", kind.method_name()),
+            None => String::new(),
+        }
     );
     let sweep = fig11(&config);
     if options.dump_dot {

@@ -4,6 +4,8 @@
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
 use mals_experiments::figures::{fig12, Fig12Config};
+use mals_gen::SetParams;
+use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -21,10 +23,26 @@ fn main() {
     if let Some(parallel) = options.parallel() {
         config.parallel = parallel;
     }
+    if cli::handle_lp_export(&options, &Platform::single_pair(0.0, 0.0), || {
+        SetParams::large_rand()
+            .scaled(config.n_dags, config.n_tasks)
+            .generate()
+            .into_iter()
+            .next()
+            .expect("non-empty set")
+    }) {
+        return;
+    }
+    config.exact_backend = options.exact_backend;
+    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "each campaign DAG");
     eprintln!(
-        "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}",
+        "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}{}",
         config.n_dags,
         config.n_tasks,
+        match config.exact_backend {
+            Some(kind) => format!(", optimal series via {} (best effort)", kind.method_name()),
+            None => String::new(),
+        },
         if options.full {
             " (paper scale)"
         } else {

@@ -6,6 +6,8 @@ use mals_dag::dot;
 use mals_experiments::cli;
 use mals_experiments::csv::sweep_to_csv;
 use mals_experiments::figures::{fig13, SingleRandConfig};
+use mals_gen::SetParams;
+use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -20,9 +22,24 @@ fn main() {
     if let Some(parallel) = options.parallel() {
         config.parallel = parallel;
     }
+    if cli::handle_lp_export(&options, &Platform::single_pair(0.0, 0.0), || {
+        SetParams::large_rand()
+            .scaled(1, config.n_tasks)
+            .generate()
+            .pop()
+            .expect("one DAG requested")
+    }) {
+        return;
+    }
+    config.exact_backend = options.exact_backend;
+    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "the sweep DAG");
     eprintln!(
-        "# Figure 13 — one LargeRandSet DAG of {} tasks (P1 = P2 = 1){}",
+        "# Figure 13 — one LargeRandSet DAG of {} tasks (P1 = P2 = 1){}{}",
         config.n_tasks,
+        match config.exact_backend {
+            Some(kind) => format!(", optimal series via {} (best effort)", kind.method_name()),
+            None => String::new(),
+        },
         if options.full {
             ""
         } else {

@@ -2,7 +2,14 @@
 //! symmetric memory bound at which every scheduler still produces a schedule
 //! (the quantities the paper reads off the left ends of Figures 11–15, e.g.
 //! "MemMinMin fails to schedule the LU factorisation below 155 tiles").
+//!
+//! With `--exact-backend {bb,milp}` an exact solver joins the scheduler
+//! table, reporting the break-even point of *optimal* scheduling (use small
+//! `--tasks` / `--tiles`: the exact solvers bisect over many solves). With
+//! `--exact-backend lp-export` the random workload's § 4 ILP is printed in
+//! CPLEX LP format instead.
 
+use mals_exact::{ExactBackendKind, ExactScheduler, SolveLimits};
 use mals_experiments::cli;
 use mals_experiments::heft_reference;
 use mals_experiments::min_memory::minimum_memory_table;
@@ -38,13 +45,32 @@ fn main() {
         ),
     ];
 
+    if options.exact_backend == Some(ExactBackendKind::LpExport) {
+        let (name, graph, platform) = &workloads[0];
+        eprintln!("# minmem: exporting the `{name}` workload (other workloads skipped)");
+        cli::print_ilp_export(graph, platform);
+        return;
+    }
+
+    // The MILP backend only certifies optimality up to its task ceiling;
+    // above it its rows silently carry the heuristic incumbent, so say so.
+    for (name, graph, _) in &workloads {
+        cli::warn_milp_ceiling(options.exact_backend, graph.n_tasks(), name);
+    }
+
     println!("workload,scheduler,min_memory,makespan_at_min,heft_memory,heft_makespan");
     let parallel = options
         .parallel()
         .unwrap_or_else(mals_util::ParallelConfig::sequential);
     let memheft = MemHeft::with_parallelism(parallel);
     let memminmin = MemMinMin::with_parallelism(parallel);
-    let schedulers: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
+    let exact = options
+        .exact_backend
+        .map(|kind| ExactScheduler::new(kind, SolveLimits::with_node_limit(200_000)));
+    let mut schedulers: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
+    if let Some(s) = &exact {
+        schedulers.push(s);
+    }
     for (name, graph, platform) in &workloads {
         let reference = heft_reference(graph, platform);
         let upper = (reference.heft_peaks.max() * 1.5).max(1.0);

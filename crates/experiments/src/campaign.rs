@@ -10,7 +10,7 @@
 
 use crate::sweep::heft_reference;
 use mals_dag::TaskGraph;
-use mals_exact::BranchAndBound;
+use mals_exact::{ExactBackendKind, SolveLimits};
 use mals_platform::Platform;
 use mals_sched::{MemHeft, MemMinMin, ScheduleError, Scheduler};
 use mals_util::{parallel_map, OnlineStats, ParallelConfig};
@@ -20,9 +20,10 @@ use mals_util::{parallel_map, OnlineStats, ParallelConfig};
 pub struct CampaignConfig {
     /// Normalised memory bounds to sweep (fractions of HEFT's requirement).
     pub alphas: Vec<f64>,
-    /// Also run the branch-and-bound exact solver (only sensible for small
-    /// DAGs).
+    /// Also run an exact solver (only sensible for small DAGs).
     pub include_optimal: bool,
+    /// Which exact backend draws the optimal series.
+    pub exact_backend: ExactBackendKind,
     /// Node budget of the exact solver.
     pub optimal_node_limit: u64,
     /// Parallelism used to spread the DAGs over threads.
@@ -34,6 +35,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
             include_optimal: false,
+            exact_backend: ExactBackendKind::BranchAndBound,
             optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
@@ -45,6 +47,12 @@ impl CampaignConfig {
     pub fn with_optimal(mut self, node_limit: u64) -> Self {
         self.include_optimal = true;
         self.optimal_node_limit = node_limit;
+        self
+    }
+
+    /// Selects the exact backend drawing the optimal series.
+    pub fn with_exact_backend(mut self, kind: ExactBackendKind) -> Self {
+        self.exact_backend = kind;
         self
     }
 }
@@ -83,10 +91,10 @@ struct DagOutcomes {
     per_alpha: Vec<Vec<Option<f64>>>,
 }
 
-fn method_names(include_optimal: bool) -> Vec<&'static str> {
+fn method_names(config: &CampaignConfig) -> Vec<&'static str> {
     let mut names = vec!["MemHEFT", "MemMinMin"];
-    if include_optimal {
-        names.push("Optimal(B&B)");
+    if config.include_optimal {
+        names.push(config.exact_backend.method_name());
     }
     names
 }
@@ -98,7 +106,7 @@ pub fn run_normalized_campaign(
     platform: &Platform,
     config: &CampaignConfig,
 ) -> Vec<CampaignPoint> {
-    let names = method_names(config.include_optimal);
+    let names = method_names(config);
     let outcomes = parallel_map(dags, config.parallel, |graph| {
         run_one_dag(graph, platform, config)
     });
@@ -143,7 +151,10 @@ fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) 
 
     let memheft = MemHeft::new();
     let memminmin = MemMinMin::new();
-    let optimal = BranchAndBound::with_node_limit(config.optimal_node_limit);
+    let optimal = config
+        .include_optimal
+        .then(|| config.exact_backend.backend());
+    let limits = SolveLimits::with_node_limit(config.optimal_node_limit);
 
     let per_alpha = config
         .alphas
@@ -157,9 +168,9 @@ fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) 
                     run_memory_aware(graph, &bounded, scheduler).map(|m| m / baseline_makespan),
                 );
             }
-            if config.include_optimal {
-                let result = optimal.solve(graph, &bounded);
-                row.push(result.makespan.map(|m| m / baseline_makespan));
+            if let Some(backend) = &optimal {
+                let outcome = backend.solve(graph, &bounded, &limits);
+                row.push(outcome.makespan().map(|m| m / baseline_makespan));
             }
             row
         })
@@ -192,6 +203,7 @@ mod tests {
             include_optimal,
             optimal_node_limit: 20_000,
             parallel: ParallelConfig::sequential(),
+            ..Default::default()
         };
         run_normalized_campaign(&dags, &platform, &config)
     }
@@ -251,6 +263,35 @@ mod tests {
                 let h = p.method(name).unwrap();
                 // The optimal schedules at least as many DAGs…
                 assert!(opt.success_rate >= h.success_rate - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_backend_campaign_dominates_bb_series() {
+        // The MILP backend must schedule at least as many DAGs as B&B and
+        // never report a worse mean at any point of a tiny campaign.
+        let dags = SetParams::small_rand().scaled(2, 6).generate();
+        let platform = Platform::single_pair(0.0, 0.0);
+        let base = CampaignConfig {
+            alphas: vec![0.5, 1.0],
+            include_optimal: true,
+            optimal_node_limit: 50_000,
+            parallel: ParallelConfig::sequential(),
+            ..Default::default()
+        };
+        let bb = run_normalized_campaign(&dags, &platform, &base);
+        let milp = run_normalized_campaign(
+            &dags,
+            &platform,
+            &base.clone().with_exact_backend(ExactBackendKind::Milp),
+        );
+        for (p, q) in bb.iter().zip(&milp) {
+            let a = p.method("Optimal(B&B)").unwrap();
+            let b = q.method("Optimal(MILP)").unwrap();
+            assert!(b.success_rate >= a.success_rate - 1e-9);
+            if let (Some(x), Some(y)) = (a.mean_normalized_makespan, b.mean_normalized_makespan) {
+                assert!(y <= x + 1e-6, "MILP mean {y} worse than B&B mean {x}");
             }
         }
     }

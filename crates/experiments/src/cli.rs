@@ -1,11 +1,13 @@
 //! Minimal argument parsing shared by the figure-reproduction binaries.
 //!
 //! The binaries accept a handful of flags (`--full`, `--dags N`, `--tasks N`,
-//! `--tiles N`, `--dump-dot`, `--threads N`); anything heavier than this
-//! hand-rolled parser would be an unnecessary dependency. The thread count
-//! can also be set via the `MALS_THREADS` environment variable
-//! (`--threads` wins when both are given, `0` means all cores).
+//! `--tiles N`, `--dump-dot`, `--threads N`, `--exact-backend
+//! {bb,milp,lp-export}`); anything heavier than this hand-rolled parser
+//! would be an unnecessary dependency. The thread count can also be set via
+//! the `MALS_THREADS` environment variable (`--threads` wins when both are
+//! given, `0` means all cores).
 
+use mals_exact::{ExactBackendKind, MilpBackend};
 use mals_util::ParallelConfig;
 
 /// Parsed command-line options of a figure binary.
@@ -23,6 +25,8 @@ pub struct Options {
     pub dump_dot: bool,
     /// Number of worker threads (0 = all cores).
     pub threads: Option<usize>,
+    /// Exact backend for the optimal series (`None`: the binary's default).
+    pub exact_backend: Option<ExactBackendKind>,
 }
 
 impl Options {
@@ -49,11 +53,25 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--tasks" => options.tasks = Some(parse_value(&arg, iter.next())?),
             "--tiles" => options.tiles = Some(parse_value(&arg, iter.next())?),
             "--threads" => options.threads = Some(parse_value(&arg, iter.next())?),
-            "--help" | "-h" => return Err(
-                "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot]\n\
-                     (MALS_THREADS=N is honoured when --threads is absent; 0 = all cores)"
-                    .to_string(),
-            ),
+            "--exact-backend" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--exact-backend expects a value".to_string())?;
+                options.exact_backend = Some(ExactBackendKind::parse(&value).ok_or_else(|| {
+                    format!(
+                        "--exact-backend expects one of {}, got `{value}`",
+                        ExactBackendKind::FLAG_VALUES
+                    )
+                })?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot] \
+                     [--exact-backend {}]\n\
+                     (MALS_THREADS=N is honoured when --threads is absent; 0 = all cores)",
+                ExactBackendKind::FLAG_VALUES
+            ))
+            }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
@@ -75,6 +93,70 @@ pub fn parse_or_exit() -> Options {
             eprintln!("{message}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Exits with status 2 when `--exact-backend` was passed to a binary that
+/// has no exact series (the linear-algebra sweeps run at sizes no exact
+/// solver reaches) — a flag must never be accepted and then silently
+/// ignored.
+pub fn reject_exact_backend(options: &Options, binary: &str) {
+    if options.exact_backend.is_some() {
+        eprintln!(
+            "{binary}: --exact-backend is not supported here (no exact series at this \
+             figure's instance sizes); it applies to fig10..fig13 and minmem"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// `--exact-backend lp-export` handler shared by the binaries: prints the
+/// paper's § 4 ILP of `graph` in CPLEX LP text format on stdout, with the
+/// memory bounds pinned at HEFT's own requirement (the `α = 1` point of the
+/// campaigns), so the file can be fed to an external MILP solver.
+pub fn print_ilp_export(graph: &mals_dag::TaskGraph, platform: &mals_platform::Platform) {
+    let reference = crate::sweep::heft_reference(graph, platform);
+    let bound = reference.heft_peaks.max();
+    let bounded = platform.with_memory_bounds(bound, bound);
+    eprintln!(
+        "# exporting the Section-4 ILP ({} tasks, memory bounds = HEFT requirement {bound})",
+        graph.n_tasks()
+    );
+    print!(
+        "{}",
+        mals_exact::backend::LpExport::export_text(graph, &bounded)
+    );
+}
+
+/// Dispatches `--exact-backend lp-export`: when selected, builds the
+/// figure's instance with `build` (only then — generation can be costly),
+/// exports its ILP via [`print_ilp_export`] and returns `true` so the
+/// binary can stop instead of running the experiment.
+pub fn handle_lp_export(
+    options: &Options,
+    platform: &mals_platform::Platform,
+    build: impl FnOnce() -> mals_dag::TaskGraph,
+) -> bool {
+    if options.exact_backend != Some(ExactBackendKind::LpExport) {
+        return false;
+    }
+    print_ilp_export(&build(), platform);
+    true
+}
+
+/// Warns on stderr when the MILP backend is asked for an instance above its
+/// certification ceiling ([`MilpBackend::MAX_TASKS`]): beyond it the
+/// backend falls back to the heuristic incumbent, so a series labelled
+/// `Optimal(MILP)` would otherwise present heuristic data as optima without
+/// any marker.
+pub fn warn_milp_ceiling(backend: Option<ExactBackendKind>, n_tasks: usize, instance: &str) {
+    if backend == Some(ExactBackendKind::Milp) && n_tasks > MilpBackend::MAX_TASKS {
+        eprintln!(
+            "# note: {instance} has {n_tasks} tasks, above the MILP backend's {}-task \
+             certification ceiling — its Optimal(MILP) series is best-effort (heuristic \
+             incumbent); use a smaller instance or --exact-backend bb",
+            MilpBackend::MAX_TASKS
+        );
     }
 }
 
@@ -106,6 +188,8 @@ mod tests {
             "--threads",
             "4",
             "--dump-dot",
+            "--exact-backend",
+            "milp",
         ])
         .unwrap();
         assert!(o.full);
@@ -114,6 +198,21 @@ mod tests {
         assert_eq!(o.tiles, Some(9));
         assert_eq!(o.threads, Some(4));
         assert!(o.dump_dot);
+        assert_eq!(o.exact_backend, Some(ExactBackendKind::Milp));
+    }
+
+    #[test]
+    fn exact_backend_values() {
+        for (flag, kind) in [
+            ("bb", ExactBackendKind::BranchAndBound),
+            ("milp", ExactBackendKind::Milp),
+            ("lp-export", ExactBackendKind::LpExport),
+        ] {
+            let o = parse_strs(&["--exact-backend", flag]).unwrap();
+            assert_eq!(o.exact_backend, Some(kind));
+        }
+        assert!(parse_strs(&["--exact-backend"]).is_err());
+        assert!(parse_strs(&["--exact-backend", "cplex"]).is_err());
     }
 
     #[test]

@@ -9,9 +9,10 @@ use crate::campaign::{run_normalized_campaign, CampaignConfig, CampaignPoint};
 use crate::sweep::{heft_reference, sweep_absolute, SweepPoint};
 use mals_dag::TaskGraph;
 use mals_exact::bounds::makespan_lower_bound;
+use mals_exact::{ExactBackendKind, ExactScheduler, SolveLimits};
 use mals_gen::{cholesky_dag, lu_dag, KernelCosts, SetParams};
 use mals_platform::Platform;
-use mals_sched::{Heft, MemHeft, MemMinMin, MinMin};
+use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, Scheduler};
 use mals_util::ParallelConfig;
 
 /// Configuration of the Figure 10 campaign (SmallRandSet vs the optimal).
@@ -23,7 +24,9 @@ pub struct Fig10Config {
     pub n_tasks: usize,
     /// Normalised memory bounds.
     pub alphas: Vec<f64>,
-    /// Node budget of the branch-and-bound solver per (DAG, bound) pair.
+    /// Exact backend drawing the optimal series.
+    pub exact_backend: ExactBackendKind,
+    /// Node budget of the exact solver per (DAG, bound) pair.
     pub optimal_node_limit: u64,
     /// Thread configuration.
     pub parallel: ParallelConfig,
@@ -35,6 +38,7 @@ impl Default for Fig10Config {
             n_dags: 10,
             n_tasks: 16,
             alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            exact_backend: ExactBackendKind::BranchAndBound,
             optimal_node_limit: 50_000,
             parallel: ParallelConfig::default(),
         }
@@ -49,6 +53,7 @@ impl Fig10Config {
             n_dags: 50,
             n_tasks: 30,
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
+            exact_backend: ExactBackendKind::BranchAndBound,
             optimal_node_limit: 2_000_000,
             parallel: ParallelConfig::default(),
         }
@@ -66,6 +71,7 @@ pub fn fig10(config: &Fig10Config) -> Vec<CampaignPoint> {
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
         include_optimal: true,
+        exact_backend: config.exact_backend,
         optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
@@ -81,6 +87,11 @@ pub struct Fig12Config {
     pub n_tasks: usize,
     /// Normalised memory bounds.
     pub alphas: Vec<f64>,
+    /// Optional exact backend: the paper omits the optimal at this size, but
+    /// `--exact-backend` lets scaled-down runs include it anyway.
+    pub exact_backend: Option<ExactBackendKind>,
+    /// Node budget of the exact solver per (DAG, bound) pair.
+    pub optimal_node_limit: u64,
     /// Thread configuration.
     pub parallel: ParallelConfig,
 }
@@ -91,6 +102,8 @@ impl Default for Fig12Config {
             n_dags: 6,
             n_tasks: 150,
             alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            exact_backend: None,
+            optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
     }
@@ -103,14 +116,17 @@ impl Fig12Config {
             n_dags: 100,
             n_tasks: 1000,
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
+            exact_backend: None,
+            optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
     }
 }
 
 /// Figure 12: LargeRandSet — normalised makespan and success rate of MemHEFT
-/// and MemMinMin (the optimal is out of reach at this size), on a 1 blue +
-/// 1 red platform.
+/// and MemMinMin (the optimal is out of reach at the paper's size; an exact
+/// backend can be opted in for scaled-down runs), on a 1 blue + 1 red
+/// platform.
 pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
     let dags = SetParams::large_rand()
         .scaled(config.n_dags, config.n_tasks)
@@ -118,8 +134,11 @@ pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
     let platform = Platform::single_pair(0.0, 0.0);
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
-        include_optimal: false,
-        optimal_node_limit: 0,
+        include_optimal: config.exact_backend.is_some(),
+        exact_backend: config
+            .exact_backend
+            .unwrap_or(ExactBackendKind::BranchAndBound),
+        optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
     run_normalized_campaign(&dags, &platform, &campaign)
@@ -154,6 +173,7 @@ fn single_dag_sweep(
     platform: &Platform,
     steps: usize,
     parallel: ParallelConfig,
+    exact: Option<(ExactBackendKind, u64)>,
 ) -> SingleDagSweep {
     let reference = heft_reference(&graph, platform);
     let heft_memory = reference.heft_peaks.max();
@@ -165,13 +185,14 @@ fn single_dag_sweep(
     let memminmin = MemMinMin::with_parallelism(parallel);
     let heft = Heft::with_parallelism(parallel);
     let minmin = MinMin::with_parallelism(parallel);
-    let points = sweep_absolute(
-        &graph,
-        platform,
-        &grid,
-        &[&memheft, &memminmin],
-        &[&heft, &minmin],
-    );
+    let exact_scheduler = exact.map(|(kind, node_limit)| {
+        ExactScheduler::new(kind, SolveLimits::with_node_limit(node_limit))
+    });
+    let mut memory_aware: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
+    if let Some(s) = &exact_scheduler {
+        memory_aware.push(s);
+    }
+    let points = sweep_absolute(&graph, platform, &grid, &memory_aware, &[&heft, &minmin]);
     let lower_bound = makespan_lower_bound(&graph, platform);
     SingleDagSweep {
         graph,
@@ -190,6 +211,11 @@ pub struct SingleRandConfig {
     pub steps: usize,
     /// Within-schedule thread configuration (ready-list evaluation).
     pub parallel: ParallelConfig,
+    /// Optional exact backend adding an optimal series to the sweep (only
+    /// sensible for small `n_tasks`).
+    pub exact_backend: Option<ExactBackendKind>,
+    /// Node budget of the exact solver per memory point.
+    pub exact_node_limit: u64,
 }
 
 impl SingleRandConfig {
@@ -199,6 +225,8 @@ impl SingleRandConfig {
             n_tasks: 30,
             steps: 20,
             parallel: ParallelConfig::sequential(),
+            exact_backend: None,
+            exact_node_limit: 200_000,
         }
     }
 
@@ -207,7 +235,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 30,
             steps: 35,
-            parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         }
     }
 
@@ -216,7 +244,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 300,
             steps: 20,
-            parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         }
     }
 
@@ -225,7 +253,7 @@ impl SingleRandConfig {
         SingleRandConfig {
             n_tasks: 1000,
             steps: 25,
-            parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         }
     }
 }
@@ -245,6 +273,9 @@ pub fn fig11(config: &SingleRandConfig) -> SingleDagSweep {
         &Platform::single_pair(0.0, 0.0),
         config.steps,
         config.parallel,
+        config
+            .exact_backend
+            .map(|kind| (kind, config.exact_node_limit)),
     )
 }
 
@@ -261,6 +292,9 @@ pub fn fig13(config: &SingleRandConfig) -> SingleDagSweep {
         &Platform::single_pair(0.0, 0.0),
         config.steps,
         config.parallel,
+        config
+            .exact_backend
+            .map(|kind| (kind, config.exact_node_limit)),
     )
 }
 
@@ -304,6 +338,7 @@ pub fn fig14(config: &LinalgConfig) -> SingleDagSweep {
         &Platform::mirage(0.0, 0.0),
         config.steps,
         config.parallel,
+        None,
     )
 }
 
@@ -315,6 +350,7 @@ pub fn fig15(config: &LinalgConfig) -> SingleDagSweep {
         &Platform::mirage(0.0, 0.0),
         config.steps,
         config.parallel,
+        None,
     )
 }
 
@@ -330,6 +366,7 @@ mod tests {
             alphas: vec![0.3, 1.0],
             optimal_node_limit: 10_000,
             parallel: ParallelConfig::sequential(),
+            ..Fig10Config::default()
         };
         let points = fig10(&config);
         assert_eq!(points.len(), 2);
@@ -358,6 +395,7 @@ mod tests {
             n_tasks: 40,
             alphas: vec![0.4, 1.0],
             parallel: ParallelConfig::sequential(),
+            ..Fig12Config::default()
         };
         let points = fig12(&config);
         assert_eq!(points.len(), 2);
@@ -373,7 +411,7 @@ mod tests {
         let sweep = fig11(&SingleRandConfig {
             n_tasks: 12,
             steps: 6,
-            parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         });
         assert_eq!(sweep.points.len(), 7);
         assert!(sweep.lower_bound > 0.0);
@@ -405,11 +443,37 @@ mod tests {
     }
 
     #[test]
+    fn fig11_with_exact_backend_adds_a_dominating_series() {
+        // A tiny sweep with the MILP backend: the optimal series exists and
+        // is never worse than MemHEFT wherever both succeed.
+        let sweep = fig11(&SingleRandConfig {
+            n_tasks: 8,
+            steps: 4,
+            exact_backend: Some(mals_exact::ExactBackendKind::Milp),
+            ..SingleRandConfig::fig11_default()
+        });
+        let mut saw_optimal = false;
+        for point in &sweep.points {
+            let opt = point.outcome("Optimal(MILP)").expect("series present");
+            if let (Some(o), Some(h)) = (
+                opt.makespan,
+                point.outcome("MemHEFT").and_then(|m| m.makespan),
+            ) {
+                saw_optimal = true;
+                assert!(o <= h + 1e-9, "optimal {o} worse than MemHEFT {h}");
+                assert!(o >= sweep.lower_bound - 1e-9);
+            }
+        }
+        assert!(saw_optimal, "the exact series never succeeded");
+    }
+
+    #[test]
     fn single_dag_sweep_is_thread_count_invariant() {
         let base = SingleRandConfig {
             n_tasks: 24,
             steps: 4,
             parallel: ParallelConfig::sequential(),
+            ..SingleRandConfig::fig11_default()
         };
         let seq = fig11(&base);
         let par = fig11(&SingleRandConfig {

@@ -30,6 +30,7 @@ fn main() {
         include_optimal: n_tasks <= 12,
         optimal_node_limit: 50_000,
         parallel: ParallelConfig::default(),
+        ..Default::default()
     };
     let points = run_normalized_campaign(&dags, &platform, &config);
     print!("{}", campaign_to_csv(&points));

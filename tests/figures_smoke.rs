@@ -35,6 +35,7 @@ fn fig10_success_rates_grow_with_memory_and_optimal_dominates() {
         alphas: vec![0.5, 0.75, 1.0],
         optimal_node_limit: 20_000,
         parallel: ParallelConfig::sequential(),
+        ..Fig10Config::default()
     };
     let points = fig10(&config);
     assert_eq!(points.len(), 3);
@@ -83,7 +84,7 @@ fn fig11_sweep_has_paper_shape() {
     let sweep = fig11(&SingleRandConfig {
         n_tasks: 20,
         steps: 10,
-        parallel: ParallelConfig::sequential(),
+        ..SingleRandConfig::fig11_default()
     });
     let top = sweep.points.last().unwrap();
     // With ample memory all four schedulers succeed and none beats the bound.
@@ -113,6 +114,7 @@ fn fig12_memminmin_wins_under_scarce_memory() {
         n_tasks: 120,
         alphas: vec![0.4, 0.7, 1.0],
         parallel: ParallelConfig::sequential(),
+        ..Fig12Config::default()
     };
     let points = fig12(&config);
     // Paper: both heuristics schedule every DAG from ~40% of HEFT's memory.
