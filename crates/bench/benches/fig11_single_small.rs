@@ -6,7 +6,7 @@ use mals_bench::{single_pair, small_rand_dag};
 use mals_exact::makespan_lower_bound;
 use mals_experiments::figures::{fig11, SingleRandConfig};
 use mals_experiments::{heft_reference, sweep_absolute};
-use mals_sched::{Heft, MemHeft, MemMinMin, MinMin};
+use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, SolveCtx};
 use mals_util::ParallelConfig;
 use std::hint::black_box;
 use std::time::Duration;
@@ -36,6 +36,7 @@ fn bench_fig11(c: &mut Criterion) {
                 &grid,
                 &[&memheft, &memminmin],
                 &[&heft, &minmin],
+                &SolveCtx::sequential(),
             )
         })
     });

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mals_bench::{large_rand_dag, single_pair};
 use mals_experiments::{heft_reference, sweep_absolute};
-use mals_sched::{Heft, MemHeft, MemMinMin, MinMin};
+use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, SolveCtx};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -32,6 +32,7 @@ fn bench_fig13(c: &mut Criterion) {
                 &grid,
                 &[&memheft, &memminmin],
                 &[&heft, &minmin],
+                &SolveCtx::sequential(),
             )
         })
     });

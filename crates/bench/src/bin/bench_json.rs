@@ -18,10 +18,10 @@ use mals_bench::{
     large_rand_dag, single_pair, small_rand_dag, WITHIN_SCHEDULE_SEED, WITHIN_SCHEDULE_TASKS,
 };
 use mals_dag::TaskGraph;
-use mals_exact::{ExactBackend, MilpBackend, SolveLimits};
+use mals_exact::{solver_registry, ExactBackend, MilpBackend, SolveLimits};
 use mals_experiments::heft_reference;
 use mals_platform::Platform;
-use mals_sched::{MemHeft, MemMinMin, Scheduler};
+use mals_sched::{Engine, EngineConfig, MemHeft, MemMinMin, Scheduler};
 use mals_util::{parallel_map, ParallelConfig};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -126,6 +126,37 @@ fn benches(quick: bool) -> Vec<Bench> {
                 let outcome =
                     MilpBackend.solve(&exact_graph, &exact_platform, &SolveLimits::default());
                 std::hint::black_box(outcome.nodes());
+            }),
+        });
+    }
+
+    // The engine layer: solving a batch of small DAGs through one persistent
+    // `Engine` (pool spawned once, reused by every solve) versus spinning a
+    // scheduler + pool up per solve — the amortisation the session object
+    // exists for. Both run the same solver on the same DAGs at 2 threads.
+    {
+        let batch: Vec<TaskGraph> = (0..16).map(|i| small_rand_dag(12, 900 + i)).collect();
+        let batch_platform = bounded_single_pair(&batch[0]);
+        let engine_batch = batch.clone();
+        let engine_platform = batch_platform.clone();
+        set.push(Bench {
+            id: "engine/batch-solve-16x12-t2".into(),
+            run: Box::new(move || {
+                let engine =
+                    Engine::new(solver_registry(), EngineConfig::default().with_threads(2));
+                let outcomes = engine
+                    .solve_batch("memminmin", &engine_batch, &engine_platform)
+                    .expect("registered solver");
+                std::hint::black_box(outcomes.len());
+            }),
+        });
+        set.push(Bench {
+            id: "engine/per-solve-16x12-t2".into(),
+            run: Box::new(move || {
+                for graph in &batch {
+                    let scheduler = MemMinMin::with_parallelism(ParallelConfig::with_threads(2));
+                    std::hint::black_box(scheduler.schedule(graph, &batch_platform).is_ok());
+                }
             }),
         });
     }

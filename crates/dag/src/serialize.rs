@@ -1,23 +1,34 @@
-//! Plain-text serialisation of task graphs.
+//! Plain-text and JSON serialisation of task graphs.
 //!
-//! A tiny line-oriented format ("MTG" — MALS task graph) so DAG sets can be
-//! archived next to experiment results and re-loaded bit-for-bit, without
-//! pulling a serialisation framework into the workspace:
+//! Two formats are provided:
 //!
-//! ```text
-//! # comment
-//! mtg 1
-//! task <id> <work_blue> <work_red> <name with spaces allowed>
-//! edge <src> <dst> <size> <comm_cost>
-//! ```
+//! * a tiny line-oriented format ("MTG" — MALS task graph) so DAG sets can
+//!   be archived next to experiment results and re-loaded bit-for-bit,
+//!   without pulling a serialisation framework into the workspace:
 //!
-//! Task ids must be `0..n` in order (they are arena indices); edges may
-//! appear in any order after the tasks they reference.
+//!   ```text
+//!   # comment
+//!   mtg 1
+//!   task <id> <work_blue> <work_red> <name with spaces allowed>
+//!   edge <src> <dst> <size> <comm_cost>
+//!   ```
+//!
+//!   Task ids must be `0..n` in order (they are arena indices); edges may
+//!   appear in any order after the tasks they reference.
+//!
+//! * a JSON tree ([`to_json`] / [`from_json`]) used by the solver-service
+//!   request/report surface (`SolveRequest` embeds the graph):
+//!
+//!   ```json
+//!   {"tasks": [{"name": "T1", "blue": 3.0, "red": 1.0}, …],
+//!    "edges": [{"src": 0, "dst": 1, "size": 1.0, "comm": 1.0}, …]}
+//!   ```
 
 use crate::graph::TaskGraph;
 use crate::ids::TaskId;
+use mals_util::Json;
 
-/// Errors raised while parsing the text format.
+/// Errors raised while parsing the text or JSON formats.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
     /// The `mtg <version>` header is missing or unsupported.
@@ -25,6 +36,8 @@ pub enum ParseError {
     /// A line could not be parsed; the payload is the 1-based line number and
     /// a description.
     BadLine(usize, String),
+    /// A JSON document does not describe a valid graph.
+    Json(String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -32,6 +45,7 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::BadHeader => write!(f, "missing or unsupported `mtg` header"),
             ParseError::BadLine(line, reason) => write!(f, "line {line}: {reason}"),
+            ParseError::Json(reason) => write!(f, "bad graph JSON: {reason}"),
         }
     }
 }
@@ -130,6 +144,83 @@ pub fn from_text(text: &str) -> Result<TaskGraph, ParseError> {
     Ok(graph)
 }
 
+/// Serialises a graph to the JSON shape of the service surface.
+pub fn to_json(graph: &TaskGraph) -> Json {
+    let tasks = graph
+        .task_ids()
+        .map(|t| {
+            let data = graph.task(t);
+            Json::obj([
+                ("name", Json::str(&data.name)),
+                ("blue", Json::Num(data.work_blue)),
+                ("red", Json::Num(data.work_red)),
+            ])
+        })
+        .collect();
+    let edges = graph
+        .edge_ids()
+        .map(|e| {
+            let edge = graph.edge(e);
+            Json::obj([
+                ("src", Json::Num(edge.src.index() as f64)),
+                ("dst", Json::Num(edge.dst.index() as f64)),
+                ("size", Json::Num(edge.size)),
+                ("comm", Json::Num(edge.comm_cost)),
+            ])
+        })
+        .collect();
+    Json::obj([("tasks", Json::Arr(tasks)), ("edges", Json::Arr(edges))])
+}
+
+fn json_f64(obj: &Json, key: &str, what: &str) -> Result<f64, ParseError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ParseError::Json(format!("{what}: missing or non-numeric `{key}`")))
+}
+
+/// Parses a graph from the JSON shape produced by [`to_json`].
+pub fn from_json(json: &Json) -> Result<TaskGraph, ParseError> {
+    let tasks = json
+        .get("tasks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ParseError::Json("missing `tasks` array".into()))?;
+    let edges = json
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ParseError::Json("missing `edges` array".into()))?;
+    let mut graph = TaskGraph::new();
+    for (i, task) in tasks.iter().enumerate() {
+        let what = format!("task {i}");
+        let name = task
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ParseError::Json(format!("{what}: missing `name`")))?;
+        let blue = json_f64(task, "blue", &what)?;
+        let red = json_f64(task, "red", &what)?;
+        graph.add_task(name, blue, red);
+    }
+    for (i, edge) in edges.iter().enumerate() {
+        let what = format!("edge {i}");
+        let src = edge
+            .get("src")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ParseError::Json(format!("{what}: missing `src`")))?;
+        let dst = edge
+            .get("dst")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ParseError::Json(format!("{what}: missing `dst`")))?;
+        let size = json_f64(edge, "size", &what)?;
+        let comm = json_f64(edge, "comm", &what)?;
+        if src >= graph.n_tasks() || dst >= graph.n_tasks() {
+            return Err(ParseError::Json(format!("{what}: references unknown task")));
+        }
+        graph
+            .add_edge(TaskId::from_index(src), TaskId::from_index(dst), size, comm)
+            .map_err(|e| ParseError::Json(format!("{what}: {e}")))?;
+    }
+    Ok(graph)
+}
+
 fn parse_field<'a, T: std::str::FromStr>(
     fields: &mut impl Iterator<Item = &'a str>,
     line_no: usize,
@@ -221,5 +312,36 @@ mod tests {
         let g = TaskGraph::new();
         let parsed = from_text(&to_text(&g)).unwrap();
         assert_eq!(parsed.n_tasks(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_graph() {
+        let original = dex();
+        let json = to_json(&original);
+        assert_eq!(from_json(&json).unwrap(), original);
+        // And through the textual JSON representation.
+        let reparsed = Json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(from_json(&reparsed).unwrap(), original);
+    }
+
+    #[test]
+    fn json_empty_graph_roundtrip() {
+        let g = TaskGraph::new();
+        assert_eq!(from_json(&to_json(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn json_errors_are_descriptive() {
+        let missing = Json::parse(r#"{"edges": []}"#).unwrap();
+        assert!(matches!(from_json(&missing), Err(ParseError::Json(_))));
+        let bad_edge =
+            Json::parse(r#"{"tasks": [{"name": "a", "blue": 1, "red": 1}], "edges": [{"src": 0, "dst": 5, "size": 1, "comm": 1}]}"#)
+                .unwrap();
+        let err = from_json(&bad_edge).unwrap_err();
+        assert!(err.to_string().contains("unknown task"), "{err}");
+        let bad_task =
+            Json::parse(r#"{"tasks": [{"name": "a", "blue": "x", "red": 1}], "edges": []}"#)
+                .unwrap();
+        assert!(from_json(&bad_task).is_err());
     }
 }

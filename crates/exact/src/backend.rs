@@ -24,37 +24,10 @@ use mals_sched::{ScheduleError, Scheduler};
 use mals_sim::Schedule;
 use std::path::PathBuf;
 
-/// Budgets shared by every exact backend.
-#[derive(Debug, Clone, Copy)]
-pub struct SolveLimits {
-    /// Maximum number of search-tree nodes (combinatorial nodes for the
-    /// branch-and-bound backend, LP solves for the MILP backend). The MILP
-    /// backend's lazy-repair searches draw from a *second* budget of the
-    /// same size, so its reported node total is bounded by `2 ×
-    /// node_limit`.
-    pub node_limit: u64,
-    /// Simplex iteration budget per LP solve (MILP backend only).
-    pub lp_iteration_limit: u64,
-}
-
-impl Default for SolveLimits {
-    fn default() -> Self {
-        SolveLimits {
-            node_limit: 500_000,
-            lp_iteration_limit: 20_000,
-        }
-    }
-}
-
-impl SolveLimits {
-    /// Limits with the given node budget and the default LP budget.
-    pub fn with_node_limit(node_limit: u64) -> Self {
-        SolveLimits {
-            node_limit,
-            ..SolveLimits::default()
-        }
-    }
-}
+// The budget type is shared with the heuristics' engine layer and lives next
+// to the `Solver` trait; it is re-exported here because the exact backends
+// are its primary consumer.
+pub use mals_sched::SolveLimits;
 
 /// Outcome of an exact solve.
 #[derive(Debug, Clone)]
@@ -243,6 +216,16 @@ impl ExactBackendKind {
 
     /// The flag values accepted by [`ExactBackendKind::parse`].
     pub const FLAG_VALUES: &'static str = "bb|milp|lp-export";
+
+    /// The solver-registry key of this backend (see
+    /// [`crate::solver_registry`]), equal to its flag value.
+    pub fn solver_key(self) -> &'static str {
+        match self {
+            ExactBackendKind::BranchAndBound => "bb",
+            ExactBackendKind::Milp => "milp",
+            ExactBackendKind::LpExport => "lp-export",
+        }
+    }
 
     /// The series label this backend reports in campaigns and sweeps.
     pub fn method_name(self) -> &'static str {

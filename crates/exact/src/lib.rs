@@ -25,6 +25,9 @@
 //! * [`backend`] — the pluggable [`backend::ExactBackend`] layer tying the
 //!   three backends (B&B, MILP, LP export) behind one trait for the
 //!   experiment campaigns (`--exact-backend {milp,bb,lp-export}`);
+//! * [`solvers`] — the backends as unified [`mals_sched::Solver`]s and
+//!   [`solver_registry`], the full name-keyed registry (heuristics + exact)
+//!   that the drivers and the service surface resolve solver names against;
 //! * [`bounds`] — makespan lower bounds (critical path, load balance,
 //!   memory-feasibility) shared by both exact solvers for pruning and
 //!   plotted as the "Lower bound" series of Figure 11.
@@ -39,6 +42,7 @@ pub mod ilp;
 pub mod milp;
 pub mod model;
 pub mod simplex;
+pub mod solvers;
 
 pub use backend::{ExactBackend, ExactBackendKind, ExactOutcome, ExactScheduler, SolveLimits};
 pub use bb::{BranchAndBound, ExactResult};
@@ -51,3 +55,4 @@ pub use ilp::{build_ilp, IlpStats};
 pub use milp::{MilpLimits, MilpResult, MilpSolver, MilpStatus};
 pub use model::{Constraint, LpModel, Sense, StandardForm, VarId, VarKind};
 pub use simplex::{solve_lp, LpSolution, LpStatus};
+pub use solvers::{engine, outcome_from_exact, solver_registry};

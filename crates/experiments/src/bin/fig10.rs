@@ -2,6 +2,7 @@
 //! of MemHEFT, MemMinMin and the optimal schedule versus the normalised
 //! memory bound, on a 1 blue + 1 red processor platform.
 
+use mals_exact::ExactBackendKind;
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
 use mals_experiments::figures::{fig10, Fig10Config};
@@ -35,15 +36,18 @@ fn main() {
     }) {
         return;
     }
-    if let Some(kind) = options.exact_backend {
-        config.exact_backend = kind;
+    if let Some(key) = options.exact_solver(
+        Some(ExactBackendKind::BranchAndBound),
+        config.n_tasks,
+        "each campaign DAG",
+    ) {
+        config.exact_solver = key;
     }
-    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "each campaign DAG");
     eprintln!(
         "# Figure 10 — SmallRandSet: {} DAGs of {} tasks, {} node limit {}{}",
         config.n_dags,
         config.n_tasks,
-        config.exact_backend.method_name(),
+        cli::solver_display_name(&config.exact_solver),
         config.optimal_node_limit,
         if options.full {
             " (paper scale)"

@@ -32,13 +32,12 @@ fn main() {
     }) {
         return;
     }
-    config.exact_backend = options.exact_backend;
-    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "the sweep DAG");
+    config.exact_solver = options.exact_solver(None, config.n_tasks, "the sweep DAG");
     eprintln!(
         "# Figure 11 — one SmallRandSet DAG of {} tasks (P1 = P2 = 1){}",
         config.n_tasks,
-        match config.exact_backend {
-            Some(kind) => format!(", optimal series via {}", kind.method_name()),
+        match &config.exact_solver {
+            Some(key) => format!(", optimal series via {}", cli::solver_display_name(key)),
             None => String::new(),
         }
     );

@@ -33,14 +33,16 @@ fn main() {
     }) {
         return;
     }
-    config.exact_backend = options.exact_backend;
-    cli::warn_milp_ceiling(options.exact_backend, config.n_tasks, "each campaign DAG");
+    config.exact_solver = options.exact_solver(None, config.n_tasks, "each campaign DAG");
     eprintln!(
         "# Figure 12 — LargeRandSet: {} DAGs of {} tasks{}{}",
         config.n_dags,
         config.n_tasks,
-        match config.exact_backend {
-            Some(kind) => format!(", optimal series via {} (best effort)", kind.method_name()),
+        match &config.exact_solver {
+            Some(key) => format!(
+                ", optimal series via {} (best effort)",
+                cli::solver_display_name(key)
+            ),
             None => String::new(),
         },
         if options.full {

@@ -9,13 +9,13 @@
 //! `--exact-backend lp-export` the random workload's § 4 ILP is printed in
 //! CPLEX LP format instead.
 
-use mals_exact::{ExactBackendKind, ExactScheduler, SolveLimits};
+use mals_exact::{solver_registry, ExactBackendKind};
 use mals_experiments::cli;
 use mals_experiments::heft_reference;
 use mals_experiments::min_memory::minimum_memory_table;
 use mals_gen::{cholesky_dag, lu_dag, KernelCosts, SetParams};
 use mals_platform::Platform;
-use mals_sched::{MemHeft, MemMinMin, Scheduler};
+use mals_sched::{SolveCtx, SolveLimits, Solver};
 
 fn main() {
     let options = cli::parse_or_exit();
@@ -52,29 +52,35 @@ fn main() {
         return;
     }
 
-    // The MILP backend only certifies optimality up to its task ceiling;
-    // above it its rows silently carry the heuristic incumbent, so say so.
+    // One registry lookup covers the heuristics and the optional exact
+    // solver; the MILP ceiling warning rides the shared flag helper (every
+    // workload gets its own warning line when it exceeds the ceiling).
+    let registry = solver_registry();
+    let mut exact_key = None;
     for (name, graph, _) in &workloads {
-        cli::warn_milp_ceiling(options.exact_backend, graph.n_tasks(), name);
+        exact_key = options
+            .exact_solver(None, graph.n_tasks(), name)
+            .or(exact_key);
+    }
+    let memheft = registry.build("memheft").unwrap();
+    let memminmin = registry.build("memminmin").unwrap();
+    let exact = exact_key.map(|key| registry.build(&key).expect("registry key"));
+    let mut solvers: Vec<&dyn Solver> = vec![&memheft, &memminmin];
+    if let Some(s) = &exact {
+        solvers.push(s);
     }
 
     println!("workload,scheduler,min_memory,makespan_at_min,heft_memory,heft_makespan");
-    let parallel = options
-        .parallel()
-        .unwrap_or_else(mals_util::ParallelConfig::sequential);
-    let memheft = MemHeft::with_parallelism(parallel);
-    let memminmin = MemMinMin::with_parallelism(parallel);
-    let exact = options
-        .exact_backend
-        .map(|kind| ExactScheduler::new(kind, SolveLimits::with_node_limit(200_000)));
-    let mut schedulers: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
-    if let Some(s) = &exact {
-        schedulers.push(s);
-    }
+    let parallel = options.parallel_or_sequential();
+    let pool = (parallel.resolved_threads() > 1).then(|| mals_util::WorkerPool::new(parallel));
+    let ctx = SolveCtx {
+        limits: SolveLimits::with_node_limit(200_000),
+        pool: pool.as_ref(),
+    };
     for (name, graph, platform) in &workloads {
         let reference = heft_reference(graph, platform);
         let upper = (reference.heft_peaks.max() * 1.5).max(1.0);
-        for entry in minimum_memory_table(graph, platform, &schedulers, upper, 0.5) {
+        for entry in minimum_memory_table(graph, platform, &solvers, &ctx, upper, 0.5) {
             println!(
                 "{name},{},{},{},{},{}",
                 entry.name,

@@ -1,0 +1,118 @@
+//! The embeddable scheduling endpoint: reads a JSON `SolveRequest` from a
+//! file (or stdin with `-`), solves it through the unified solver registry,
+//! and prints the JSON `SolveReport` on stdout.
+//!
+//! ```text
+//! schedule REQUEST.json [--solver NAME] [--threads N] [--seed N] [--compact]
+//! schedule -                      # read the request from stdin
+//! schedule --print-request        # emit a ready-to-edit example request
+//! schedule --list-solvers         # list the registry keys
+//! ```
+//!
+//! The flags override the corresponding request fields, so one request file
+//! can be replayed against every registered solver:
+//!
+//! ```text
+//! schedule --print-request > request.json
+//! schedule request.json --solver memheft
+//! schedule request.json --solver milp
+//! ```
+//!
+//! Exit status: 0 on success (including infeasible instances — that is a
+//! valid answer), 2 on a bad request / unknown solver / I/O failure.
+
+use mals_exact::solver_registry;
+use mals_experiments::service::{example_request, solve_request, SolveRequest};
+use std::io::Read;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("schedule: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut solver: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut compact = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--print-request" => {
+                print!("{}", example_request().to_json().to_pretty());
+                return;
+            }
+            "--list-solvers" => {
+                for entry in solver_registry().entries() {
+                    println!("{:<16} {}", entry.info.key, entry.info.summary);
+                }
+                return;
+            }
+            "--solver" => {
+                solver = Some(
+                    iter.next()
+                        .unwrap_or_else(|| fail("--solver expects a registry key"))
+                        .clone(),
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--threads expects an integer")),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--seed expects an integer")),
+                )
+            }
+            "--compact" => compact = true,
+            "--help" | "-h" => {
+                // Requested help is a success, unlike the exit-2 error path.
+                println!(
+                    "usage: schedule REQUEST.json|- [--solver NAME] [--threads N] [--seed N] \
+                     [--compact]\n       schedule --print-request | --list-solvers"
+                );
+                return;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => fail(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let Some(path) = path else {
+        fail("expected a request file (or `-` for stdin); try --print-request for a template");
+    };
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .unwrap_or_else(|e| fail(format!("cannot read stdin: {e}")));
+        buffer
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+    };
+
+    let mut request = SolveRequest::parse(&text).unwrap_or_else(|e| fail(e));
+    if let Some(solver) = solver {
+        request.solver = solver;
+    }
+    if let Some(threads) = threads {
+        request.threads = threads;
+    }
+    if seed.is_some() {
+        request.seed = seed;
+    }
+
+    let report = solve_request(&request).unwrap_or_else(|e| fail(e));
+    if compact {
+        println!("{}", report.to_json().to_compact());
+    } else {
+        print!("{}", report.to_json().to_pretty());
+    }
+}

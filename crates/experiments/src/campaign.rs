@@ -4,15 +4,18 @@
 //! memory the classical HEFT schedule of that DAG needs
 //! (`max(M_blue^HEFT, M_red^HEFT)`), and the makespan axis by HEFT's
 //! makespan. At every normalised bound `α ∈ [0, 1]` the campaign reports, for
-//! each scheduler, the average normalised makespan over the DAGs it managed
+//! each solver, the average normalised makespan over the DAGs it managed
 //! to schedule and the fraction of DAGs it managed to schedule (the paper's
 //! plain and dotted lines).
+//!
+//! Solvers are selected **by registry key** ([`CampaignConfig::solvers`],
+//! resolved against `mals_exact::solver_registry()`), so heuristics and
+//! exact backends run through one code path.
 
 use crate::sweep::heft_reference;
 use mals_dag::TaskGraph;
-use mals_exact::{ExactBackendKind, SolveLimits};
 use mals_platform::Platform;
-use mals_sched::{MemHeft, MemMinMin, ScheduleError, Scheduler};
+use mals_sched::{SolveCtx, SolveLimits, Solver};
 use mals_util::{parallel_map, OnlineStats, ParallelConfig};
 
 /// Configuration of a normalised campaign.
@@ -20,11 +23,10 @@ use mals_util::{parallel_map, OnlineStats, ParallelConfig};
 pub struct CampaignConfig {
     /// Normalised memory bounds to sweep (fractions of HEFT's requirement).
     pub alphas: Vec<f64>,
-    /// Also run an exact solver (only sensible for small DAGs).
-    pub include_optimal: bool,
-    /// Which exact backend draws the optimal series.
-    pub exact_backend: ExactBackendKind,
-    /// Node budget of the exact solver.
+    /// Registry keys of the solvers to run (default: `memheft`,
+    /// `memminmin`; append `"bb"` / `"milp"` for an optimal series).
+    pub solvers: Vec<String>,
+    /// Node budget of the exact solvers.
     pub optimal_node_limit: u64,
     /// Parallelism used to spread the DAGs over threads.
     pub parallel: ParallelConfig,
@@ -34,8 +36,7 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
-            include_optimal: false,
-            exact_backend: ExactBackendKind::BranchAndBound,
+            solvers: vec!["memheft".into(), "memminmin".into()],
             optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
@@ -43,25 +44,25 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// Campaign with the optimal solver enabled (Figure 10 configuration).
-    pub fn with_optimal(mut self, node_limit: u64) -> Self {
-        self.include_optimal = true;
-        self.optimal_node_limit = node_limit;
+    /// Appends a solver (by registry key) to the campaign.
+    pub fn with_solver(mut self, key: impl Into<String>) -> Self {
+        self.solvers.push(key.into());
         self
     }
 
-    /// Selects the exact backend drawing the optimal series.
-    pub fn with_exact_backend(mut self, kind: ExactBackendKind) -> Self {
-        self.exact_backend = kind;
-        self
+    /// Campaign with the default exact solver (`bb`) enabled — the Figure 10
+    /// configuration.
+    pub fn with_optimal(mut self, node_limit: u64) -> Self {
+        self.optimal_node_limit = node_limit;
+        self.with_solver("bb")
     }
 }
 
-/// Aggregated results of one scheduler at one normalised memory bound.
+/// Aggregated results of one solver at one normalised memory bound.
 #[derive(Debug, Clone)]
 pub struct MethodAggregate {
-    /// Scheduler name.
-    pub name: &'static str,
+    /// Solver display name.
+    pub name: String,
     /// Mean of `makespan / makespan_HEFT` over the DAGs successfully
     /// scheduled (`None` when every DAG failed).
     pub mean_normalized_makespan: Option<f64>,
@@ -74,12 +75,12 @@ pub struct MethodAggregate {
 pub struct CampaignPoint {
     /// Normalised memory bound `α`.
     pub alpha: f64,
-    /// Per-scheduler aggregates.
+    /// Per-solver aggregates.
     pub methods: Vec<MethodAggregate>,
 }
 
 impl CampaignPoint {
-    /// Looks a method up by name.
+    /// Looks a method up by display name.
     pub fn method(&self, name: &str) -> Option<&MethodAggregate> {
         self.methods.iter().find(|m| m.name == name)
     }
@@ -91,12 +92,26 @@ struct DagOutcomes {
     per_alpha: Vec<Vec<Option<f64>>>,
 }
 
-fn method_names(config: &CampaignConfig) -> Vec<&'static str> {
-    let mut names = vec!["MemHEFT", "MemMinMin"];
-    if config.include_optimal {
-        names.push(config.exact_backend.method_name());
-    }
-    names
+/// Resolves the configured solver keys against the full registry.
+///
+/// # Panics
+/// Panics on an unknown key — campaign configurations are written by the
+/// figure drivers, so this is a programming error, and the message lists
+/// the valid keys.
+fn build_solvers(config: &CampaignConfig) -> Vec<Box<dyn Solver>> {
+    let registry = mals_exact::solver_registry();
+    config
+        .solvers
+        .iter()
+        .map(|key| {
+            registry.build(key).unwrap_or_else(|| {
+                panic!(
+                    "unknown solver `{key}` in campaign config (known: {})",
+                    registry.keys().join(", ")
+                )
+            })
+        })
+        .collect()
 }
 
 /// Runs the normalised campaign over `dags` on `platform` (whose memory
@@ -106,9 +121,10 @@ pub fn run_normalized_campaign(
     platform: &Platform,
     config: &CampaignConfig,
 ) -> Vec<CampaignPoint> {
-    let names = method_names(config);
+    let solvers = build_solvers(config);
+    let names: Vec<String> = solvers.iter().map(|s| s.name().to_string()).collect();
     let outcomes = parallel_map(dags, config.parallel, |graph| {
-        run_one_dag(graph, platform, config)
+        run_one_dag(graph, platform, config, &solvers)
     });
 
     config
@@ -119,7 +135,7 @@ pub fn run_normalized_campaign(
             let methods = names
                 .iter()
                 .enumerate()
-                .map(|(method_idx, &name)| {
+                .map(|(method_idx, name)| {
                     let mut stats = OnlineStats::new();
                     let mut successes = 0usize;
                     for dag in &outcomes {
@@ -129,7 +145,7 @@ pub fn run_normalized_campaign(
                         }
                     }
                     MethodAggregate {
-                        name,
+                        name: name.clone(),
                         mean_normalized_makespan: (successes > 0).then(|| stats.mean()),
                         success_rate: if dags.is_empty() {
                             0.0
@@ -144,17 +160,16 @@ pub fn run_normalized_campaign(
         .collect()
 }
 
-fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) -> DagOutcomes {
+fn run_one_dag(
+    graph: &TaskGraph,
+    platform: &Platform,
+    config: &CampaignConfig,
+    solvers: &[Box<dyn Solver>],
+) -> DagOutcomes {
     let reference = heft_reference(graph, platform);
     let baseline_memory = reference.heft_peaks.max();
     let baseline_makespan = reference.heft_makespan.max(f64::MIN_POSITIVE);
-
-    let memheft = MemHeft::new();
-    let memminmin = MemMinMin::new();
-    let optimal = config
-        .include_optimal
-        .then(|| config.exact_backend.backend());
-    let limits = SolveLimits::with_node_limit(config.optimal_node_limit);
+    let ctx = SolveCtx::with_limits(SolveLimits::with_node_limit(config.optimal_node_limit));
 
     let per_alpha = config
         .alphas
@@ -162,32 +177,16 @@ fn run_one_dag(graph: &TaskGraph, platform: &Platform, config: &CampaignConfig) 
         .map(|&alpha| {
             let bound = alpha * baseline_memory;
             let bounded = platform.with_memory_bounds(bound, bound);
-            let mut row: Vec<Option<f64>> = Vec::new();
-            for scheduler in [&memheft as &dyn Scheduler, &memminmin] {
-                row.push(
-                    run_memory_aware(graph, &bounded, scheduler).map(|m| m / baseline_makespan),
-                );
-            }
-            if let Some(backend) = &optimal {
-                let outcome = backend.solve(graph, &bounded, &limits);
-                row.push(outcome.makespan().map(|m| m / baseline_makespan));
-            }
-            row
+            solvers
+                .iter()
+                .map(|solver| {
+                    crate::sweep::checked_makespan(solver, graph, &bounded, &ctx)
+                        .map(|m| m / baseline_makespan)
+                })
+                .collect()
         })
         .collect();
     DagOutcomes { per_alpha }
-}
-
-fn run_memory_aware(
-    graph: &TaskGraph,
-    platform: &Platform,
-    scheduler: &dyn Scheduler,
-) -> Option<f64> {
-    match scheduler.schedule(graph, platform) {
-        Ok(s) => Some(s.makespan()),
-        Err(ScheduleError::Infeasible { .. }) => None,
-        Err(e) => panic!("scheduler {} failed unexpectedly: {e}", scheduler.name()),
-    }
 }
 
 #[cfg(test)]
@@ -198,13 +197,15 @@ mod tests {
     fn tiny_campaign(include_optimal: bool) -> Vec<CampaignPoint> {
         let dags = SetParams::small_rand().scaled(4, 8).generate();
         let platform = Platform::single_pair(0.0, 0.0);
-        let config = CampaignConfig {
+        let mut config = CampaignConfig {
             alphas: vec![0.2, 0.5, 1.0],
-            include_optimal,
             optimal_node_limit: 20_000,
             parallel: ParallelConfig::sequential(),
             ..Default::default()
         };
+        if include_optimal {
+            config = config.with_solver("bb");
+        }
         run_normalized_campaign(&dags, &platform, &config)
     }
 
@@ -275,17 +276,12 @@ mod tests {
         let platform = Platform::single_pair(0.0, 0.0);
         let base = CampaignConfig {
             alphas: vec![0.5, 1.0],
-            include_optimal: true,
             optimal_node_limit: 50_000,
             parallel: ParallelConfig::sequential(),
             ..Default::default()
         };
-        let bb = run_normalized_campaign(&dags, &platform, &base);
-        let milp = run_normalized_campaign(
-            &dags,
-            &platform,
-            &base.clone().with_exact_backend(ExactBackendKind::Milp),
-        );
+        let bb = run_normalized_campaign(&dags, &platform, &base.clone().with_solver("bb"));
+        let milp = run_normalized_campaign(&dags, &platform, &base.with_solver("milp"));
         for (p, q) in bb.iter().zip(&milp) {
             let a = p.method("Optimal(B&B)").unwrap();
             let b = q.method("Optimal(MILP)").unwrap();
@@ -307,5 +303,13 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].methods[0].success_rate, 0.0);
         assert!(points[0].methods[0].mean_normalized_makespan.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown solver")]
+    fn unknown_solver_key_panics_with_known_list() {
+        let platform = Platform::single_pair(0.0, 0.0);
+        let config = CampaignConfig::default().with_solver("cplex");
+        run_normalized_campaign(&[], &platform, &config);
     }
 }

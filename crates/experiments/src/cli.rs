@@ -38,6 +38,30 @@ impl Options {
             .map(ParallelConfig::with_threads)
             .or_else(ParallelConfig::env_override)
     }
+
+    /// [`Options::parallel`] defaulting to a sequential configuration — the
+    /// shared `--threads` wiring of the single-DAG binaries.
+    pub fn parallel_or_sequential(&self) -> ParallelConfig {
+        self.parallel().unwrap_or_else(ParallelConfig::sequential)
+    }
+
+    /// Resolves the exact-series solver of a binary into a registry key
+    /// (`"bb"` / `"milp"` / `"lp-export"`): the `--exact-backend` flag wins
+    /// over `default`, and a MILP selection above its certification ceiling
+    /// warns via [`warn_milp_ceiling`]. This is the `--exact-backend`
+    /// wiring that used to be copy-pasted across `fig10`–`fig13` and
+    /// `minmem`; `n_tasks`/`instance` describe the instance for the
+    /// ceiling warning.
+    pub fn exact_solver(
+        &self,
+        default: Option<ExactBackendKind>,
+        n_tasks: usize,
+        instance: &str,
+    ) -> Option<String> {
+        let kind = self.exact_backend.or(default)?;
+        warn_milp_ceiling(Some(kind), n_tasks, instance);
+        Some(kind.solver_key().to_string())
+    }
 }
 
 /// Parses the options from an iterator of arguments (excluding the program
@@ -144,6 +168,15 @@ pub fn handle_lp_export(
     true
 }
 
+/// The display name (series label) of a registry solver key, for the
+/// binaries' header lines; unknown keys echo back unchanged.
+pub fn solver_display_name(key: &str) -> String {
+    mals_exact::solver_registry()
+        .build(key)
+        .map(|s| s.name().to_string())
+        .unwrap_or_else(|| key.to_string())
+}
+
 /// Warns on stderr when the MILP backend is asked for an instance above its
 /// certification ceiling ([`MilpBackend::MAX_TASKS`]): beyond it the
 /// backend falls back to the heuristic incumbent, so a series labelled
@@ -221,6 +254,42 @@ mod tests {
         // The flag always wins over the environment, so this is stable no
         // matter what MALS_THREADS is set to in the surrounding shell.
         assert_eq!(o.parallel().unwrap().resolved_threads(), 4);
+        assert_eq!(o.parallel_or_sequential().resolved_threads(), 4);
+    }
+
+    #[test]
+    fn exact_solver_resolves_flag_over_default() {
+        // No flag, no default → no exact series.
+        let o = parse_strs(&[]).unwrap();
+        assert_eq!(o.exact_solver(None, 8, "test"), None);
+        // No flag, a default → the default's registry key.
+        assert_eq!(
+            o.exact_solver(Some(ExactBackendKind::BranchAndBound), 8, "test"),
+            Some("bb".into())
+        );
+        // The flag wins over the default.
+        let o = parse_strs(&["--exact-backend", "milp"]).unwrap();
+        assert_eq!(
+            o.exact_solver(Some(ExactBackendKind::BranchAndBound), 8, "test"),
+            Some("milp".into())
+        );
+    }
+
+    #[test]
+    fn solver_keys_resolve_to_display_names() {
+        assert_eq!(solver_display_name("bb"), "Optimal(B&B)");
+        assert_eq!(solver_display_name("milp"), "Optimal(MILP)");
+        assert_eq!(solver_display_name("memheft"), "MemHEFT");
+        // Unknown keys echo back so header lines never panic.
+        assert_eq!(solver_display_name("mystery"), "mystery");
+        // Every backend kind's key is registered.
+        for kind in [
+            ExactBackendKind::BranchAndBound,
+            ExactBackendKind::Milp,
+            ExactBackendKind::LpExport,
+        ] {
+            assert_eq!(solver_display_name(kind.solver_key()), kind.method_name());
+        }
     }
 
     #[test]

@@ -78,12 +78,12 @@ mod tests {
             alpha: 0.5,
             methods: vec![
                 MethodAggregate {
-                    name: "MemHEFT",
+                    name: "MemHEFT".into(),
                     mean_normalized_makespan: Some(1.25),
                     success_rate: 0.8,
                 },
                 MethodAggregate {
-                    name: "MemMinMin",
+                    name: "MemMinMin".into(),
                     mean_normalized_makespan: None,
                     success_rate: 0.0,
                 },
@@ -104,11 +104,11 @@ mod tests {
             memory_bound: 10.0,
             outcomes: vec![
                 SchedulerOutcome {
-                    name: "HEFT",
+                    name: "HEFT".into(),
                     makespan: Some(42.0),
                 },
                 SchedulerOutcome {
-                    name: "MemHEFT",
+                    name: "MemHEFT".into(),
                     makespan: None,
                 },
             ],

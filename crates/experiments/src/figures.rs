@@ -4,16 +4,20 @@
 //! benchmark use and a `paper()` configuration matching the instance sizes of
 //! the paper. The experiment binaries print which configuration is in effect,
 //! so no scaling is ever silent.
+//!
+//! Solvers are selected **by registry key** (`"memheft"`, `"bb"`, `"milp"`,
+//! …; resolved against `mals_exact::solver_registry()`), so every figure
+//! runs heuristics and exact backends through the same engine-layer code
+//! path and the series labels come from the solvers' display names.
 
 use crate::campaign::{run_normalized_campaign, CampaignConfig, CampaignPoint};
 use crate::sweep::{heft_reference, sweep_absolute, SweepPoint};
 use mals_dag::TaskGraph;
 use mals_exact::bounds::makespan_lower_bound;
-use mals_exact::{ExactBackendKind, ExactScheduler, SolveLimits};
 use mals_gen::{cholesky_dag, lu_dag, KernelCosts, SetParams};
 use mals_platform::Platform;
-use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, Scheduler};
-use mals_util::ParallelConfig;
+use mals_sched::{SolveCtx, SolveLimits, Solver};
+use mals_util::{ParallelConfig, WorkerPool};
 
 /// Configuration of the Figure 10 campaign (SmallRandSet vs the optimal).
 #[derive(Debug, Clone)]
@@ -24,8 +28,8 @@ pub struct Fig10Config {
     pub n_tasks: usize,
     /// Normalised memory bounds.
     pub alphas: Vec<f64>,
-    /// Exact backend drawing the optimal series.
-    pub exact_backend: ExactBackendKind,
+    /// Registry key of the exact solver drawing the optimal series.
+    pub exact_solver: String,
     /// Node budget of the exact solver per (DAG, bound) pair.
     pub optimal_node_limit: u64,
     /// Thread configuration.
@@ -38,7 +42,7 @@ impl Default for Fig10Config {
             n_dags: 10,
             n_tasks: 16,
             alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
-            exact_backend: ExactBackendKind::BranchAndBound,
+            exact_solver: "bb".into(),
             optimal_node_limit: 50_000,
             parallel: ParallelConfig::default(),
         }
@@ -53,7 +57,7 @@ impl Fig10Config {
             n_dags: 50,
             n_tasks: 30,
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
-            exact_backend: ExactBackendKind::BranchAndBound,
+            exact_solver: "bb".into(),
             optimal_node_limit: 2_000_000,
             parallel: ParallelConfig::default(),
         }
@@ -70,8 +74,11 @@ pub fn fig10(config: &Fig10Config) -> Vec<CampaignPoint> {
     let platform = Platform::single_pair(0.0, 0.0);
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
-        include_optimal: true,
-        exact_backend: config.exact_backend,
+        solvers: vec![
+            "memheft".into(),
+            "memminmin".into(),
+            config.exact_solver.clone(),
+        ],
         optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
@@ -87,9 +94,9 @@ pub struct Fig12Config {
     pub n_tasks: usize,
     /// Normalised memory bounds.
     pub alphas: Vec<f64>,
-    /// Optional exact backend: the paper omits the optimal at this size, but
-    /// `--exact-backend` lets scaled-down runs include it anyway.
-    pub exact_backend: Option<ExactBackendKind>,
+    /// Optional exact solver key: the paper omits the optimal at this size,
+    /// but `--exact-backend` lets scaled-down runs include it anyway.
+    pub exact_solver: Option<String>,
     /// Node budget of the exact solver per (DAG, bound) pair.
     pub optimal_node_limit: u64,
     /// Thread configuration.
@@ -102,7 +109,7 @@ impl Default for Fig12Config {
             n_dags: 6,
             n_tasks: 150,
             alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
-            exact_backend: None,
+            exact_solver: None,
             optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
@@ -116,7 +123,7 @@ impl Fig12Config {
             n_dags: 100,
             n_tasks: 1000,
             alphas: (0..=20).map(|i| i as f64 / 20.0).collect(),
-            exact_backend: None,
+            exact_solver: None,
             optimal_node_limit: 200_000,
             parallel: ParallelConfig::default(),
         }
@@ -125,19 +132,18 @@ impl Fig12Config {
 
 /// Figure 12: LargeRandSet — normalised makespan and success rate of MemHEFT
 /// and MemMinMin (the optimal is out of reach at the paper's size; an exact
-/// backend can be opted in for scaled-down runs), on a 1 blue + 1 red
+/// solver can be opted in for scaled-down runs), on a 1 blue + 1 red
 /// platform.
 pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
     let dags = SetParams::large_rand()
         .scaled(config.n_dags, config.n_tasks)
         .generate();
     let platform = Platform::single_pair(0.0, 0.0);
+    let mut solvers = vec!["memheft".to_string(), "memminmin".to_string()];
+    solvers.extend(config.exact_solver.iter().cloned());
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
-        include_optimal: config.exact_backend.is_some(),
-        exact_backend: config
-            .exact_backend
-            .unwrap_or(ExactBackendKind::BranchAndBound),
+        solvers,
         optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
@@ -173,26 +179,44 @@ fn single_dag_sweep(
     platform: &Platform,
     steps: usize,
     parallel: ParallelConfig,
-    exact: Option<(ExactBackendKind, u64)>,
+    exact: Option<(&str, u64)>,
 ) -> SingleDagSweep {
     let reference = heft_reference(&graph, platform);
     let heft_memory = reference.heft_peaks.max();
     let grid = memory_grid(heft_memory, steps);
     // A single DAG cannot be spread over threads the way a campaign spreads
-    // whole DAGs, so the parallelism goes *inside* each schedule: every
-    // scheduler evaluates its ready list on a worker pool.
-    let memheft = MemHeft::with_parallelism(parallel);
-    let memminmin = MemMinMin::with_parallelism(parallel);
-    let heft = Heft::with_parallelism(parallel);
-    let minmin = MinMin::with_parallelism(parallel);
-    let exact_scheduler = exact.map(|(kind, node_limit)| {
-        ExactScheduler::new(kind, SolveLimits::with_node_limit(node_limit))
-    });
-    let mut memory_aware: Vec<&dyn Scheduler> = vec![&memheft, &memminmin];
-    if let Some(s) = &exact_scheduler {
+    // whole DAGs, so the parallelism goes *inside* each schedule: one worker
+    // pool, shared by every solver through the solve context.
+    let registry = mals_exact::solver_registry();
+    let build = |key: &str| {
+        registry
+            .build(key)
+            .unwrap_or_else(|| panic!("solver `{key}` not registered"))
+    };
+    let memheft = build("memheft");
+    let memminmin = build("memminmin");
+    let heft = build("heft");
+    let minmin = build("minmin");
+    let exact_solver = exact.as_ref().map(|&(key, _)| build(key));
+    let mut memory_aware: Vec<&dyn Solver> = vec![&memheft, &memminmin];
+    if let Some(s) = &exact_solver {
         memory_aware.push(s);
     }
-    let points = sweep_absolute(&graph, platform, &grid, &memory_aware, &[&heft, &minmin]);
+    let pool = (parallel.resolved_threads() > 1).then(|| WorkerPool::new(parallel));
+    let ctx = SolveCtx {
+        limits: exact
+            .map(|(_, node_limit)| SolveLimits::with_node_limit(node_limit))
+            .unwrap_or_default(),
+        pool: pool.as_ref(),
+    };
+    let points = sweep_absolute(
+        &graph,
+        platform,
+        &grid,
+        &memory_aware,
+        &[&heft, &minmin],
+        &ctx,
+    );
     let lower_bound = makespan_lower_bound(&graph, platform);
     SingleDagSweep {
         graph,
@@ -211,9 +235,9 @@ pub struct SingleRandConfig {
     pub steps: usize,
     /// Within-schedule thread configuration (ready-list evaluation).
     pub parallel: ParallelConfig,
-    /// Optional exact backend adding an optimal series to the sweep (only
-    /// sensible for small `n_tasks`).
-    pub exact_backend: Option<ExactBackendKind>,
+    /// Optional registry key of an exact solver adding an optimal series to
+    /// the sweep (only sensible for small `n_tasks`).
+    pub exact_solver: Option<String>,
     /// Node budget of the exact solver per memory point.
     pub exact_node_limit: u64,
 }
@@ -225,7 +249,7 @@ impl SingleRandConfig {
             n_tasks: 30,
             steps: 20,
             parallel: ParallelConfig::sequential(),
-            exact_backend: None,
+            exact_solver: None,
             exact_node_limit: 200_000,
         }
     }
@@ -274,8 +298,9 @@ pub fn fig11(config: &SingleRandConfig) -> SingleDagSweep {
         config.steps,
         config.parallel,
         config
-            .exact_backend
-            .map(|kind| (kind, config.exact_node_limit)),
+            .exact_solver
+            .as_deref()
+            .map(|key| (key, config.exact_node_limit)),
     )
 }
 
@@ -293,8 +318,9 @@ pub fn fig13(config: &SingleRandConfig) -> SingleDagSweep {
         config.steps,
         config.parallel,
         config
-            .exact_backend
-            .map(|kind| (kind, config.exact_node_limit)),
+            .exact_solver
+            .as_deref()
+            .map(|key| (key, config.exact_node_limit)),
     )
 }
 
@@ -443,13 +469,13 @@ mod tests {
     }
 
     #[test]
-    fn fig11_with_exact_backend_adds_a_dominating_series() {
+    fn fig11_with_exact_solver_adds_a_dominating_series() {
         // A tiny sweep with the MILP backend: the optimal series exists and
         // is never worse than MemHEFT wherever both succeed.
         let sweep = fig11(&SingleRandConfig {
             n_tasks: 8,
             steps: 4,
-            exact_backend: Some(mals_exact::ExactBackendKind::Milp),
+            exact_solver: Some("milp".into()),
             ..SingleRandConfig::fig11_default()
         });
         let mut saw_optimal = false;

@@ -28,9 +28,13 @@ pub mod cli;
 pub mod csv;
 pub mod figures;
 pub mod min_memory;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 
 pub use campaign::{CampaignConfig, CampaignPoint, MethodAggregate};
 pub use min_memory::{minimum_memory, minimum_memory_table, MinMemory};
+pub use service::{
+    example_request, solve_request, solve_with_engine, ServiceError, SolveReport, SolveRequest,
+};
 pub use sweep::{heft_reference, memory_oblivious_result, sweep_absolute, Reference, SweepPoint};

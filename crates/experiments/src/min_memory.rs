@@ -7,43 +7,42 @@
 //! feasible schedule with half available memory", and so on. This module
 //! computes that quantity directly by bisection on the (symmetric) memory
 //! bound, so the EXPERIMENTS write-up can report exact break-even points
-//! instead of reading them off a sweep grid.
+//! instead of reading them off a sweep grid. It operates on the unified
+//! [`Solver`] interface, so heuristics and exact backends bisect through
+//! the same code path.
 
 use mals_dag::TaskGraph;
 use mals_platform::Platform;
-use mals_sched::{ScheduleError, Scheduler};
+use mals_sched::{SolveCtx, Solver};
 
-/// Result of a minimum-memory search for one scheduler.
+/// Result of a minimum-memory search for one solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MinMemory {
-    /// Scheduler name.
-    pub name: &'static str,
+    /// Solver display name.
+    pub name: String,
     /// Smallest symmetric memory bound (within `tolerance`) at which the
-    /// scheduler produced a schedule, or `None` if it failed even at the
+    /// solver produced a schedule, or `None` if it failed even at the
     /// upper end of the search interval.
     pub min_memory: Option<f64>,
     /// Makespan obtained at that bound.
     pub makespan_at_min: Option<f64>,
 }
 
-/// Checks whether `scheduler` succeeds on `graph` with the given symmetric
+/// Checks whether `solver` succeeds on `graph` with the given symmetric
 /// memory bound.
 fn succeeds(
     graph: &TaskGraph,
     platform: &Platform,
-    scheduler: &dyn Scheduler,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
     bound: f64,
 ) -> Option<f64> {
     let bounded = platform.with_memory_bounds(bound, bound);
-    match scheduler.schedule(graph, &bounded) {
-        Ok(schedule) => Some(schedule.makespan()),
-        Err(ScheduleError::Infeasible { .. }) => None,
-        Err(e) => panic!("scheduler {} failed unexpectedly: {e}", scheduler.name()),
-    }
+    crate::sweep::checked_makespan(solver, graph, &bounded, ctx)
 }
 
 /// Finds, by bisection, the smallest symmetric memory bound in
-/// `[0, upper_bound]` at which `scheduler` produces a schedule.
+/// `[0, upper_bound]` at which `solver` produces a schedule.
 ///
 /// The search assumes success is monotone in the bound, which holds for the
 /// memory-aware heuristics on all workloads we generate (more memory never
@@ -52,15 +51,17 @@ fn succeeds(
 pub fn minimum_memory(
     graph: &TaskGraph,
     platform: &Platform,
-    scheduler: &dyn Scheduler,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
     upper_bound: f64,
     tolerance: f64,
 ) -> MinMemory {
     let tolerance = tolerance.max(1e-6);
-    // The scheduler must succeed at the upper end for the search to make sense.
-    let Some(makespan_at_upper) = succeeds(graph, platform, scheduler, upper_bound) else {
+    let name = solver.name().to_string();
+    // The solver must succeed at the upper end for the search to make sense.
+    let Some(makespan_at_upper) = succeeds(graph, platform, solver, ctx, upper_bound) else {
         return MinMemory {
-            name: scheduler.name(),
+            name,
             min_memory: None,
             makespan_at_min: None,
         };
@@ -69,16 +70,16 @@ pub fn minimum_memory(
     let mut hi = upper_bound; // known feasible
     let mut best_makespan = makespan_at_upper;
     // If even a zero bound works (no files), report it directly.
-    if let Some(makespan) = succeeds(graph, platform, scheduler, 0.0) {
+    if let Some(makespan) = succeeds(graph, platform, solver, ctx, 0.0) {
         return MinMemory {
-            name: scheduler.name(),
+            name,
             min_memory: Some(0.0),
             makespan_at_min: Some(makespan),
         };
     }
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        match succeeds(graph, platform, scheduler, mid) {
+        match succeeds(graph, platform, solver, ctx, mid) {
             Some(makespan) => {
                 hi = mid;
                 best_makespan = makespan;
@@ -87,23 +88,24 @@ pub fn minimum_memory(
         }
     }
     MinMemory {
-        name: scheduler.name(),
+        name,
         min_memory: Some(hi),
         makespan_at_min: Some(best_makespan),
     }
 }
 
-/// Runs [`minimum_memory`] for several schedulers with a shared upper bound.
+/// Runs [`minimum_memory`] for several solvers with a shared upper bound.
 pub fn minimum_memory_table(
     graph: &TaskGraph,
     platform: &Platform,
-    schedulers: &[&dyn Scheduler],
+    solvers: &[&dyn Solver],
+    ctx: &SolveCtx,
     upper_bound: f64,
     tolerance: f64,
 ) -> Vec<MinMemory> {
-    schedulers
+    solvers
         .iter()
-        .map(|s| minimum_memory(graph, platform, *s, upper_bound, tolerance))
+        .map(|s| minimum_memory(graph, platform, *s, ctx, upper_bound, tolerance))
         .collect()
 }
 
@@ -119,8 +121,9 @@ mod tests {
         // the heuristics' break-even point lies in [3, 5].
         let (graph, _) = dex();
         let platform = Platform::single_pair(0.0, 0.0);
-        for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-            let result = minimum_memory(&graph, &platform, scheduler, 20.0, 0.01);
+        let ctx = SolveCtx::sequential();
+        for solver in [&MemHeft::new() as &dyn Solver, &MemMinMin::new()] {
+            let result = minimum_memory(&graph, &platform, solver, &ctx, 20.0, 0.01);
             let min = result.min_memory.expect("feasible with 20 units");
             assert!(min >= 3.0 - 1e-6, "{}: {min}", result.name);
             assert!(min <= 5.0 + 0.02, "{}: {min}", result.name);
@@ -129,10 +132,26 @@ mod tests {
     }
 
     #[test]
+    fn exact_solver_bisects_through_the_same_path() {
+        // The optimal break-even point of D_ex is 4 (the paper's s2 exists
+        // at bound 4 but nothing exists at 3); the B&B solver must find it
+        // through the identical bisection code path as the heuristics.
+        let (graph, _) = dex();
+        let platform = Platform::single_pair(0.0, 0.0);
+        let ctx = SolveCtx::sequential();
+        let bb = mals_exact::solver_registry().build("bb").unwrap();
+        let result = minimum_memory(&graph, &platform, &*bb, &ctx, 20.0, 0.01);
+        assert_eq!(result.name, "Optimal(B&B)");
+        let min = result.min_memory.unwrap();
+        assert!((min - 4.0).abs() <= 0.02, "optimal break-even {min} != 4");
+    }
+
+    #[test]
     fn infeasible_upper_bound_reported() {
         let (graph, _) = dex();
         let platform = Platform::single_pair(0.0, 0.0);
-        let result = minimum_memory(&graph, &platform, &MemHeft::new(), 2.0, 0.01);
+        let ctx = SolveCtx::sequential();
+        let result = minimum_memory(&graph, &platform, &MemHeft::new(), &ctx, 2.0, 0.01);
         assert_eq!(result.min_memory, None);
         assert_eq!(result.makespan_at_min, None);
     }
@@ -144,7 +163,8 @@ mod tests {
         let b = graph.add_task("b", 1.0, 1.0);
         graph.add_edge(a, b, 0.0, 0.0).unwrap();
         let platform = Platform::single_pair(0.0, 0.0);
-        let result = minimum_memory(&graph, &platform, &MemMinMin::new(), 10.0, 0.01);
+        let ctx = SolveCtx::sequential();
+        let result = minimum_memory(&graph, &platform, &MemMinMin::new(), &ctx, 10.0, 0.01);
         assert_eq!(result.min_memory, Some(0.0));
     }
 
@@ -153,12 +173,13 @@ mod tests {
         // The fork task's outputs (width files) must fit simultaneously, so
         // the minimum memory grows with the width.
         let platform = Platform::single_pair(0.0, 0.0);
+        let ctx = SolveCtx::sequential();
         let narrow = fork_join(2, &ShapeWeights::default());
         let wide = fork_join(8, &ShapeWeights::default());
-        let narrow_min = minimum_memory(&narrow, &platform, &MemHeft::new(), 64.0, 0.01)
+        let narrow_min = minimum_memory(&narrow, &platform, &MemHeft::new(), &ctx, 64.0, 0.01)
             .min_memory
             .unwrap();
-        let wide_min = minimum_memory(&wide, &platform, &MemHeft::new(), 64.0, 0.01)
+        let wide_min = minimum_memory(&wide, &platform, &MemHeft::new(), &ctx, 64.0, 0.01)
             .min_memory
             .unwrap();
         assert!(wide_min > narrow_min);
@@ -166,12 +187,14 @@ mod tests {
     }
 
     #[test]
-    fn table_covers_all_schedulers() {
+    fn table_covers_all_solvers() {
         let (graph, _) = dex();
         let platform = Platform::single_pair(0.0, 0.0);
+        let ctx = SolveCtx::sequential();
         let memheft = MemHeft::new();
         let memminmin = MemMinMin::new();
-        let table = minimum_memory_table(&graph, &platform, &[&memheft, &memminmin], 20.0, 0.05);
+        let table =
+            minimum_memory_table(&graph, &platform, &[&memheft, &memminmin], &ctx, 20.0, 0.05);
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].name, "MemHEFT");
         assert_eq!(table[1].name, "MemMinMin");

@@ -1,0 +1,565 @@
+//! The embeddable service surface: `SolveRequest` in, `SolveReport` out.
+//!
+//! This is the library-first "endpoint" shape of the workspace: a request
+//! names a solver (a registry key of `mals_exact::solver_registry()`),
+//! carries the task graph, the platform, the thread budget and the solve
+//! limits, and [`solve_request`] returns a provenance-stamped report — the
+//! schedule, its makespan and memory peaks, an *independent* validation
+//! verdict from `mals_sim::validate`, the optimality status, the wall time
+//! and the solver/engine identity. Both types round-trip through JSON
+//! ([`SolveRequest::to_json`] / [`SolveRequest::from_json`], same for the
+//! report), and the `schedule` binary wires the same functions to a file /
+//! stdin, so any process that can write JSON can use every solver in the
+//! registry through one code path.
+
+use mals_dag::{serialize, TaskGraph};
+use mals_exact::solver_registry;
+use mals_platform::Platform;
+use mals_sched::{Engine, EngineConfig, OptimalityStatus, SolveLimits};
+use mals_sim::{
+    peaks_from_json, peaks_to_json, schedule_from_json, schedule_to_json, validate, MemoryPeaks,
+    Schedule,
+};
+use mals_util::{Json, ParallelConfig};
+
+/// Encodes a `u64` losslessly: as a JSON number while `f64` is exact
+/// (≤ 2⁵³), as a decimal string beyond (seeds are arbitrary 64-bit values).
+fn u64_to_json(x: u64) -> Json {
+    if x <= 9_007_199_254_740_992 {
+        Json::Num(x as f64)
+    } else {
+        Json::Str(x.to_string())
+    }
+}
+
+/// Parses either encoding produced by [`u64_to_json`].
+fn json_to_u64(value: &Json) -> Option<u64> {
+    value
+        .as_u64()
+        .or_else(|| value.as_str().and_then(|s| s.parse().ok()))
+}
+
+/// Largest worker-thread count a JSON request may ask for (`0` = all
+/// cores is always allowed); guards the endpoint against thread-spawn
+/// exhaustion from untrusted documents.
+pub const MAX_REQUEST_THREADS: usize = 512;
+
+/// A solve request: everything needed to reproduce one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The task graph to schedule.
+    pub graph: TaskGraph,
+    /// The platform to schedule on.
+    pub platform: Platform,
+    /// Registry key of the solver (`"memheft"`, `"milp"`, …).
+    pub solver: String,
+    /// Worker threads for within-schedule parallelism (`0` = all cores;
+    /// results are bit-identical for every setting).
+    pub threads: usize,
+    /// Budgets for exact solvers.
+    pub limits: SolveLimits,
+    /// Seed for randomised solvers (`None` = 0); echoed in the report.
+    pub seed: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A sequential request with default limits and no seed.
+    pub fn new(graph: TaskGraph, platform: Platform, solver: impl Into<String>) -> Self {
+        SolveRequest {
+            graph,
+            platform,
+            solver: solver.into(),
+            threads: 1,
+            limits: SolveLimits::default(),
+            seed: None,
+        }
+    }
+
+    /// Serialises the request.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("solver".to_string(), Json::str(&self.solver)),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+        ];
+        if let Some(seed) = self.seed {
+            pairs.push(("seed".into(), u64_to_json(seed)));
+        }
+        pairs.push((
+            "limits".into(),
+            Json::obj([
+                ("node_limit", u64_to_json(self.limits.node_limit)),
+                (
+                    "lp_iteration_limit",
+                    u64_to_json(self.limits.lp_iteration_limit),
+                ),
+            ]),
+        ));
+        pairs.push(("graph".into(), serialize::to_json(&self.graph)));
+        pairs.push(("platform".into(), self.platform.to_json()));
+        Json::Obj(pairs)
+    }
+
+    /// Parses the shape produced by [`SolveRequest::to_json`]. `threads`,
+    /// `limits` and `seed` are optional (defaults: 1 thread, default
+    /// limits, no seed); `solver`, `graph` and `platform` are required.
+    pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        let solver = json
+            .get("solver")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::BadRequest("missing `solver` name".into()))?
+            .to_string();
+        let threads = match json.get("threads") {
+            None => 1,
+            Some(value) => value.as_usize().ok_or_else(|| {
+                ServiceError::BadRequest("`threads` must be a non-negative integer".into())
+            })?,
+        };
+        // The pool spawns one OS thread per requested worker; an absurd
+        // count from an untrusted document must fail as a named error, not
+        // as a thread-spawn abort.
+        if threads > MAX_REQUEST_THREADS {
+            return Err(ServiceError::BadRequest(format!(
+                "`threads` must be at most {MAX_REQUEST_THREADS} (0 = all cores)"
+            )));
+        }
+        let seed = match json.get("seed") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(json_to_u64(value).ok_or_else(|| {
+                ServiceError::BadRequest("`seed` must be a non-negative integer".into())
+            })?),
+        };
+        let mut limits = SolveLimits::default();
+        if let Some(doc) = json.get("limits") {
+            if let Some(n) = doc.get("node_limit") {
+                limits.node_limit = json_to_u64(n).ok_or_else(|| {
+                    ServiceError::BadRequest("`limits.node_limit` must be an integer".into())
+                })?;
+            }
+            if let Some(n) = doc.get("lp_iteration_limit") {
+                limits.lp_iteration_limit = json_to_u64(n).ok_or_else(|| {
+                    ServiceError::BadRequest(
+                        "`limits.lp_iteration_limit` must be an integer".into(),
+                    )
+                })?;
+            }
+        }
+        let graph = json
+            .get("graph")
+            .ok_or_else(|| ServiceError::BadRequest("missing `graph`".into()))
+            .and_then(|doc| {
+                serialize::from_json(doc).map_err(|e| ServiceError::BadRequest(e.to_string()))
+            })?;
+        let platform = json
+            .get("platform")
+            .ok_or_else(|| ServiceError::BadRequest("missing `platform`".into()))
+            .and_then(|doc| {
+                Platform::from_json(doc)
+                    .map_err(|e| ServiceError::BadRequest(format!("bad platform: {e}")))
+            })?;
+        Ok(SolveRequest {
+            graph,
+            platform,
+            solver,
+            threads,
+            limits,
+            seed,
+        })
+    }
+
+    /// Parses a request from JSON text.
+    pub fn parse(text: &str) -> Result<Self, ServiceError> {
+        let json = Json::parse(text).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        SolveRequest::from_json(&json)
+    }
+}
+
+/// The provenance-stamped result of a [`SolveRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Display name of the solver that ran (`"MemHEFT"`, `"Optimal(MILP)"`).
+    pub solver: String,
+    /// Registry key it was resolved from.
+    pub solver_key: String,
+    /// Version of the engine (the workspace crate version).
+    pub engine_version: String,
+    /// What the solve proved.
+    pub status: OptimalityStatus,
+    /// The schedule, when the status carries one.
+    pub schedule: Option<Schedule>,
+    /// Its makespan.
+    pub makespan: Option<f64>,
+    /// Its memory peaks, replayed by the independent validator.
+    pub peaks: Option<MemoryPeaks>,
+    /// Verdict of `mals_sim::validate` (memory-oblivious baselines are
+    /// checked against the unbounded platform — their declared contract).
+    pub valid: Option<bool>,
+    /// Rendered validation errors (empty for a valid schedule).
+    pub validation_errors: Vec<String>,
+    /// Search effort (0 for heuristics).
+    pub nodes: u64,
+    /// Wall-clock solve time in milliseconds.
+    pub wall_time_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The request's seed, echoed for provenance.
+    pub seed: Option<u64>,
+    /// Why the instance was rejected, when it never reached the solver.
+    pub error: Option<String>,
+}
+
+impl SolveReport {
+    /// Serialises the report (the schedule is embedded, so the report is
+    /// self-contained and can be re-validated downstream).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("solver".to_string(), Json::str(&self.solver)),
+            ("solver_key".to_string(), Json::str(&self.solver_key)),
+            (
+                "engine_version".to_string(),
+                Json::str(&self.engine_version),
+            ),
+            ("status".to_string(), Json::str(self.status.as_str())),
+            (
+                "makespan".to_string(),
+                self.makespan.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            (
+                "peaks".to_string(),
+                self.peaks.as_ref().map(peaks_to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "valid".to_string(),
+                self.valid.map(Json::Bool).unwrap_or(Json::Null),
+            ),
+            (
+                "validation_errors".to_string(),
+                Json::Arr(self.validation_errors.iter().map(Json::str).collect()),
+            ),
+            ("nodes".to_string(), u64_to_json(self.nodes)),
+            ("wall_time_ms".to_string(), Json::Num(self.wall_time_ms)),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+        ];
+        if let Some(seed) = self.seed {
+            pairs.push(("seed".into(), u64_to_json(seed)));
+        }
+        if let Some(error) = &self.error {
+            pairs.push(("error".into(), Json::str(error)));
+        }
+        if let Some(schedule) = &self.schedule {
+            pairs.push(("schedule".into(), schedule_to_json(schedule)));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses the shape produced by [`SolveReport::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        let text = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServiceError::BadRequest(format!("missing `{key}`")))
+        };
+        let status = OptimalityStatus::parse(&text("status")?)
+            .ok_or_else(|| ServiceError::BadRequest("unknown `status`".into()))?;
+        let schedule = match json.get("schedule") {
+            None | Some(Json::Null) => None,
+            Some(doc) => {
+                Some(schedule_from_json(doc).map_err(|e| ServiceError::BadRequest(e.to_string()))?)
+            }
+        };
+        let peaks = match json.get("peaks") {
+            None | Some(Json::Null) => None,
+            Some(doc) => {
+                Some(peaks_from_json(doc).map_err(|e| ServiceError::BadRequest(e.to_string()))?)
+            }
+        };
+        Ok(SolveReport {
+            solver: text("solver")?,
+            solver_key: text("solver_key")?,
+            engine_version: text("engine_version")?,
+            status,
+            schedule,
+            makespan: json.get("makespan").and_then(Json::as_f64),
+            peaks,
+            valid: json.get("valid").and_then(Json::as_bool),
+            validation_errors: json
+                .get("validation_errors")
+                .and_then(Json::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|e| e.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            nodes: json.get("nodes").and_then(json_to_u64).unwrap_or(0),
+            wall_time_ms: json
+                .get("wall_time_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            threads: json.get("threads").and_then(Json::as_usize).unwrap_or(1),
+            seed: json.get("seed").and_then(json_to_u64),
+            error: json.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// Parses a report from JSON text.
+    pub fn parse(text: &str) -> Result<Self, ServiceError> {
+        let json = Json::parse(text).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        SolveReport::from_json(&json)
+    }
+}
+
+/// Errors raised by the service surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request document is malformed or inconsistent.
+    BadRequest(String),
+    /// The requested solver is not registered; the payload lists the keys
+    /// that are.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered key.
+        known: Vec<&'static str>,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(reason) => write!(f, "bad request: {reason}"),
+            ServiceError::UnknownSolver { name, known } => {
+                write!(f, "unknown solver `{name}` (known: {})", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Solves a request on a dedicated engine (pool spun up for this one call).
+/// Services handling many requests should create one [`Engine`] and use
+/// [`solve_with_engine`] to amortise the pool startup.
+pub fn solve_request(request: &SolveRequest) -> Result<SolveReport, ServiceError> {
+    let engine = Engine::new(
+        solver_registry(),
+        EngineConfig {
+            // `0` resolves to all cores inside the pool, per the request
+            // contract.
+            parallel: ParallelConfig::with_threads(request.threads),
+            limits: request.limits,
+        },
+    );
+    solve_with_engine(&engine, request)
+}
+
+/// Solves a request on an existing engine session. The request's limits
+/// override the engine's defaults; the engine's pool and registry are used
+/// as-is.
+pub fn solve_with_engine(
+    engine: &Engine,
+    request: &SolveRequest,
+) -> Result<SolveReport, ServiceError> {
+    let entry =
+        engine
+            .registry()
+            .entry(&request.solver)
+            .ok_or_else(|| ServiceError::UnknownSolver {
+                name: request.solver.clone(),
+                known: engine.registry().keys(),
+            })?;
+    let info = entry.info;
+    let solver = entry.build(request.seed.unwrap_or(0));
+    let mut ctx = engine.ctx();
+    ctx.limits = request.limits;
+
+    let started = std::time::Instant::now();
+    let outcome = solver.solve(&request.graph, &request.platform, &ctx);
+    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Memory-oblivious baselines schedule on the unbounded platform by
+    // contract, so their schedules are validated against it; everything
+    // else must honour the request's bounds.
+    let validation_platform = if info.memory_aware {
+        request.platform.clone()
+    } else {
+        request.platform.unbounded()
+    };
+    let validation = outcome
+        .schedule
+        .as_ref()
+        .map(|s| validate(&request.graph, &validation_platform, s));
+    Ok(SolveReport {
+        solver: solver.name().to_string(),
+        solver_key: info.key.to_string(),
+        engine_version: env!("CARGO_PKG_VERSION").to_string(),
+        status: outcome.status,
+        makespan: outcome.makespan(),
+        peaks: validation.as_ref().map(|v| v.peaks),
+        valid: validation.as_ref().map(|v| v.is_valid()),
+        validation_errors: validation
+            .as_ref()
+            .map(|v| v.errors.iter().map(|e| e.to_string()).collect())
+            .unwrap_or_default(),
+        schedule: outcome.schedule,
+        nodes: outcome.nodes,
+        wall_time_ms,
+        threads: engine.threads(),
+        seed: request.seed,
+        error: outcome.error,
+    })
+}
+
+/// A ready-made example request (the paper's `D_ex` toy DAG on a 1+1
+/// platform with 5 memory units per side), used by `schedule
+/// --print-request` and the docs.
+pub fn example_request() -> SolveRequest {
+    let (graph, _) = mals_gen::dex();
+    SolveRequest::new(graph, Platform::single_pair(5.0, 5.0), "memheft")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_roundtrip() {
+        let mut request = example_request();
+        request.threads = 4;
+        request.seed = Some(99);
+        request.limits = SolveLimits::with_node_limit(1234);
+        let json = request.to_json();
+        assert_eq!(SolveRequest::from_json(&json).unwrap(), request);
+        // Through text (pretty and compact).
+        assert_eq!(SolveRequest::parse(&json.to_pretty()).unwrap(), request);
+        assert_eq!(SolveRequest::parse(&json.to_compact()).unwrap(), request);
+    }
+
+    #[test]
+    fn minimal_request_document_uses_defaults() {
+        let text = r#"{
+            "solver": "memminmin",
+            "graph": {"tasks": [{"name": "a", "blue": 1, "red": 1}], "edges": []},
+            "platform": {"blue_procs": 1, "red_procs": 1, "mem_blue": 5, "mem_red": 5}
+        }"#;
+        let request = SolveRequest::parse(text).unwrap();
+        assert_eq!(request.threads, 1);
+        assert_eq!(request.seed, None);
+        assert_eq!(request.limits, SolveLimits::default());
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.solver, "MemMinMin");
+        assert_eq!(report.valid, Some(true));
+    }
+
+    #[test]
+    fn heuristic_and_exact_share_the_code_path() {
+        let request = example_request();
+        for (key, status) in [
+            ("memheft", OptimalityStatus::Heuristic),
+            ("bb", OptimalityStatus::Optimal),
+            ("milp", OptimalityStatus::Optimal),
+        ] {
+            let report = solve_request(&SolveRequest {
+                solver: key.into(),
+                ..request.clone()
+            })
+            .unwrap();
+            assert_eq!(report.status, status, "{key}");
+            assert_eq!(report.solver_key, key);
+            assert_eq!(report.valid, Some(true), "{key}");
+            assert!(report.validation_errors.is_empty(), "{key}");
+            assert!(report.makespan.unwrap() >= 6.0 - 1e-9, "{key}");
+            assert!(report.peaks.unwrap().max() <= 5.0 + 1e-9, "{key}");
+            assert!(report.wall_time_ms >= 0.0);
+            assert_eq!(report.engine_version, env!("CARGO_PKG_VERSION"));
+        }
+    }
+
+    #[test]
+    fn memory_oblivious_solver_validates_against_unbounded_platform() {
+        let mut request = example_request();
+        request.solver = "heft".into();
+        request.platform = Platform::single_pair(1.0, 1.0); // hopeless bounds
+        let report = solve_request(&request).unwrap();
+        // HEFT ignores the bounds and its schedule is valid on the
+        // unbounded platform it actually targets.
+        assert_eq!(report.valid, Some(true));
+        assert!(report.peaks.unwrap().max() > 1.0);
+    }
+
+    #[test]
+    fn infeasible_request_reports_without_schedule() {
+        let mut request = example_request();
+        request.platform = Platform::single_pair(2.0, 2.0);
+        request.solver = "bb".into();
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.status, OptimalityStatus::Infeasible);
+        assert!(report.schedule.is_none());
+        assert_eq!(report.valid, None);
+        // The report still round-trips.
+        let back = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = solve_request(&example_request()).unwrap();
+        let json = report.to_json();
+        let back = SolveReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // The embedded schedule re-validates independently.
+        let request = example_request();
+        let verdict = validate(
+            &request.graph,
+            &request.platform,
+            back.schedule.as_ref().unwrap(),
+        );
+        assert!(verdict.is_valid());
+    }
+
+    #[test]
+    fn unknown_solver_is_reported_with_known_keys() {
+        let mut request = example_request();
+        request.solver = "cplex".into();
+        let err = solve_request(&request).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownSolver { .. }));
+        assert!(err.to_string().contains("memheft"));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(SolveRequest::parse("{").is_err());
+        assert!(SolveRequest::parse("{}").is_err());
+        let no_platform = r#"{"solver": "memheft", "graph": {"tasks": [], "edges": []}}"#;
+        let err = SolveRequest::parse(no_platform).unwrap_err();
+        assert!(err.to_string().contains("platform"));
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_named_errors_not_spawn_aborts() {
+        let mut request = example_request();
+        request.threads = 500_000;
+        let err = SolveRequest::from_json(&request.to_json()).unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+        // `0` (= all cores) is always allowed and resolves in the pool.
+        request.threads = 0;
+        let reparsed = SolveRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(reparsed.threads, 0);
+        let report = solve_request(&reparsed).unwrap();
+        assert_eq!(report.valid, Some(true));
+        assert!(report.threads >= 1); // 0 resolved to the actual core count
+    }
+
+    #[test]
+    fn engine_reuse_matches_one_shot_solves() {
+        let engine = mals_exact::engine(EngineConfig::sequential());
+        let request = example_request();
+        let one_shot = solve_request(&request).unwrap();
+        for _ in 0..3 {
+            let reused = solve_with_engine(&engine, &request).unwrap();
+            assert_eq!(reused.schedule, one_shot.schedule);
+            assert_eq!(reused.status, one_shot.status);
+        }
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! The experiments of the paper all have the same skeleton: take a DAG,
 //! measure the memory footprint of the memory-oblivious HEFT schedule, then
-//! re-schedule the DAG with the memory-aware heuristics under increasingly
+//! re-schedule the DAG with the memory-aware solvers under increasingly
 //! tight memory bounds and record the makespan (or the failure) of each
-//! heuristic at each bound.
+//! solver at each bound. Solvers are addressed through the unified
+//! [`Solver`] interface, so heuristics and exact backends ride the same
+//! sweeps.
 
 use mals_dag::TaskGraph;
 use mals_platform::Platform;
-use mals_sched::{Heft, MinMin, ScheduleError, Scheduler};
+use mals_sched::{Heft, MinMin, Scheduler, SolveCtx, Solver};
 use mals_sim::{memory_peaks, MemoryPeaks};
 
 /// The memory-oblivious reference for one DAG: HEFT's makespan and memory
@@ -43,12 +45,12 @@ pub fn heft_reference(graph: &TaskGraph, platform: &Platform) -> Reference {
     }
 }
 
-/// Result of one scheduler at one memory bound.
+/// Result of one solver at one memory bound.
 #[derive(Debug, Clone)]
 pub struct SchedulerOutcome {
-    /// Scheduler name.
-    pub name: &'static str,
-    /// Makespan, or `None` when the scheduler failed within the bounds.
+    /// Solver display name.
+    pub name: String,
+    /// Makespan, or `None` when the solver failed within the bounds.
     pub makespan: Option<f64>,
 }
 
@@ -57,56 +59,73 @@ pub struct SchedulerOutcome {
 pub struct SweepPoint {
     /// Memory bound applied to both memories.
     pub memory_bound: f64,
-    /// Outcome of every scheduler at that bound.
+    /// Outcome of every solver at that bound.
     pub outcomes: Vec<SchedulerOutcome>,
 }
 
 impl SweepPoint {
-    /// The outcome of a scheduler, looked up by name.
+    /// The outcome of a solver, looked up by display name.
     pub fn outcome(&self, name: &str) -> Option<&SchedulerOutcome> {
         self.outcomes.iter().find(|o| o.name == name)
     }
 }
 
-/// Runs a memory-oblivious scheduler and reports its makespan only when its
+/// Runs a memory-oblivious solver and reports its makespan only when its
 /// own memory peaks fit in the bounds of `platform` (this is how the HEFT /
 /// MinMin series of Figures 11 and 13–15 are drawn: the baseline simply
 /// cannot run below its own memory requirement).
 pub fn memory_oblivious_result(
     graph: &TaskGraph,
     platform: &Platform,
-    scheduler: &dyn Scheduler,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
 ) -> Option<f64> {
-    let schedule = scheduler.schedule(graph, &platform.unbounded()).ok()?;
-    let peaks = memory_peaks(graph, &platform.unbounded(), &schedule);
+    let unbounded = platform.unbounded();
+    let schedule = solver.solve(graph, &unbounded, ctx).schedule?;
+    let peaks = memory_peaks(graph, &unbounded, &schedule);
     let fits = peaks.blue <= platform.mem_blue + mals_util::EPSILON
         && peaks.red <= platform.mem_red + mals_util::EPSILON;
     fits.then(|| schedule.makespan())
 }
 
-/// Runs a memory-aware scheduler under the bounds of `platform`.
+/// Solves and returns the makespan, distinguishing honest infeasibility
+/// (`None`) from an instance the solver *rejected* (cyclic graph, …), which
+/// panics with the recorded cause — a rejected instance must never be
+/// reported as "infeasible at this memory bound" by the experiment drivers.
+pub(crate) fn checked_makespan(
+    solver: &dyn Solver,
+    graph: &TaskGraph,
+    platform: &Platform,
+    ctx: &SolveCtx,
+) -> Option<f64> {
+    let outcome = solver.solve(graph, platform, ctx);
+    if let Some(error) = &outcome.error {
+        panic!("solver {} rejected the instance: {error}", solver.name());
+    }
+    outcome.makespan()
+}
+
+/// Runs a memory-aware solver under the bounds of `platform`.
 fn memory_aware_result(
     graph: &TaskGraph,
     platform: &Platform,
-    scheduler: &dyn Scheduler,
+    solver: &dyn Solver,
+    ctx: &SolveCtx,
 ) -> Option<f64> {
-    match scheduler.schedule(graph, platform) {
-        Ok(s) => Some(s.makespan()),
-        Err(ScheduleError::Infeasible { .. }) => None,
-        Err(e) => panic!("scheduler {} failed unexpectedly: {e}", scheduler.name()),
-    }
+    checked_makespan(solver, graph, platform, ctx)
 }
 
 /// Sweeps absolute memory bounds for one DAG (the skeleton of Figures 11, 13,
-/// 14 and 15): at each bound, the memory-aware schedulers run under the
+/// 14 and 15): at each bound, the memory-aware solvers run under the
 /// bound, and the memory-oblivious baselines are reported only where their
 /// own footprint fits.
 pub fn sweep_absolute(
     graph: &TaskGraph,
     platform: &Platform,
     memory_bounds: &[f64],
-    memory_aware: &[&dyn Scheduler],
-    memory_oblivious: &[&dyn Scheduler],
+    memory_aware: &[&dyn Solver],
+    memory_oblivious: &[&dyn Solver],
+    ctx: &SolveCtx,
 ) -> Vec<SweepPoint> {
     memory_bounds
         .iter()
@@ -115,14 +134,14 @@ pub fn sweep_absolute(
             let mut outcomes = Vec::new();
             for s in memory_oblivious {
                 outcomes.push(SchedulerOutcome {
-                    name: s.name(),
-                    makespan: memory_oblivious_result(graph, &bounded, s),
+                    name: s.name().to_string(),
+                    makespan: memory_oblivious_result(graph, &bounded, s, ctx),
                 });
             }
             for s in memory_aware {
                 outcomes.push(SchedulerOutcome {
-                    name: s.name(),
-                    makespan: memory_aware_result(graph, &bounded, s),
+                    name: s.name().to_string(),
+                    makespan: memory_aware_result(graph, &bounded, s, ctx),
                 });
             }
             SweepPoint {
@@ -154,17 +173,19 @@ mod tests {
     #[test]
     fn memory_oblivious_result_gated_by_footprint() {
         let (g, _) = dex();
+        let ctx = SolveCtx::sequential();
         let platform = Platform::single_pair(100.0, 100.0);
         let heft = Heft::new();
-        assert!(memory_oblivious_result(&g, &platform, &heft).is_some());
+        assert!(memory_oblivious_result(&g, &platform, &heft, &ctx).is_some());
         let tiny = Platform::single_pair(1.0, 1.0);
-        assert!(memory_oblivious_result(&g, &tiny, &heft).is_none());
+        assert!(memory_oblivious_result(&g, &tiny, &heft, &ctx).is_none());
     }
 
     #[test]
     fn sweep_absolute_monotone_success() {
         let (g, _) = dex();
         let platform = Platform::single_pair(0.0, 0.0);
+        let ctx = SolveCtx::sequential();
         let memheft = MemHeft::new();
         let memminmin = MemMinMin::new();
         let heft = Heft::new();
@@ -176,9 +197,10 @@ mod tests {
             &bounds,
             &[&memheft, &memminmin],
             &[&heft, &minmin],
+            &ctx,
         );
         assert_eq!(sweep.len(), bounds.len());
-        // Success is monotone in the memory bound for each scheduler.
+        // Success is monotone in the memory bound for each solver.
         for name in ["MemHEFT", "MemMinMin", "HEFT", "MinMin"] {
             let mut seen_success = false;
             for point in &sweep {
@@ -194,7 +216,7 @@ mod tests {
             }
             assert!(seen_success, "{name} should succeed with bound 10 on D_ex");
         }
-        // With ample memory every scheduler matches or beats nothing smaller
+        // With ample memory every solver matches or beats nothing smaller
         // than the critical path.
         let last = sweep.last().unwrap();
         for o in &last.outcomes {
@@ -206,9 +228,10 @@ mod tests {
     fn makespan_non_increasing_with_memory_for_memory_aware() {
         let (g, _) = dex();
         let platform = Platform::single_pair(0.0, 0.0);
+        let ctx = SolveCtx::sequential();
         let memheft = MemHeft::new();
         let bounds: Vec<f64> = (3..=12).map(|i| i as f64).collect();
-        let sweep = sweep_absolute(&g, &platform, &bounds, &[&memheft], &[]);
+        let sweep = sweep_absolute(&g, &platform, &bounds, &[&memheft], &[], &ctx);
         let mut last = f64::INFINITY;
         for point in &sweep {
             if let Some(mk) = point.outcome("MemHEFT").unwrap().makespan {

@@ -153,6 +153,46 @@ impl Platform {
     pub fn is_unbounded(&self) -> bool {
         self.mem_blue.is_infinite() && self.mem_red.is_infinite()
     }
+
+    /// Serialises the platform to the JSON shape of the service surface.
+    /// Unbounded memories (`+∞` has no JSON spelling) are encoded as `null`.
+    pub fn to_json(&self) -> mals_util::Json {
+        use mals_util::Json;
+        let mem = |capacity: f64| {
+            if capacity.is_infinite() {
+                Json::Null
+            } else {
+                Json::Num(capacity)
+            }
+        };
+        Json::obj([
+            ("blue_procs", Json::Num(self.blue_procs as f64)),
+            ("red_procs", Json::Num(self.red_procs as f64)),
+            ("mem_blue", mem(self.mem_blue)),
+            ("mem_red", mem(self.mem_red)),
+        ])
+    }
+
+    /// Parses the JSON shape produced by [`Platform::to_json`] (a `null` or
+    /// absent memory capacity means unbounded), validating the parameters.
+    pub fn from_json(json: &mals_util::Json) -> Result<Self, PlatformError> {
+        use mals_util::Json;
+        let procs = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_usize)
+                .ok_or(PlatformError::NoProcessors)
+        };
+        let mem = |key: &str| match json.get(key) {
+            None | Some(Json::Null) => Ok(f64::INFINITY),
+            Some(value) => value.as_f64().ok_or(PlatformError::InvalidMemoryBound),
+        };
+        Platform::new(
+            procs("blue_procs")?,
+            procs("red_procs")?,
+            mem("mem_blue")?,
+            mem("mem_red")?,
+        )
+    }
 }
 
 impl Default for Platform {
@@ -233,6 +273,35 @@ mod tests {
         assert_eq!(s.n_procs(), 2);
         let d = Platform::default();
         assert!(d.is_unbounded());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_bounds_and_infinity() {
+        for platform in [
+            Platform::new(3, 2, 10.0, 5.5).unwrap(),
+            Platform::mirage(100.0, 50.0),
+            Platform::default(), // unbounded → null capacities
+            Platform::single_pair(f64::INFINITY, 4.0),
+        ] {
+            let json = platform.to_json();
+            assert_eq!(Platform::from_json(&json).unwrap(), platform);
+            let text = json.to_compact();
+            let reparsed = mals_util::Json::parse(&text).unwrap();
+            assert_eq!(Platform::from_json(&reparsed).unwrap(), platform);
+        }
+        // Absent capacities mean unbounded.
+        let sparse = mals_util::Json::parse(r#"{"blue_procs": 1, "red_procs": 1}"#).unwrap();
+        assert!(Platform::from_json(&sparse).unwrap().is_unbounded());
+        // Invalid documents are rejected through the normal validation.
+        let bad = mals_util::Json::parse(r#"{"blue_procs": 0, "red_procs": 1}"#).unwrap();
+        assert_eq!(Platform::from_json(&bad), Err(PlatformError::NoProcessors));
+        let bad_mem =
+            mals_util::Json::parse(r#"{"blue_procs": 1, "red_procs": 1, "mem_blue": "x"}"#)
+                .unwrap();
+        assert_eq!(
+            Platform::from_json(&bad_mem),
+            Err(PlatformError::InvalidMemoryBound)
+        );
     }
 
     #[test]

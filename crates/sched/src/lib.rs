@@ -23,18 +23,29 @@
 //! `task_mem`, `comm_mem`; Section 5.1 of the paper) and commits placements
 //! together with their late-as-possible cross-memory transfers.
 //!
+//! On top of the concrete schedulers sits the unified **engine layer**:
+//!
+//! * [`Solver`] — the trait subsuming heuristics and exact solvers (one
+//!   [`SolveOutcome`] carrying the schedule plus an [`OptimalityStatus`]);
+//! * [`SolverRegistry`] — name-keyed solver factories
+//!   ([`SolverRegistry::heuristics`] registers everything in this crate;
+//!   `mals_exact::solver_registry()` adds the exact backends);
+//! * [`Engine`] — a reusable session owning the worker pool and the default
+//!   [`SolveLimits`], with single-solve and batch APIs.
+//!
 //! # Example
 //!
 //! ```
 //! use mals_gen::dex;
 //! use mals_platform::Platform;
-//! use mals_sched::{MemHeft, Scheduler};
+//! use mals_sched::{Engine, EngineConfig, SolverRegistry};
 //! use mals_sim::validate;
 //!
+//! let engine = Engine::new(SolverRegistry::heuristics(), EngineConfig::default());
 //! let (graph, _) = dex();
 //! let platform = Platform::single_pair(5.0, 5.0);
-//! let schedule = MemHeft::default().schedule(&graph, &platform).unwrap();
-//! let report = validate(&graph, &platform, &schedule);
+//! let outcome = engine.solve("memheft", &graph, &platform).unwrap();
+//! let report = validate(&graph, &platform, outcome.schedule.as_ref().unwrap());
 //! assert!(report.is_valid());
 //! assert!(report.peaks.blue <= 5.0 && report.peaks.red <= 5.0);
 //! ```
@@ -42,19 +53,23 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod engine;
 pub mod error;
-pub mod heft;
 pub mod memheft;
 pub mod memminmin;
-pub mod minmin;
 pub mod partial;
+pub mod registry;
+pub mod solver;
 pub mod traits;
+pub mod unbounded;
 
 pub use ablation::{MemHeftVariant, MemoryPreference, TieBreak};
+pub use engine::{Engine, EngineConfig, EngineError};
 pub use error::ScheduleError;
-pub use heft::Heft;
 pub use memheft::MemHeft;
 pub use memminmin::MemMinMin;
-pub use minmin::MinMin;
 pub use partial::{EstBreakdown, PartialSchedule};
+pub use registry::{SolverEntry, SolverInfo, SolverRegistry};
+pub use solver::{OptimalityStatus, SolveCtx, SolveLimits, SolveOutcome, Solver};
 pub use traits::Scheduler;
+pub use unbounded::{Heft, MinMin, Unbounded};

@@ -87,6 +87,27 @@ pub fn schedule_with_priority_engine(
     parallel: ParallelConfig,
     prefer_red: bool,
 ) -> Result<Schedule, ScheduleError> {
+    if parallel.resolved_threads() <= 1 {
+        schedule_with_priority_pooled(graph, platform, order, None, prefer_red)
+    } else {
+        // A transient pool for this one schedule; callers that solve many
+        // graphs should hold a pool (e.g. via an `Engine`) and use
+        // [`schedule_with_priority_pooled`] to amortise the thread startup.
+        let pool = WorkerPool::new(parallel);
+        schedule_with_priority_pooled(graph, platform, order, Some(&pool), prefer_red)
+    }
+}
+
+/// [`schedule_with_priority_engine`] on an externally owned worker pool
+/// (`None` or a 1-thread pool: sequential scan). The committed placements —
+/// and therefore the schedule — are bit-identical for every pool size.
+pub fn schedule_with_priority_pooled(
+    graph: &TaskGraph,
+    platform: &Platform,
+    order: &[TaskId],
+    pool: Option<&WorkerPool>,
+    prefer_red: bool,
+) -> Result<Schedule, ScheduleError> {
     graph.validate()?;
     debug_assert_eq!(
         order.len(),
@@ -95,7 +116,7 @@ pub fn schedule_with_priority_engine(
     );
     let mut partial = PartialSchedule::new(graph, platform);
     let mut remaining: Vec<TaskId> = order.to_vec();
-    if parallel.resolved_threads() <= 1 {
+    let Some(pool) = pool.filter(|p| p.threads() > 1) else {
         // Sequential scan with early exit at the first feasible task.
         while !remaining.is_empty() {
             let mut committed = None;
@@ -118,9 +139,8 @@ pub fn schedule_with_priority_engine(
             }
         }
         return partial.finish_or_error();
-    }
+    };
 
-    let pool = WorkerPool::new(parallel);
     // Ready candidates past the first are evaluated in blocks: a block
     // bounds the work wasted past the first feasible task (the sequential
     // scan would have stopped there) while still giving every thread work
@@ -149,7 +169,7 @@ pub fn schedule_with_priority_engine(
         if committed.is_none() {
             'scan: for chunk in ready[fanout_from..].chunks(block) {
                 let tasks: Vec<TaskId> = chunk.iter().map(|&(_, task)| task).collect();
-                let breakdowns = partial.evaluate_tasks_par(&tasks, prefer_red, &pool);
+                let breakdowns = partial.evaluate_tasks_par(&tasks, prefer_red, pool);
                 for (&(position, task), breakdown) in chunk.iter().zip(breakdowns) {
                     if let Some(breakdown) = breakdown {
                         partial.commit(task, &breakdown);

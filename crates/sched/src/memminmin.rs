@@ -44,6 +44,36 @@ impl MemMinMin {
     pub fn with_parallelism(parallel: ParallelConfig) -> Self {
         MemMinMin { parallel }
     }
+
+    /// Runs the selection loop on an externally owned worker pool (`None` or
+    /// a 1-thread pool: sequential). The schedule is bit-identical for every
+    /// pool size; callers solving many graphs hold one pool (e.g. via an
+    /// `Engine`) to amortise the thread startup.
+    pub fn schedule_pooled(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Schedule, ScheduleError> {
+        graph.validate()?;
+        let mut partial = PartialSchedule::new(graph, platform);
+        let Some(pool) = pool.filter(|p| p.threads() > 1) else {
+            while !partial.is_complete() {
+                match partial.best_ready_choice() {
+                    Some((task, breakdown)) => partial.commit(task, &breakdown),
+                    None => return partial.finish_or_error(),
+                }
+            }
+            return partial.finish_or_error();
+        };
+        while !partial.is_complete() {
+            match partial.evaluate_best_par(pool) {
+                Some((task, breakdown)) => partial.commit(task, &breakdown),
+                None => return partial.finish_or_error(),
+            }
+        }
+        partial.finish_or_error()
+    }
 }
 
 impl Scheduler for MemMinMin {
@@ -52,27 +82,14 @@ impl Scheduler for MemMinMin {
     }
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
-        graph.validate()?;
-        let mut partial = PartialSchedule::new(graph, platform);
         if self.parallel.resolved_threads() <= 1 {
-            while !partial.is_complete() {
-                match partial.best_ready_choice() {
-                    Some((task, breakdown)) => partial.commit(task, &breakdown),
-                    None => return partial.finish_or_error(),
-                }
-            }
-            return partial.finish_or_error();
+            self.schedule_pooled(graph, platform, None)
+        } else {
+            // One pool for the whole schedule: the workers persist across
+            // the thousands of selection steps instead of being re-spawned.
+            let pool = WorkerPool::new(self.parallel);
+            self.schedule_pooled(graph, platform, Some(&pool))
         }
-        // One pool for the whole schedule: the workers persist across the
-        // thousands of selection steps instead of being re-spawned.
-        let pool = WorkerPool::new(self.parallel);
-        while !partial.is_complete() {
-            match partial.evaluate_best_par(&pool) {
-                Some((task, breakdown)) => partial.commit(task, &breakdown),
-                None => return partial.finish_or_error(),
-            }
-        }
-        partial.finish_or_error()
     }
 }
 

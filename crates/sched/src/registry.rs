@@ -1,0 +1,319 @@
+//! The name-keyed solver registry.
+//!
+//! Every solving algorithm of the workspace is registered under a short
+//! stable key (`"memheft"`, `"milp"`, …) together with a factory, so drivers
+//! select solvers with strings instead of hard-coded structs. This crate
+//! only knows the heuristics and their ablation variants
+//! ([`SolverRegistry::heuristics`]); `mals_exact::solver_registry()` extends
+//! that set with the exact backends and is the registry the experiment
+//! binaries and the service surface use.
+//!
+//! Factories take a `seed` so randomised solvers (the random tie-break
+//! ablation) are reproducible through the registry; deterministic solvers
+//! ignore it.
+
+use crate::ablation::{MemHeftVariant, MemoryPreference, PriorityScheme, TieBreak};
+use crate::memheft::MemHeft;
+use crate::memminmin::MemMinMin;
+use crate::solver::Solver;
+use crate::unbounded::{Heft, MinMin};
+
+/// Metadata describing one registered solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverInfo {
+    /// The registry key (stable, lower-case, flag-friendly).
+    pub key: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// `true` when the solver honours the platform's memory bounds
+    /// (the memory-oblivious baselines schedule on the unbounded platform).
+    pub memory_aware: bool,
+    /// `true` for exact solvers (can return
+    /// [`OptimalityStatus::Optimal`](crate::OptimalityStatus::Optimal) /
+    /// `Infeasible` proofs).
+    pub exact: bool,
+}
+
+/// A registered solver: its metadata and its seeded factory.
+pub struct SolverEntry {
+    /// Metadata.
+    pub info: SolverInfo,
+    factory: fn(u64) -> Box<dyn Solver>,
+}
+
+impl SolverEntry {
+    /// Instantiates the solver (deterministic solvers ignore `seed`).
+    pub fn build(&self, seed: u64) -> Box<dyn Solver> {
+        (self.factory)(seed)
+    }
+}
+
+impl std::fmt::Debug for SolverEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverEntry")
+            .field("info", &self.info)
+            .finish()
+    }
+}
+
+/// A name-keyed collection of solver factories.
+#[derive(Debug, Default)]
+pub struct SolverRegistry {
+    entries: Vec<SolverEntry>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        SolverRegistry::default()
+    }
+
+    /// The registry of every heuristic and ablation variant of this crate:
+    ///
+    /// | key | solver |
+    /// |---|---|
+    /// | `memheft` | MemHEFT (Algorithm 1) |
+    /// | `memminmin` | MemMinMin (Algorithm 2) |
+    /// | `heft` | memory-oblivious HEFT baseline |
+    /// | `minmin` | memory-oblivious MinMin baseline |
+    /// | `memheft-cpsum` | MemHEFT with critical-path-sum priorities |
+    /// | `memheft-memreq` | MemHEFT with memory-requirement priorities |
+    /// | `memheft-red` | MemHEFT preferring red on EFT ties |
+    /// | `memheft-rand` | MemHEFT with seeded random tie-breaking |
+    pub fn heuristics() -> Self {
+        let mut registry = SolverRegistry::empty();
+        registry.register(
+            SolverInfo {
+                key: "memheft",
+                summary: "MemHEFT — memory-aware HEFT (paper Algorithm 1)",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| Box::new(MemHeft::new()),
+        );
+        registry.register(
+            SolverInfo {
+                key: "memminmin",
+                summary: "MemMinMin — memory-aware MinMin (paper Algorithm 2)",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| Box::new(MemMinMin::new()),
+        );
+        registry.register(
+            SolverInfo {
+                key: "heft",
+                summary: "HEFT — memory-oblivious baseline (unbounded MemHEFT)",
+                memory_aware: false,
+                exact: false,
+            },
+            |_| Box::new(Heft::new()),
+        );
+        registry.register(
+            SolverInfo {
+                key: "minmin",
+                summary: "MinMin — memory-oblivious baseline (unbounded MemMinMin)",
+                memory_aware: false,
+                exact: false,
+            },
+            |_| Box::new(MinMin::new()),
+        );
+        registry.register(
+            SolverInfo {
+                key: "memheft-cpsum",
+                summary: "MemHEFT ablation — critical-path-sum priority list",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| {
+                Box::new(MemHeftVariant {
+                    priority: PriorityScheme::CriticalPathSum,
+                    ..Default::default()
+                })
+            },
+        );
+        registry.register(
+            SolverInfo {
+                key: "memheft-memreq",
+                summary: "MemHEFT ablation — memory-requirement priority list",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| {
+                Box::new(MemHeftVariant {
+                    priority: PriorityScheme::MemoryRequirement,
+                    ..Default::default()
+                })
+            },
+        );
+        registry.register(
+            SolverInfo {
+                key: "memheft-red",
+                summary: "MemHEFT ablation — prefer the red memory on EFT ties",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| {
+                Box::new(MemHeftVariant {
+                    memory_preference: MemoryPreference::Red,
+                    ..Default::default()
+                })
+            },
+        );
+        registry.register(
+            SolverInfo {
+                key: "memheft-rand",
+                summary: "MemHEFT ablation — seeded random tie-breaking",
+                memory_aware: true,
+                exact: false,
+            },
+            |seed| {
+                Box::new(MemHeftVariant {
+                    tie_break: TieBreak::Random(seed),
+                    ..Default::default()
+                })
+            },
+        );
+        registry
+    }
+
+    /// Registers a solver.
+    ///
+    /// # Panics
+    /// Panics if `info.key` is already registered — duplicate keys are a
+    /// programming error, not a runtime condition.
+    pub fn register(&mut self, info: SolverInfo, factory: fn(u64) -> Box<dyn Solver>) {
+        assert!(
+            self.entry(info.key).is_none(),
+            "solver key `{}` registered twice",
+            info.key
+        );
+        self.entries.push(SolverEntry { info, factory });
+    }
+
+    /// The entry registered under `key`, if any.
+    pub fn entry(&self, key: &str) -> Option<&SolverEntry> {
+        self.entries.iter().find(|e| e.info.key == key)
+    }
+
+    /// Instantiates the solver registered under `key` with seed 0.
+    pub fn build(&self, key: &str) -> Option<Box<dyn Solver>> {
+        self.build_seeded(key, 0)
+    }
+
+    /// Instantiates the solver registered under `key` with the given seed
+    /// (deterministic solvers ignore it).
+    pub fn build_seeded(&self, key: &str, seed: u64) -> Option<Box<dyn Solver>> {
+        self.entry(key).map(|e| e.build(seed))
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[SolverEntry] {
+        &self.entries
+    }
+
+    /// All registry keys, in registration order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.info.key).collect()
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{OptimalityStatus, SolveCtx};
+    use mals_gen::dex;
+    use mals_platform::Platform;
+    use mals_sim::validate;
+
+    #[test]
+    fn heuristic_registry_contents() {
+        let registry = SolverRegistry::heuristics();
+        assert_eq!(registry.len(), 8);
+        assert!(!registry.is_empty());
+        for key in [
+            "memheft",
+            "memminmin",
+            "heft",
+            "minmin",
+            "memheft-cpsum",
+            "memheft-memreq",
+            "memheft-red",
+            "memheft-rand",
+        ] {
+            assert!(registry.entry(key).is_some(), "missing {key}");
+            assert!(!registry.entry(key).unwrap().info.exact);
+        }
+        assert!(registry.entry("bogus").is_none());
+        assert!(registry.build("bogus").is_none());
+        assert_eq!(registry.keys()[0], "memheft");
+    }
+
+    #[test]
+    fn every_heuristic_solves_dex_validly() {
+        let registry = SolverRegistry::heuristics();
+        let (g, _) = dex();
+        let platform = Platform::single_pair(6.0, 6.0);
+        let ctx = SolveCtx::sequential();
+        for entry in registry.entries() {
+            let solver = entry.build(7);
+            let outcome = solver.solve(&g, &platform, &ctx);
+            assert_eq!(
+                outcome.status,
+                OptimalityStatus::Heuristic,
+                "{}",
+                entry.info.key
+            );
+            let schedule = outcome.schedule.expect("heuristics succeed on D_ex");
+            let check_platform = if entry.info.memory_aware {
+                platform.clone()
+            } else {
+                platform.unbounded()
+            };
+            let report = validate(&g, &check_platform, &schedule);
+            assert!(report.is_valid(), "{}: {:?}", entry.info.key, report.errors);
+        }
+    }
+
+    #[test]
+    fn seeded_factory_is_deterministic() {
+        let registry = SolverRegistry::heuristics();
+        let (g, _) = dex();
+        let platform = Platform::single_pair(8.0, 8.0);
+        let ctx = SolveCtx::sequential();
+        let a = registry
+            .build_seeded("memheft-rand", 3)
+            .unwrap()
+            .solve(&g, &platform, &ctx);
+        let b = registry
+            .build_seeded("memheft-rand", 3)
+            .unwrap()
+            .solve(&g, &platform, &ctx);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_keys_panic() {
+        let mut registry = SolverRegistry::heuristics();
+        registry.register(
+            SolverInfo {
+                key: "memheft",
+                summary: "dup",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| Box::new(MemHeft::new()),
+        );
+    }
+}

@@ -14,17 +14,24 @@
 //! * [`memory::memory_profiles`] — the replay itself, reusable to measure the
 //!   memory footprint of memory-oblivious schedules (needed to normalise the
 //!   experiment figures by HEFT's memory usage);
-//! * [`gantt`] — human-readable Gantt / trace rendering of schedules.
+//! * [`gantt`] — human-readable Gantt / trace rendering of schedules;
+//! * [`report`] — JSON serialisation of schedules and validation verdicts
+//!   for the solver-service surface (`SolveRequest` / `SolveReport`).
 
 #![warn(missing_docs)]
 
 pub mod gantt;
 pub mod memory;
 pub mod replay;
+pub mod report;
 pub mod schedule;
 pub mod validate;
 
 pub use memory::{memory_peaks, memory_profiles, MemoryPeaks};
 pub use replay::{execution_stats, ExecutionStats, MemoryStats, ProcessorStats};
+pub use report::{
+    peaks_from_json, peaks_to_json, schedule_from_json, schedule_to_json, validation_to_json,
+    ReportError,
+};
 pub use schedule::{CommPlacement, Schedule, TaskPlacement};
 pub use validate::{validate, ValidationError, ValidationReport};

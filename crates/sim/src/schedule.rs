@@ -94,6 +94,17 @@ impl Schedule {
         self.tasks.iter().filter(|p| p.is_some()).count()
     }
 
+    /// Number of task slots (the size of the graph the schedule was created
+    /// for, placed or not).
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edge slots.
+    pub fn n_edges(&self) -> usize {
+        self.comms.len()
+    }
+
     /// Returns `true` if every task of `graph` has a placement.
     pub fn is_complete(&self, graph: &TaskGraph) -> bool {
         graph.n_tasks() == self.n_placed() && self.tasks.len() == graph.n_tasks()

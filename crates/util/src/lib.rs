@@ -16,16 +16,20 @@
 //!   the ready list of a single schedule across threads.
 //! * [`float`] — tolerant floating-point comparison helpers and a total-order
 //!   wrapper.
+//! * [`json`] — a dependency-free JSON value type (parser + emitter) backing
+//!   the solver-service request/report surface.
 
 #![warn(missing_docs)]
 
 pub mod float;
+pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod staircase;
 pub mod stats;
 
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
+pub use json::{Json, JsonError};
 pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig, WorkerPool};
 pub use rng::Pcg64;
 pub use staircase::Staircase;

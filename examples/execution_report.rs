@@ -1,5 +1,7 @@
-//! Schedule a workload and print a full execution report: Gantt chart,
-//! per-processor utilisation, memory occupancy and transfer statistics.
+//! Schedule a workload through the solver engine and print a full execution
+//! report: Gantt chart, per-processor utilisation, memory occupancy and
+//! transfer statistics — plus the JSON `SolveReport` of the same run, the
+//! shape the `schedule` binary serves.
 //!
 //! Run with: `cargo run --release --example execution_report [tiles]`
 
@@ -23,15 +25,20 @@ fn main() {
 
     // Budget: 60% of what memory-oblivious HEFT would use.
     let open = Platform::mirage(f64::INFINITY, f64::INFINITY);
-    let heft = Heft::new().schedule(&graph, &open).unwrap();
+    let engine = mals::exact::engine(EngineConfig::default());
+    let heft = engine
+        .solve("heft", &graph, &open)
+        .unwrap()
+        .schedule
+        .unwrap();
     let budget = (memory_peaks(&graph, &open, &heft).max() * 0.6).ceil();
     let platform = Platform::mirage(budget, budget);
     println!("memory budget: {budget} tiles per side (60% of HEFT's footprint)\n");
 
-    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-        println!("=== {} ===", scheduler.name());
-        match scheduler.schedule(&graph, &platform) {
-            Ok(schedule) => {
+    for solver in ["memheft", "memminmin"] {
+        println!("=== {solver} ===");
+        match engine.solve(solver, &graph, &platform).unwrap().schedule {
+            Some(schedule) => {
                 let report = validate(&graph, &platform, &schedule);
                 assert!(report.is_valid(), "{:?}", report.errors);
                 let stats = execution_stats(&graph, &platform, &schedule);
@@ -40,8 +47,21 @@ fn main() {
                     println!("{}", gantt::render_gantt(&graph, &platform, &schedule, 72));
                 }
             }
-            Err(e) => println!("failed: {e}"),
+            None => println!("failed: infeasible within the memory bounds"),
         }
         println!();
     }
+
+    // The same run through the service surface: a JSON report carrying the
+    // schedule, the validation verdict and the provenance stamp.
+    let request = SolveRequest::new(graph, platform, "memheft");
+    let report = solve_with_engine(&engine, &request).unwrap();
+    println!(
+        "service report: solver={} status={} makespan={} valid={:?} wall={:.2}ms",
+        report.solver,
+        report.status,
+        report.makespan.unwrap_or(f64::NAN),
+        report.valid,
+        report.wall_time_ms
+    );
 }

@@ -1,5 +1,5 @@
-//! Quickstart: build a small task graph by hand, schedule it with the
-//! memory-aware heuristics and inspect the result.
+//! Quickstart: build a small task graph by hand, schedule it through the
+//! unified solver engine and inspect the result.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -21,27 +21,39 @@ fn main() {
     // One CPU and one accelerator, each with 5 units of memory.
     let platform = Platform::single_pair(5.0, 5.0);
 
-    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-        let schedule = scheduler
-            .schedule(&graph, &platform)
-            .expect("D_ex fits in 5 memory units per side");
-        let report = validate(&graph, &platform, &schedule);
+    // One engine session over every registered solver (heuristics, ablation
+    // variants and exact backends); solvers are selected by name.
+    let engine = mals::exact::engine(EngineConfig::default());
+    println!(
+        "registered solvers: {}\n",
+        engine.registry().keys().join(", ")
+    );
+
+    for solver in ["memheft", "memminmin"] {
+        let outcome = engine.solve(solver, &graph, &platform).unwrap();
+        let schedule = outcome.schedule.as_ref().expect("D_ex fits in 5 units");
+        let report = validate(&graph, &platform, schedule);
         assert!(report.is_valid());
-        println!("=== {} ===", scheduler.name());
+        println!("=== {solver} [{}] ===", outcome.status);
         println!(
             "makespan = {}, blue peak = {}, red peak = {}",
             report.makespan, report.peaks.blue, report.peaks.red
         );
-        print!("{}", gantt::render_trace(&graph, &platform, &schedule));
-        println!("{}", gantt::render_gantt(&graph, &platform, &schedule, 48));
+        print!("{}", gantt::render_trace(&graph, &platform, schedule));
+        println!("{}", gantt::render_gantt(&graph, &platform, schedule, 48));
     }
 
-    // Tighten the memory: with only 4 units per side the optimal schedule is
-    // slower (the paper's memory/makespan trade-off).
-    let tight = Platform::single_pair(4.0, 4.0);
-    let exact = BranchAndBound::default().solve(&graph, &tight);
+    // Exact solvers ride the same engine. Tighten the memory: with only 4
+    // units per side the optimal schedule is slower (the paper's
+    // memory/makespan trade-off).
+    let with_5 = engine.solve("bb", &graph, &platform).unwrap();
+    let with_4 = engine
+        .solve("bb", &graph, &Platform::single_pair(4.0, 4.0))
+        .unwrap();
+    assert!(with_5.is_optimal() && with_4.is_optimal());
     println!(
-        "optimal makespan with 5 units: 6  |  with 4 units: {}",
-        exact.makespan.expect("still feasible with 4 units")
+        "optimal makespan with 5 units: {}  |  with 4 units: {}",
+        with_5.makespan().unwrap(),
+        with_4.makespan().unwrap()
     );
 }

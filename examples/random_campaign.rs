@@ -25,13 +25,16 @@ fn main() {
     eprintln!("campaign over {n_dags} random DAGs of {n_tasks} tasks (P1 = P2 = 1)");
 
     let platform = Platform::single_pair(0.0, 0.0);
-    let config = CampaignConfig {
+    let mut config = CampaignConfig {
         alphas: (0..=10).map(|i| i as f64 / 10.0).collect(),
-        include_optimal: n_tasks <= 12,
         optimal_node_limit: 50_000,
         parallel: ParallelConfig::default(),
         ..Default::default()
     };
+    if n_tasks <= 12 {
+        // Small instances: add the exact branch-and-bound series by name.
+        config = config.with_solver("bb");
+    }
     let points = run_normalized_campaign(&dags, &platform, &config);
     print!("{}", campaign_to_csv(&points));
 

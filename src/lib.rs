@@ -11,16 +11,20 @@
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`dag`] | task-graph substrate (graph, ranks, critical paths, DOT) |
+//! | [`dag`] | task-graph substrate (graph, ranks, critical paths, DOT, JSON) |
 //! | [`platform`] | dual-memory platform model and availability tracking |
 //! | [`sim`] | schedule representation, validation, memory replay, Gantt |
 //! | [`gen`] | DAGGEN-style random DAGs, tiled LU / Cholesky generators |
-//! | [`sched`] | HEFT, MinMin, **MemHEFT**, **MemMinMin** + ablation variants |
-//! | [`exact`] | the paper's ILP (LP export) and a branch-and-bound optimum |
-//! | [`experiments`] | campaign harness reproducing every table and figure |
-//! | [`util`] | deterministic RNG, statistics, staircase functions, thread pool |
+//! | [`sched`] | HEFT, MinMin, **MemHEFT**, **MemMinMin**, the unified [`sched::Solver`] trait, the solver registry and the [`sched::Engine`] |
+//! | [`exact`] | the paper's ILP (LP export), a branch-and-bound optimum, the in-tree MILP solver and [`exact::solver_registry`] |
+//! | [`experiments`] | campaign harness reproducing every table and figure, plus the JSON service surface (`SolveRequest` → `SolveReport`) |
+//! | [`util`] | deterministic RNG, statistics, staircase functions, thread pool, JSON |
 //!
 //! # Quickstart
+//!
+//! Solvers — heuristics and exact backends alike — are selected **by name**
+//! through an [`Engine`](sched::Engine) session that owns the worker pool
+//! and the solve limits:
 //!
 //! ```
 //! use mals::prelude::*;
@@ -37,11 +41,24 @@
 //! // One CPU and one accelerator, 6 units of memory on each side.
 //! let platform = Platform::single_pair(6.0, 6.0);
 //!
-//! // Schedule with the memory-aware HEFT variant and validate the result.
-//! let schedule = MemHeft::new().schedule(&graph, &platform).unwrap();
-//! let report = validate(&graph, &platform, &schedule);
-//! assert!(report.is_valid());
-//! assert!(report.peaks.blue <= 6.0 && report.peaks.red <= 6.0);
+//! // An engine over every registered solver; reuse it across solves.
+//! let engine = mals::exact::engine(EngineConfig::default());
+//! for solver in ["memheft", "memminmin", "bb"] {
+//!     let outcome = engine.solve(solver, &graph, &platform).unwrap();
+//!     let schedule = outcome.schedule.as_ref().unwrap();
+//!     let report = validate(&graph, &platform, schedule);
+//!     assert!(report.is_valid());
+//!     assert!(report.peaks.blue <= 6.0 && report.peaks.red <= 6.0);
+//! }
+//!
+//! // Or go through the serde-able service surface (the `schedule` binary
+//! // wires this to a file / stdin):
+//! let request = SolveRequest::new(graph, platform, "milp");
+//! let report = solve_request(&request).unwrap();
+//! assert!(report.status == OptimalityStatus::Optimal);
+//! assert_eq!(report.valid, Some(true));
+//! let roundtrip = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
+//! assert_eq!(roundtrip, report);
 //! ```
 
 #![warn(missing_docs)]
@@ -58,10 +75,14 @@ pub use mals_util as util;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mals_dag::{EdgeId, TaskGraph, TaskId};
-    pub use mals_exact::{build_ilp, BranchAndBound};
+    pub use mals_exact::{build_ilp, solver_registry, BranchAndBound};
+    pub use mals_experiments::{solve_request, solve_with_engine, SolveReport, SolveRequest};
     pub use mals_gen::{cholesky_dag, dex, lu_dag, DaggenParams, KernelCosts, WeightRanges};
     pub use mals_platform::{Memory, Platform};
-    pub use mals_sched::{Heft, MemHeft, MemMinMin, MinMin, ScheduleError, Scheduler};
+    pub use mals_sched::{
+        Engine, EngineConfig, Heft, MemHeft, MemMinMin, MinMin, OptimalityStatus, ScheduleError,
+        Scheduler, SolveCtx, SolveLimits, SolveOutcome, Solver, SolverRegistry,
+    };
     pub use mals_sim::{memory_peaks, validate, Schedule};
-    pub use mals_util::Pcg64;
+    pub use mals_util::{Json, Pcg64};
 }

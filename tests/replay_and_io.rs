@@ -49,22 +49,23 @@ fn minimum_memory_is_consistent_with_sweeps() {
     let unbounded = platform.unbounded();
     let heft = Heft::new().schedule(&graph, &unbounded).unwrap();
     let upper = memory_peaks(&graph, &unbounded, &heft).max() * 1.2;
-    for scheduler in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-        let result = minimum_memory(&graph, &platform, scheduler, upper, 0.25);
+    let ctx = SolveCtx::sequential();
+    for scheduler in [&MemHeft::new() as &dyn Solver, &MemMinMin::new()] {
+        let result = minimum_memory(&graph, &platform, scheduler, &ctx, upper, 0.25);
         let min = result
             .min_memory
             .expect("feasible at 1.2x HEFT's footprint");
         // Just above the reported minimum the scheduler succeeds...
         let above = platform.with_memory_bounds(min + 0.3, min + 0.3);
         assert!(
-            scheduler.schedule(&graph, &above).is_ok(),
+            scheduler.solve(&graph, &above, &ctx).schedule.is_some(),
             "{}",
             scheduler.name()
         );
         // ...and comfortably below it, it fails.
         let below = platform.with_memory_bounds(min * 0.5, min * 0.5);
         assert!(
-            scheduler.schedule(&graph, &below).is_err(),
+            scheduler.solve(&graph, &below, &ctx).schedule.is_none(),
             "{}",
             scheduler.name()
         );
@@ -75,15 +76,16 @@ fn minimum_memory_is_consistent_with_sweeps() {
 fn chain_needs_little_memory_fork_join_needs_fanout() {
     let platform = Platform::single_pair(0.0, 0.0);
     let weights = ShapeWeights::default();
+    let ctx = SolveCtx::sequential();
     // A chain never needs more than two files resident at once under MemHEFT.
     let chain_graph = chain(12, &weights);
-    let chain_min = minimum_memory(&chain_graph, &platform, &MemHeft::new(), 24.0, 0.1)
+    let chain_min = minimum_memory(&chain_graph, &platform, &MemHeft::new(), &ctx, 24.0, 0.1)
         .min_memory
         .unwrap();
     assert!(chain_min <= 2.0 + 0.2, "chain minimum {chain_min}");
     // A fork-join of width w needs at least w files on the fork's side.
     let fj = fork_join(6, &weights);
-    let fj_min = minimum_memory(&fj, &platform, &MemHeft::new(), 24.0, 0.1)
+    let fj_min = minimum_memory(&fj, &platform, &MemHeft::new(), &ctx, 24.0, 0.1)
         .min_memory
         .unwrap();
     assert!(fj_min >= 6.0 - 0.2, "fork-join minimum {fj_min}");
