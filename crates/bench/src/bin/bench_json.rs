@@ -30,6 +30,9 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 struct Bench {
     id: String,
     run: Box<dyn Fn()>,
+    /// Overrides the global minimum sample count — the second-scale scaling
+    /// benches take 3 samples instead of 9 so the smoke run stays fast.
+    min_samples: Option<usize>,
 }
 
 struct Measurement {
@@ -52,6 +55,7 @@ fn scheduler_bench(
             let result = scheduler.schedule(&graph, &platform);
             std::hint::black_box(result.is_ok());
         }),
+        min_samples: None,
     }
 }
 
@@ -127,6 +131,7 @@ fn benches(quick: bool) -> Vec<Bench> {
                     MilpBackend.solve(&exact_graph, &exact_platform, &SolveLimits::default());
                 std::hint::black_box(outcome.nodes());
             }),
+            min_samples: None,
         });
     }
 
@@ -149,6 +154,7 @@ fn benches(quick: bool) -> Vec<Bench> {
                     .expect("registered solver");
                 std::hint::black_box(outcomes.len());
             }),
+            min_samples: None,
         });
         set.push(Bench {
             id: "engine/per-solve-16x12-t2".into(),
@@ -158,6 +164,7 @@ fn benches(quick: bool) -> Vec<Bench> {
                     std::hint::black_box(scheduler.schedule(graph, &batch_platform).is_ok());
                 }
             }),
+            min_samples: None,
         });
     }
 
@@ -170,6 +177,50 @@ fn benches(quick: bool) -> Vec<Bench> {
             });
             std::hint::black_box(out.len());
         }),
+        min_samples: None,
+    });
+
+    // The incremental-engine scaling fixture (PR 5): one 10⁴-task daggen
+    // instance through MemHEFT at the α = 1 bound (HEFT's own requirement,
+    // where MemHEFT is guaranteed feasible). Guards the indexed staircase +
+    // ready-set + EST-cache stack: the pre-refactor engine took seconds
+    // here, the incremental one takes ~0.2 s.
+    {
+        let scaling_graph = large_rand_dag(10_000, 0xBEEF + 10_000);
+        let platform = single_pair(0.0);
+        let reference = heft_reference(&scaling_graph, &platform);
+        let bound = reference.heft_peaks.max();
+        let scaling_platform = platform.with_memory_bounds(bound, bound);
+        set.push(Bench {
+            id: "sched/memheft-10k".into(),
+            run: Box::new(move || {
+                let result = MemHeft::new().schedule(&scaling_graph, &scaling_platform);
+                std::hint::black_box(result.is_ok());
+            }),
+            min_samples: Some(3),
+        });
+    }
+
+    // The streaming campaign harness over 1000 seeds of tiny DAGs: generate
+    // from seed, solve at two α points, fold into the constant-memory
+    // aggregates, drop. Guards the generator fast path and the fold loop.
+    set.push(Bench {
+        id: "campaign/stream-1k-seeds".into(),
+        run: Box::new(|| {
+            use mals_experiments::{run_streaming_campaign, CampaignConfig, CampaignIo};
+            let set = mals_gen::SetParams::small_rand().scaled(1000, 8);
+            let config = CampaignConfig {
+                alphas: vec![0.6, 1.0],
+                solvers: vec!["memheft".into()],
+                optimal_node_limit: 1,
+                parallel: ParallelConfig::sequential(),
+            };
+            let run =
+                run_streaming_campaign(&set, &single_pair(0.0), &config, &CampaignIo::default())
+                    .expect("in-memory campaign cannot fail");
+            std::hint::black_box(run.dags_done);
+        }),
+        min_samples: Some(3),
     });
 
     // The within-schedule scaling fixture (the tentpole of the parallel
@@ -196,6 +247,7 @@ fn benches(quick: bool) -> Vec<Bench> {
 /// timer overhead and scheduler preemption, which otherwise dominate the
 /// median of a microsecond-scale measurement.
 fn measure(bench: &Bench, min_samples: usize, budget: std::time::Duration) -> Measurement {
+    let min_samples = bench.min_samples.unwrap_or(min_samples);
     // Warm-up, and a size probe for the batch count.
     let probe = Instant::now();
     (bench.run)();

@@ -1,0 +1,224 @@
+//! Flat, two-phase graph construction for large generated DAGs.
+//!
+//! [`TaskGraph::add_edge`] is the right API for hand-built graphs: it
+//! validates every edge eagerly (duplicate detection by scanning the source's
+//! adjacency list) and grows the per-task adjacency vectors one push at a
+//! time. For generated workloads in the 10⁴–10⁵-task range both habits hurt:
+//! duplicate scans make edge insertion `O(out-degree)`, and 2·|V| adjacency
+//! vectors each reallocate several times.
+//!
+//! [`GraphBuilder`] accumulates tasks and edge records in flat vectors (CSR
+//! style: just `(src, dst, size, comm)` rows) and assembles the final
+//! [`TaskGraph`] in one pass: count the degrees, allocate every adjacency
+//! list at its exact final capacity, fill. Validation (bounds, weights,
+//! self-loops, duplicates) happens once, in `O(|V| + |E|)`, at
+//! [`GraphBuilder::build`] time.
+//!
+//! A graph built this way is [`PartialEq`]-identical to one built
+//! incrementally with the same task and edge order: edge ids are insertion
+//! ids, and adjacency lists hold them in insertion order either way.
+
+use crate::error::GraphError;
+use crate::graph::{EdgeData, TaskData, TaskGraph};
+use crate::ids::{EdgeId, TaskId};
+use std::collections::HashSet;
+
+/// Accumulates tasks and edges in flat storage; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    tasks: Vec<TaskData>,
+    edges: Vec<EdgeData>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates an empty builder with pre-allocated capacity.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        GraphBuilder {
+            tasks: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a task and returns its id (same contract as
+    /// [`TaskGraph::add_task`]).
+    pub fn add_task(&mut self, name: impl Into<String>, work_blue: f64, work_red: f64) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        self.tasks.push(TaskData {
+            name: name.into(),
+            work_blue,
+            work_red,
+        });
+        id
+    }
+
+    /// Records a dependency edge `src → dst`. Validation is deferred to
+    /// [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, size: f64, comm_cost: f64) {
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            size,
+            comm_cost,
+        });
+    }
+
+    /// Assembles the graph: validates every record with the rules of
+    /// [`TaskGraph::add_edge`] (known endpoints, no self-loops, no duplicate
+    /// edges, finite non-negative weights), then builds the adjacency lists
+    /// at their exact final sizes. `O(|V| + |E|)`.
+    ///
+    /// Acyclicity is *not* checked here (matching the incremental API);
+    /// call [`TaskGraph::validate`] for that.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let n = self.tasks.len();
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(self.edges.len());
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        for edge in &self.edges {
+            if edge.src.index() >= n {
+                return Err(GraphError::UnknownTask(edge.src));
+            }
+            if edge.dst.index() >= n {
+                return Err(GraphError::UnknownTask(edge.dst));
+            }
+            if edge.src == edge.dst {
+                return Err(GraphError::SelfLoop(edge.src));
+            }
+            if !(edge.size.is_finite()
+                && edge.size >= 0.0
+                && edge.comm_cost.is_finite()
+                && edge.comm_cost >= 0.0)
+            {
+                return Err(GraphError::InvalidEdgeWeight(edge.src, edge.dst));
+            }
+            if !seen.insert((edge.src.index() as u32, edge.dst.index() as u32)) {
+                return Err(GraphError::DuplicateEdge(edge.src, edge.dst));
+            }
+            out_degree[edge.src.index()] += 1;
+            in_degree[edge.dst.index()] += 1;
+        }
+        let mut out_edges: Vec<Vec<EdgeId>> = out_degree
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        let mut in_edges: Vec<Vec<EdgeId>> = in_degree
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        for (i, edge) in self.edges.iter().enumerate() {
+            let id = EdgeId::from_index(i);
+            out_edges[edge.src.index()].push(id);
+            in_edges[edge.dst.index()].push(id);
+        }
+        Ok(TaskGraph::from_parts(
+            self.tasks, self.edges, out_edges, in_edges,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incremental_reference() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, 2.0);
+        let b = g.add_task("b", 3.0, 4.0);
+        let c = g.add_task("c", 5.0, 6.0);
+        g.add_edge(a, b, 1.0, 0.5).unwrap();
+        g.add_edge(a, c, 2.0, 0.25).unwrap();
+        g.add_edge(b, c, 3.0, 0.75).unwrap();
+        g
+    }
+
+    #[test]
+    fn built_graph_equals_incremental_construction() {
+        let mut builder = GraphBuilder::with_capacity(3, 3);
+        let a = builder.add_task("a", 1.0, 2.0);
+        let b = builder.add_task("b", 3.0, 4.0);
+        let c = builder.add_task("c", 5.0, 6.0);
+        builder.add_edge(a, b, 1.0, 0.5);
+        builder.add_edge(a, c, 2.0, 0.25);
+        builder.add_edge(b, c, 3.0, 0.75);
+        let built = builder.build().unwrap();
+        assert_eq!(built, incremental_reference());
+    }
+
+    #[test]
+    fn rejects_what_add_edge_rejects() {
+        let bad_endpoint = {
+            let mut b = GraphBuilder::new();
+            let a = b.add_task("a", 1.0, 1.0);
+            b.add_edge(a, TaskId::from_index(9), 1.0, 1.0);
+            b.build()
+        };
+        assert!(matches!(bad_endpoint, Err(GraphError::UnknownTask(_))));
+
+        let self_loop = {
+            let mut b = GraphBuilder::new();
+            let a = b.add_task("a", 1.0, 1.0);
+            b.add_edge(a, a, 1.0, 1.0);
+            b.build()
+        };
+        assert!(matches!(self_loop, Err(GraphError::SelfLoop(_))));
+
+        let duplicate = {
+            let mut b = GraphBuilder::new();
+            let a = b.add_task("a", 1.0, 1.0);
+            let c = b.add_task("c", 1.0, 1.0);
+            b.add_edge(a, c, 1.0, 1.0);
+            b.add_edge(a, c, 2.0, 2.0);
+            b.build()
+        };
+        assert!(matches!(duplicate, Err(GraphError::DuplicateEdge(_, _))));
+
+        let negative = {
+            let mut b = GraphBuilder::new();
+            let a = b.add_task("a", 1.0, 1.0);
+            let c = b.add_task("c", 1.0, 1.0);
+            b.add_edge(a, c, -1.0, 1.0);
+            b.build()
+        };
+        assert!(matches!(negative, Err(GraphError::InvalidEdgeWeight(_, _))));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_capacity_is_exact() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_task("hub", 1.0, 1.0);
+        let leaves: Vec<_> = (0..64)
+            .map(|i| b.add_task(format!("l{i}"), 1.0, 1.0))
+            .collect();
+        for &leaf in &leaves {
+            b.add_edge(hub, leaf, 1.0, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.out_degree(hub), 64);
+        for &leaf in &leaves {
+            assert_eq!(g.in_degree(leaf), 1);
+            assert_eq!(g.parents(leaf).next(), Some(hub));
+        }
+    }
+}

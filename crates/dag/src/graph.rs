@@ -89,6 +89,24 @@ impl TaskGraph {
         }
     }
 
+    /// Assembles a graph from already-validated parts (the
+    /// [`crate::builder::GraphBuilder`] fast path).
+    pub(crate) fn from_parts(
+        tasks: Vec<TaskData>,
+        edges: Vec<EdgeData>,
+        out_edges: Vec<Vec<EdgeId>>,
+        in_edges: Vec<Vec<EdgeId>>,
+    ) -> Self {
+        debug_assert_eq!(tasks.len(), out_edges.len());
+        debug_assert_eq!(tasks.len(), in_edges.len());
+        TaskGraph {
+            tasks,
+            edges,
+            out_edges,
+            in_edges,
+        }
+    }
+
     /// Number of tasks `|V|`.
     #[inline]
     pub fn n_tasks(&self) -> usize {

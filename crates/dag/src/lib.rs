@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod builder;
 pub mod dot;
 pub mod error;
 pub mod graph;
@@ -48,6 +49,7 @@ pub mod rank;
 pub mod serialize;
 pub mod stats;
 
+pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeData, TaskData, TaskGraph};
 pub use ids::{EdgeId, TaskId};

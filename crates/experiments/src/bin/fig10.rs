@@ -5,7 +5,7 @@
 use mals_exact::ExactBackendKind;
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
-use mals_experiments::figures::{fig10, Fig10Config};
+use mals_experiments::figures::{fig10_with_io, Fig10Config};
 use mals_gen::SetParams;
 use mals_platform::Platform;
 
@@ -55,6 +55,15 @@ fn main() {
             " (scaled down; use --full for the paper scale)"
         }
     );
-    let points = fig10(&config);
-    print!("{}", campaign_to_csv(&points));
+    let run = fig10_with_io(&config, &options.campaign_io()).unwrap_or_else(|message| {
+        eprintln!("fig10: {message}");
+        std::process::exit(2);
+    });
+    match run.points {
+        Some(points) => print!("{}", campaign_to_csv(&points)),
+        None => eprintln!(
+            "# stopped after {}/{} dags; resume with --checkpoint <same path> --resume",
+            run.dags_done, run.total_dags
+        ),
+    }
 }

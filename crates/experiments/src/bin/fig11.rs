@@ -12,6 +12,7 @@ use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
+    cli::reject_campaign_flags(&options, "fig11");
     let mut config = if options.full {
         SingleRandConfig::fig11_paper()
     } else {

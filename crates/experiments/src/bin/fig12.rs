@@ -1,9 +1,14 @@
 //! Reproduces Figure 12: LargeRandSet — normalised makespan and success rate
 //! of MemHEFT and MemMinMin versus the normalised memory bound.
+//!
+//! This is the scaling campaign of the workspace: it streams DAG by DAG from
+//! the set's seeds (constant memory in the number of DAGs) and supports
+//! `--checkpoint PATH` / `--resume` / `--stop-after N` for long sweeps — a
+//! killed run resumed from its checkpoint prints byte-identical CSV.
 
 use mals_experiments::cli;
 use mals_experiments::csv::campaign_to_csv;
-use mals_experiments::figures::{fig12, Fig12Config};
+use mals_experiments::figures::{fig12_with_io, Fig12Config};
 use mals_gen::SetParams;
 use mals_platform::Platform;
 
@@ -51,6 +56,15 @@ fn main() {
             " (scaled down; use --full for the paper scale)"
         }
     );
-    let points = fig12(&config);
-    print!("{}", campaign_to_csv(&points));
+    let run = fig12_with_io(&config, &options.campaign_io()).unwrap_or_else(|message| {
+        eprintln!("fig12: {message}");
+        std::process::exit(2);
+    });
+    match run.points {
+        Some(points) => print!("{}", campaign_to_csv(&points)),
+        None => eprintln!(
+            "# stopped after {}/{} dags; resume with --checkpoint <same path> --resume",
+            run.dags_done, run.total_dags
+        ),
+    }
 }

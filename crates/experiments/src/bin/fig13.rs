@@ -11,6 +11,7 @@ use mals_platform::Platform;
 
 fn main() {
     let options = cli::parse_or_exit();
+    cli::reject_campaign_flags(&options, "fig13");
     let mut config = if options.full {
         SingleRandConfig::fig13_paper()
     } else {

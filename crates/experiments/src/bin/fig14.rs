@@ -7,6 +7,7 @@ use mals_experiments::figures::{fig14, LinalgConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
+    cli::reject_campaign_flags(&options, "fig14");
     cli::reject_exact_backend(&options, "fig14");
     let mut config = if options.full {
         LinalgConfig::paper()

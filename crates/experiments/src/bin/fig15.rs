@@ -8,6 +8,7 @@ use mals_experiments::figures::{fig15, LinalgConfig};
 
 fn main() {
     let options = cli::parse_or_exit();
+    cli::reject_campaign_flags(&options, "fig15");
     cli::reject_exact_backend(&options, "fig15");
     let mut config = if options.full {
         LinalgConfig::paper()

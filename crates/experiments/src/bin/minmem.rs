@@ -19,6 +19,7 @@ use mals_sched::{SolveCtx, SolveLimits, Solver};
 
 fn main() {
     let options = cli::parse_or_exit();
+    cli::reject_campaign_flags(&options, "minmem");
     let tiles = options.tiles.unwrap_or(if options.full { 13 } else { 6 });
     let rand_tasks = options.tasks.unwrap_or(if options.full { 30 } else { 20 });
 

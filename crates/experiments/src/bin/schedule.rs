@@ -5,9 +5,17 @@
 //! ```text
 //! schedule REQUEST.json [--solver NAME] [--threads N] [--seed N] [--compact]
 //! schedule -                      # read the request from stdin
+//! schedule --gen-tasks N [--gen-seed S] [--solver NAME] ...
+//!                                 # solve a generated daggen instance
 //! schedule --print-request        # emit a ready-to-edit example request
 //! schedule --list-solvers         # list the registry keys
 //! ```
+//!
+//! `--gen-tasks` builds a LargeRandSet-shaped random DAG of `N` tasks
+//! in-process (no request file needed) with both memory bounds pinned at the
+//! memory-oblivious HEFT schedule's own requirement — the `α = 1` campaign
+//! point, where MemHEFT is guaranteed feasible. This is the CI large-DAG
+//! smoke path: one 10⁴-task instance through any registered solver.
 //!
 //! The flags override the corresponding request fields, so one request file
 //! can be replayed against every registered solver:
@@ -30,12 +38,35 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(2);
 }
 
+/// Builds the `--gen-tasks` request: a seeded LargeRandSet-shaped DAG with
+/// the platform bounded at HEFT's own memory requirement.
+fn generated_request(tasks: usize, seed: u64) -> SolveRequest {
+    use mals_gen::{daggen, DaggenParams, WeightRanges};
+    let mut rng = mals_util::Pcg64::new(seed);
+    let graph = daggen::generate(
+        &DaggenParams::large_rand().with_size(tasks),
+        &WeightRanges::large_rand(),
+        &mut rng,
+    );
+    let platform = mals_platform::Platform::single_pair(0.0, 0.0);
+    let reference = mals_experiments::heft_reference(&graph, &platform);
+    let bound = reference.heft_peaks.max();
+    let platform = platform.with_memory_bounds(bound, bound);
+    let mut request = SolveRequest::new(graph, platform, "memheft");
+    // Echo the generation seed through the request so the report's
+    // provenance names the instance it solved.
+    request.seed = Some(seed);
+    request
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut solver: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut gen_tasks: Option<usize> = None;
+    let mut gen_seed: Option<u64> = None;
     let mut compact = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -71,12 +102,28 @@ fn main() {
                         .unwrap_or_else(|| fail("--seed expects an integer")),
                 )
             }
+            "--gen-tasks" => {
+                gen_tasks = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| fail("--gen-tasks expects a positive integer")),
+                )
+            }
+            "--gen-seed" => {
+                gen_seed = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--gen-seed expects an integer")),
+                )
+            }
             "--compact" => compact = true,
             "--help" | "-h" => {
                 // Requested help is a success, unlike the exit-2 error path.
                 println!(
                     "usage: schedule REQUEST.json|- [--solver NAME] [--threads N] [--seed N] \
-                     [--compact]\n       schedule --print-request | --list-solvers"
+                     [--compact]\n       schedule --gen-tasks N [--gen-seed S] [--solver NAME] \
+                     ...\n       schedule --print-request | --list-solvers"
                 );
                 return;
             }
@@ -85,20 +132,30 @@ fn main() {
         }
     }
 
-    let Some(path) = path else {
-        fail("expected a request file (or `-` for stdin); try --print-request for a template");
-    };
-    let text = if path == "-" {
-        let mut buffer = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buffer)
-            .unwrap_or_else(|e| fail(format!("cannot read stdin: {e}")));
-        buffer
+    let mut request = if let Some(tasks) = gen_tasks {
+        if path.is_some() {
+            fail("--gen-tasks replaces the request file; pass one or the other");
+        }
+        generated_request(tasks, gen_seed.unwrap_or(1))
     } else {
-        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+        if gen_seed.is_some() {
+            fail("--gen-seed only applies together with --gen-tasks");
+        }
+        let Some(path) = path else {
+            fail("expected a request file (or `-` for stdin); try --print-request for a template");
+        };
+        let text = if path == "-" {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .unwrap_or_else(|e| fail(format!("cannot read stdin: {e}")));
+            buffer
+        } else {
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+        };
+        SolveRequest::parse(&text).unwrap_or_else(|e| fail(e))
     };
-
-    let mut request = SolveRequest::parse(&text).unwrap_or_else(|e| fail(e));
     if let Some(solver) = solver {
         request.solver = solver;
     }

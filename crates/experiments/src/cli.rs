@@ -2,11 +2,13 @@
 //!
 //! The binaries accept a handful of flags (`--full`, `--dags N`, `--tasks N`,
 //! `--tiles N`, `--dump-dot`, `--threads N`, `--exact-backend
-//! {bb,milp,lp-export}`); anything heavier than this hand-rolled parser
-//! would be an unnecessary dependency. The thread count can also be set via
-//! the `MALS_THREADS` environment variable (`--threads` wins when both are
-//! given, `0` means all cores).
+//! {bb,milp,lp-export}`, plus `--checkpoint PATH` / `--resume` /
+//! `--stop-after N` on the campaign binaries); anything heavier than this
+//! hand-rolled parser would be an unnecessary dependency. The thread count
+//! can also be set via the `MALS_THREADS` environment variable (`--threads`
+//! wins when both are given, `0` means all cores).
 
+use crate::campaign::CampaignIo;
 use mals_exact::{ExactBackendKind, MilpBackend};
 use mals_util::ParallelConfig;
 
@@ -27,6 +29,13 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Exact backend for the optimal series (`None`: the binary's default).
     pub exact_backend: Option<ExactBackendKind>,
+    /// Campaign checkpoint file (`--checkpoint`; campaign binaries only).
+    pub checkpoint: Option<String>,
+    /// Resume from the checkpoint instead of starting fresh (`--resume`).
+    pub resume: bool,
+    /// Stop after folding N DAGs this run (`--stop-after`; the deterministic
+    /// stand-in for a mid-campaign kill used by the CI resume check).
+    pub stop_after: Option<usize>,
 }
 
 impl Options {
@@ -62,6 +71,17 @@ impl Options {
         warn_milp_ceiling(Some(kind), n_tasks, instance);
         Some(kind.solver_key().to_string())
     }
+
+    /// The campaign checkpoint/resume options of this invocation, with
+    /// progress reporting enabled (the binaries run interactively).
+    pub fn campaign_io(&self) -> CampaignIo {
+        CampaignIo {
+            checkpoint: self.checkpoint.clone().map(Into::into),
+            resume: self.resume,
+            stop_after: self.stop_after,
+            progress: true,
+        }
+    }
 }
 
 /// Parses the options from an iterator of arguments (excluding the program
@@ -77,6 +97,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--tasks" => options.tasks = Some(parse_value(&arg, iter.next())?),
             "--tiles" => options.tiles = Some(parse_value(&arg, iter.next())?),
             "--threads" => options.threads = Some(parse_value(&arg, iter.next())?),
+            "--checkpoint" => {
+                options.checkpoint = Some(
+                    iter.next()
+                        .ok_or_else(|| "--checkpoint expects a file path".to_string())?,
+                )
+            }
+            "--resume" => options.resume = true,
+            "--stop-after" => options.stop_after = Some(parse_value(&arg, iter.next())?),
             "--exact-backend" => {
                 let value = iter
                     .next()
@@ -91,7 +119,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--help" | "-h" => {
                 return Err(format!(
                 "usage: [--full] [--dags N] [--tasks N] [--tiles N] [--threads N] [--dump-dot] \
-                     [--exact-backend {}]\n\
+                     [--exact-backend {}]\n       \
+                     campaign binaries also accept [--checkpoint PATH] [--resume] \
+                     [--stop-after N]\n\
                      (MALS_THREADS=N is honoured when --threads is absent; 0 = all cores)",
                 ExactBackendKind::FLAG_VALUES
             ))
@@ -129,6 +159,19 @@ pub fn reject_exact_backend(options: &Options, binary: &str) {
         eprintln!(
             "{binary}: --exact-backend is not supported here (no exact series at this \
              figure's instance sizes); it applies to fig10..fig13 and minmem"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Exits with status 2 when checkpoint/resume flags were passed to a binary
+/// that is not a campaign (same never-silently-ignore rule as
+/// [`reject_exact_backend`]).
+pub fn reject_campaign_flags(options: &Options, binary: &str) {
+    if options.checkpoint.is_some() || options.resume || options.stop_after.is_some() {
+        eprintln!(
+            "{binary}: --checkpoint/--resume/--stop-after apply to the campaign binaries \
+             (fig10, fig12) only"
         );
         std::process::exit(2);
     }
@@ -290,6 +333,23 @@ mod tests {
         ] {
             assert_eq!(solver_display_name(kind.solver_key()), kind.method_name());
         }
+    }
+
+    #[test]
+    fn campaign_flags_parse_into_io() {
+        let o = parse_strs(&["--checkpoint", "ck.json", "--resume", "--stop-after", "5"]).unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("ck.json"));
+        assert!(o.resume);
+        assert_eq!(o.stop_after, Some(5));
+        let io = o.campaign_io();
+        assert_eq!(
+            io.checkpoint.as_deref(),
+            Some(std::path::Path::new("ck.json"))
+        );
+        assert!(io.resume && io.progress);
+        assert_eq!(io.stop_after, Some(5));
+        assert!(parse_strs(&["--checkpoint"]).is_err());
+        assert!(parse_strs(&["--stop-after", "x"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! runs heuristics and exact backends through the same engine-layer code
 //! path and the series labels come from the solvers' display names.
 
-use crate::campaign::{run_normalized_campaign, CampaignConfig, CampaignPoint};
+use crate::campaign::{
+    run_streaming_campaign, CampaignConfig, CampaignIo, CampaignPoint, CampaignRun,
+};
 use crate::sweep::{heft_reference, sweep_absolute, SweepPoint};
 use mals_dag::TaskGraph;
 use mals_exact::bounds::makespan_lower_bound;
@@ -68,9 +70,17 @@ impl Fig10Config {
 /// MemMinMin and the optimal schedule, as a function of the normalised memory
 /// bound, on a 1 blue + 1 red platform.
 pub fn fig10(config: &Fig10Config) -> Vec<CampaignPoint> {
-    let dags = SetParams::small_rand()
-        .scaled(config.n_dags, config.n_tasks)
-        .generate();
+    fig10_with_io(config, &CampaignIo::default())
+        .expect("in-memory campaign cannot fail")
+        .points
+        .expect("no early stop requested")
+}
+
+/// [`fig10`] with checkpoint/resume support (the `--checkpoint` / `--resume`
+/// wiring of the `fig10` binary); the campaign streams DAG by DAG from the
+/// set's seeds instead of materialising the whole set.
+pub fn fig10_with_io(config: &Fig10Config, io: &CampaignIo) -> Result<CampaignRun, String> {
+    let set = SetParams::small_rand().scaled(config.n_dags, config.n_tasks);
     let platform = Platform::single_pair(0.0, 0.0);
     let campaign = CampaignConfig {
         alphas: config.alphas.clone(),
@@ -82,7 +92,7 @@ pub fn fig10(config: &Fig10Config) -> Vec<CampaignPoint> {
         optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
-    run_normalized_campaign(&dags, &platform, &campaign)
+    run_streaming_campaign(&set, &platform, &campaign, io)
 }
 
 /// Configuration of the Figure 12 campaign (LargeRandSet).
@@ -135,9 +145,20 @@ impl Fig12Config {
 /// solver can be opted in for scaled-down runs), on a 1 blue + 1 red
 /// platform.
 pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
-    let dags = SetParams::large_rand()
-        .scaled(config.n_dags, config.n_tasks)
-        .generate();
+    fig12_with_io(config, &CampaignIo::default())
+        .expect("in-memory campaign cannot fail")
+        .points
+        .expect("no early stop requested")
+}
+
+/// [`fig12`] with checkpoint/resume support — the scaling campaign of the
+/// workspace: DAGs are generated from their seeds one chunk at a time,
+/// folded into streaming aggregates and dropped, so the LargeRandSet
+/// configuration extends to 10⁴–10⁵-task instances and thousands of seeds
+/// without memory growth, and a killed run resumes from its checkpoint to
+/// byte-identical output.
+pub fn fig12_with_io(config: &Fig12Config, io: &CampaignIo) -> Result<CampaignRun, String> {
+    let set = SetParams::large_rand().scaled(config.n_dags, config.n_tasks);
     let platform = Platform::single_pair(0.0, 0.0);
     let mut solvers = vec!["memheft".to_string(), "memminmin".to_string()];
     solvers.extend(config.exact_solver.iter().cloned());
@@ -147,7 +168,7 @@ pub fn fig12(config: &Fig12Config) -> Vec<CampaignPoint> {
         optimal_node_limit: config.optimal_node_limit,
         parallel: config.parallel,
     };
-    run_normalized_campaign(&dags, &platform, &campaign)
+    run_streaming_campaign(&set, &platform, &campaign, io)
 }
 
 /// Result of a single-DAG absolute sweep (Figures 11, 13, 14, 15).

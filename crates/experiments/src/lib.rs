@@ -32,9 +32,15 @@ pub mod service;
 pub mod sweep;
 pub mod table1;
 
-pub use campaign::{CampaignConfig, CampaignPoint, MethodAggregate};
+pub use campaign::{
+    run_normalized_campaign, run_streaming_campaign, CampaignAccumulator, CampaignConfig,
+    CampaignIo, CampaignPoint, CampaignRun, MethodAggregate,
+};
 pub use min_memory::{minimum_memory, minimum_memory_table, MinMemory};
 pub use service::{
     example_request, solve_request, solve_with_engine, ServiceError, SolveReport, SolveRequest,
 };
-pub use sweep::{heft_reference, memory_oblivious_result, sweep_absolute, Reference, SweepPoint};
+pub use sweep::{
+    heft_reference, memory_oblivious_result, sweep_absolute, sweep_absolute_streaming, Reference,
+    SweepPoint,
+};

@@ -115,10 +115,46 @@ fn memory_aware_result(
     checked_makespan(solver, graph, platform, ctx)
 }
 
+/// Streaming core of the absolute memory sweeps: computes one point per
+/// bound and hands it to `on_point` as soon as it exists, so drivers can
+/// emit rows (or fold aggregates) without holding the whole sweep — at each
+/// bound, the memory-aware solvers run under the bound, and the
+/// memory-oblivious baselines are reported only where their own footprint
+/// fits.
+pub fn sweep_absolute_streaming(
+    graph: &TaskGraph,
+    platform: &Platform,
+    memory_bounds: &[f64],
+    memory_aware: &[&dyn Solver],
+    memory_oblivious: &[&dyn Solver],
+    ctx: &SolveCtx,
+    mut on_point: impl FnMut(SweepPoint),
+) {
+    for &bound in memory_bounds {
+        let bounded = platform.with_memory_bounds(bound, bound);
+        let mut outcomes = Vec::new();
+        for s in memory_oblivious {
+            outcomes.push(SchedulerOutcome {
+                name: s.name().to_string(),
+                makespan: memory_oblivious_result(graph, &bounded, s, ctx),
+            });
+        }
+        for s in memory_aware {
+            outcomes.push(SchedulerOutcome {
+                name: s.name().to_string(),
+                makespan: memory_aware_result(graph, &bounded, s, ctx),
+            });
+        }
+        on_point(SweepPoint {
+            memory_bound: bound,
+            outcomes,
+        });
+    }
+}
+
 /// Sweeps absolute memory bounds for one DAG (the skeleton of Figures 11, 13,
-/// 14 and 15): at each bound, the memory-aware solvers run under the
-/// bound, and the memory-oblivious baselines are reported only where their
-/// own footprint fits.
+/// 14 and 15), collecting every point — the convenience wrapper over
+/// [`sweep_absolute_streaming`] for sweeps small enough to hold.
 pub fn sweep_absolute(
     graph: &TaskGraph,
     platform: &Platform,
@@ -127,29 +163,17 @@ pub fn sweep_absolute(
     memory_oblivious: &[&dyn Solver],
     ctx: &SolveCtx,
 ) -> Vec<SweepPoint> {
-    memory_bounds
-        .iter()
-        .map(|&bound| {
-            let bounded = platform.with_memory_bounds(bound, bound);
-            let mut outcomes = Vec::new();
-            for s in memory_oblivious {
-                outcomes.push(SchedulerOutcome {
-                    name: s.name().to_string(),
-                    makespan: memory_oblivious_result(graph, &bounded, s, ctx),
-                });
-            }
-            for s in memory_aware {
-                outcomes.push(SchedulerOutcome {
-                    name: s.name().to_string(),
-                    makespan: memory_aware_result(graph, &bounded, s, ctx),
-                });
-            }
-            SweepPoint {
-                memory_bound: bound,
-                outcomes,
-            }
-        })
-        .collect()
+    let mut points = Vec::with_capacity(memory_bounds.len());
+    sweep_absolute_streaming(
+        graph,
+        platform,
+        memory_bounds,
+        memory_aware,
+        memory_oblivious,
+        ctx,
+        |point| points.push(point),
+    );
+    points
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 //! The generator is fully deterministic given the [`mals_util::Pcg64`] seed,
 //! which is what makes the figure-reproduction campaigns reproducible.
 
-use mals_dag::{TaskGraph, TaskId};
+use mals_dag::{GraphBuilder, TaskGraph, TaskId};
 use mals_util::Pcg64;
 
 /// Shape parameters of the random DAG generator (DAGGEN's `size`, `width`,
@@ -66,10 +66,16 @@ impl DaggenParams {
     }
 
     /// Same shape with a different number of tasks (used by the scaled-down
-    /// benchmark configurations).
+    /// benchmark configurations and the 10⁴–10⁵-task scaling campaigns).
     pub fn with_size(mut self, size: usize) -> Self {
         self.size = size;
         self
+    }
+
+    /// A 10⁵-task instance with the LargeRandSet shape — the scaling target
+    /// of the large-campaign harness.
+    pub fn huge_rand() -> Self {
+        DaggenParams::large_rand().with_size(100_000)
     }
 }
 
@@ -106,12 +112,19 @@ impl WeightRanges {
 
 /// Generates one random DAG with the given shape and weight parameters.
 ///
+/// Construction goes through [`GraphBuilder`] (flat edge records, adjacency
+/// lists allocated once at their exact sizes) so 10⁴–10⁵-task instances
+/// build in linear time without per-node reallocation churn. The RNG draw
+/// sequence is exactly that of the original incremental construction, so the
+/// output for any `(params, weights, seed)` triple is unchanged (pinned by
+/// the golden-fingerprint test below).
+///
 /// # Panics
 /// Panics if `size == 0`.
 pub fn generate(params: &DaggenParams, weights: &WeightRanges, rng: &mut Pcg64) -> TaskGraph {
     assert!(params.size > 0, "cannot generate an empty DAG");
     let levels = build_levels(params, rng);
-    let mut graph = TaskGraph::with_capacity(params.size, params.size * 2);
+    let mut builder = GraphBuilder::with_capacity(params.size, params.size * 2);
 
     // Create the tasks level by level, remembering the level of each task.
     let mut level_tasks: Vec<Vec<TaskId>> = Vec::with_capacity(levels.len());
@@ -121,17 +134,22 @@ pub fn generate(params: &DaggenParams, weights: &WeightRanges, rng: &mut Pcg64) 
         for _ in 0..count {
             let w1 = rng.uniform_u64(weights.work.0, weights.work.1) as f64;
             let w2 = rng.uniform_u64(weights.work.0, weights.work.1) as f64;
-            tasks.push(graph.add_task(format!("t{counter}"), w1, w2));
+            tasks.push(builder.add_task(format!("t{counter}"), w1, w2));
             counter += 1;
         }
         level_tasks.push(tasks);
     }
 
-    // Connect every task of level >= 1 to parents in preceding levels.
+    // Connect every task of level >= 1 to parents in preceding levels. A
+    // task's in-edges are only ever created in its own inner loop, so the
+    // duplicate-parent check is a scan of this small local list instead of
+    // the source's (possibly huge) adjacency list.
+    let mut parents_of_task: Vec<TaskId> = Vec::new();
     for lvl in 1..level_tasks.len() {
         let prev_width = level_tasks[lvl - 1].len();
         let max_parents = ((params.density * prev_width as f64).round() as usize).max(1);
         for &task in &level_tasks[lvl] {
+            parents_of_task.clear();
             let n_parents = rng.uniform_usize(1, max_parents);
             for k in 0..n_parents {
                 // The first parent always comes from the previous level so the
@@ -145,17 +163,17 @@ pub fn generate(params: &DaggenParams, weights: &WeightRanges, rng: &mut Pcg64) 
                 };
                 let candidates = &level_tasks[src_level];
                 let src = *rng.choose(candidates).expect("levels are never empty");
-                if graph.edge_between(src, task).is_some() {
+                if parents_of_task.contains(&src) {
                     continue;
                 }
+                parents_of_task.push(src);
                 let size = rng.uniform_u64(weights.file_size.0, weights.file_size.1) as f64;
                 let comm = rng.uniform_u64(weights.comm_cost.0, weights.comm_cost.1) as f64;
-                graph
-                    .add_edge(src, task, size, comm)
-                    .expect("generator edges are valid");
+                builder.add_edge(src, task, size, comm);
             }
         }
     }
+    let graph = builder.build().expect("generator edges are valid");
     debug_assert!(graph.validate().is_ok());
     graph
 }
@@ -340,6 +358,87 @@ mod tests {
         );
         assert_eq!(g.n_tasks(), 1);
         assert_eq!(g.n_edges(), 0);
+    }
+
+    /// FNV-style structural fingerprint: tasks, edges, endpoints, weights.
+    fn fingerprint(g: &TaskGraph) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(g.n_tasks() as u64);
+        mix(g.n_edges() as u64);
+        for t in g.task_ids() {
+            let d = g.task(t);
+            mix(d.work_blue.to_bits());
+            mix(d.work_red.to_bits());
+        }
+        for e in g.edge_ids() {
+            let d = g.edge(e);
+            mix(d.src.index() as u64);
+            mix(d.dst.index() as u64);
+            mix(d.size.to_bits());
+            mix(d.comm_cost.to_bits());
+        }
+        h
+    }
+
+    /// The flat-construction rewrite must not change any seeded output:
+    /// these fingerprints were recorded against the original incremental
+    /// generator (pre-refactor) and pin the full structure — endpoints,
+    /// weights, edge order — of three representative instances.
+    #[test]
+    fn seeded_output_matches_pre_refactor_golden_fingerprints() {
+        let cases: [(u64, DaggenParams, WeightRanges, u64); 3] = [
+            (
+                42,
+                DaggenParams::small_rand(),
+                WeightRanges::small_rand(),
+                0x11309b8efffee180,
+            ),
+            (
+                7,
+                DaggenParams::large_rand().with_size(200),
+                WeightRanges::large_rand(),
+                0xfffefbf945f6dafc,
+            ),
+            (
+                0x5EED_0002,
+                DaggenParams::large_rand(),
+                WeightRanges::large_rand(),
+                0x7dbcc556331aef95,
+            ),
+        ];
+        for (seed, params, weights, expected) in cases {
+            let g = gen(seed, params, weights);
+            assert_eq!(
+                fingerprint(&g),
+                expected,
+                "seed {seed} ({} tasks) diverged from the pre-refactor generator",
+                params.size
+            );
+        }
+    }
+
+    #[test]
+    fn scales_to_huge_instances() {
+        // The 10⁵-task scaling target builds and validates in one pass; in
+        // debug builds a scaled-down instance keeps the test quick while the
+        // release bench exercises the full size.
+        let size = if cfg!(debug_assertions) {
+            20_000
+        } else {
+            100_000
+        };
+        let g = gen(
+            1,
+            DaggenParams::huge_rand().with_size(size),
+            WeightRanges::large_rand(),
+        );
+        assert_eq!(g.n_tasks(), size);
+        assert!(g.n_edges() > size); // densely connected
+        assert!(algo::topological_order(&g).is_ok());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! bounds" — only when no remaining task can be placed.
 
 use crate::error::ScheduleError;
-use crate::partial::PartialSchedule;
+use crate::incremental::EstCache;
+use crate::partial::{sorted_insert, sorted_remove, PartialSchedule};
 use crate::traits::Scheduler;
 use mals_dag::{rank, TaskGraph, TaskId};
 use mals_platform::Platform;
@@ -101,6 +102,16 @@ pub fn schedule_with_priority_engine(
 /// [`schedule_with_priority_engine`] on an externally owned worker pool
 /// (`None` or a 1-thread pool: sequential scan). The committed placements —
 /// and therefore the schedule — are bit-identical for every pool size.
+///
+/// The loop is incremental (the tentpole of the scaling refactor): the ready
+/// candidates are kept in a priority-position-ordered set maintained by
+/// [`PartialSchedule::commit`] instead of being rediscovered by an `O(n)`
+/// scan of the whole priority list at every step, and every EST evaluation
+/// goes through an exact [`EstCache`] that survives commits which did not
+/// touch the state the evaluation read. The committed task is still, at
+/// every step, the first ready task in priority order whose evaluation is
+/// feasible — the cache returns the same bits a fresh evaluation would — so
+/// the schedule is unchanged from the scan-everything engine.
 pub fn schedule_with_priority_pooled(
     graph: &TaskGraph,
     platform: &Platform,
@@ -114,79 +125,95 @@ pub fn schedule_with_priority_pooled(
         graph.n_tasks(),
         "priority list must cover every task"
     );
+    let mut position_of = vec![u32::MAX; graph.n_tasks()];
+    for (position, &task) in order.iter().enumerate() {
+        position_of[task.index()] = position as u32;
+    }
     let mut partial = PartialSchedule::new(graph, platform);
-    let mut remaining: Vec<TaskId> = order.to_vec();
-    let Some(pool) = pool.filter(|p| p.threads() > 1) else {
-        // Sequential scan with early exit at the first feasible task.
-        while !remaining.is_empty() {
-            let mut committed = None;
-            for (position, &task) in remaining.iter().enumerate() {
-                if !partial.is_ready(task) {
-                    continue;
-                }
-                if let Some(breakdown) = partial.evaluate_best_with(task, prefer_red) {
-                    partial.commit(task, &breakdown);
-                    committed = Some(position);
-                    break;
-                }
-            }
-            match committed {
-                Some(position) => {
-                    remaining.remove(position);
-                }
-                // No remaining task fits in either memory, now or ever.
-                None => return partial.finish_or_error(),
-            }
-        }
-        return partial.finish_or_error();
-    };
+    // The ready candidates, sorted by priority-list position (a sorted
+    // vector for the same reason `PartialSchedule` uses one: the frontier
+    // stays small).
+    let mut ready: Vec<u32> = partial
+        .ready_tasks()
+        .iter()
+        .map(|&task| position_of[task.index()])
+        .collect();
+    ready.sort_unstable();
+    let mut cache = EstCache::new(graph.n_tasks());
+    let pool = pool.filter(|p| p.threads() > 1);
 
-    // Ready candidates past the first are evaluated in blocks: a block
-    // bounds the work wasted past the first feasible task (the sequential
-    // scan would have stopped there) while still giving every thread work
-    // per step. Blocks below the inline cutoff would bypass the pool
-    // entirely, so never go smaller.
-    let block = (pool.threads() * 4).max(crate::partial::PAR_EVAL_CUTOFF);
-    while !remaining.is_empty() {
-        let ready: Vec<(usize, TaskId)> = remaining
-            .iter()
-            .enumerate()
-            .filter(|&(_, &task)| partial.is_ready(task))
-            .map(|(position, &task)| (position, task))
-            .collect();
-        let mut committed = None;
-        // Fast path: with ample memory the head of the priority list is
-        // almost always feasible, so probe it inline before fanning out —
-        // that step then costs exactly what the sequential scan costs.
-        let mut fanout_from = 0;
-        if let Some(&(position, task)) = ready.first() {
-            fanout_from = 1;
-            if let Some(breakdown) = partial.evaluate_best_with(task, prefer_red) {
-                partial.commit(task, &breakdown);
-                committed = Some(position);
-            }
-        }
-        if committed.is_none() {
-            'scan: for chunk in ready[fanout_from..].chunks(block) {
-                let tasks: Vec<TaskId> = chunk.iter().map(|&(_, task)| task).collect();
-                let breakdowns = partial.evaluate_tasks_par(&tasks, prefer_red, pool);
-                for (&(position, task), breakdown) in chunk.iter().zip(breakdowns) {
-                    if let Some(breakdown) = breakdown {
-                        partial.commit(task, &breakdown);
-                        committed = Some(position);
-                        break 'scan;
+    while !partial.is_complete() {
+        let mut chosen = None;
+        match pool {
+            None => {
+                // Scan the ready candidates in priority order; the cache
+                // skips every evaluation whose inputs no commit touched.
+                for &position in ready.iter() {
+                    let task = order[position as usize];
+                    if let Some(breakdown) = cache.best(&partial, task, prefer_red) {
+                        chosen = Some((position, task, breakdown));
+                        break;
                     }
                 }
             }
-        }
-        match committed {
-            Some(position) => {
-                remaining.remove(position);
+            Some(pool) => {
+                chosen = first_feasible_par(&partial, order, &ready, &mut cache, prefer_red, pool);
             }
-            None => return partial.finish_or_error(),
         }
+        // No ready task fits in either memory, now or ever.
+        let Some((position, task, breakdown)) = chosen else {
+            return partial.finish_or_error();
+        };
+        let effects = partial.commit(task, &breakdown);
+        sorted_remove(&mut ready, position);
+        for &child in &effects.newly_ready {
+            sorted_insert(&mut ready, position_of[child.index()]);
+        }
+        cache.apply(&effects);
     }
     partial.finish_or_error()
+}
+
+/// The parallel variant of one selection step: probe the head of the ready
+/// list inline (with ample memory it is almost always feasible, making the
+/// step as cheap as the sequential scan), then evaluate the stale candidates
+/// in pool-sized blocks — a block bounds the work wasted past the first
+/// feasible task while still giving every thread work per step.
+fn first_feasible_par(
+    partial: &PartialSchedule<'_>,
+    order: &[TaskId],
+    ready: &[u32],
+    cache: &mut EstCache,
+    prefer_red: bool,
+    pool: &WorkerPool,
+) -> Option<(u32, TaskId, crate::partial::EstBreakdown)> {
+    let (&head, rest) = ready.split_first()?;
+    let head_task = order[head as usize];
+    if let Some(breakdown) = cache.best(partial, head_task, prefer_red) {
+        return Some((head, head_task, breakdown));
+    }
+    let block = (pool.threads() * 4).max(crate::partial::PAR_EVAL_CUTOFF);
+    for chunk in rest.chunks(block) {
+        // Fill the cache for the chunk's stale candidates in one fan-out;
+        // fresh entries are reused as-is (their bits cannot differ from a
+        // recomputation).
+        let stale: Vec<TaskId> = chunk
+            .iter()
+            .map(|&position| order[position as usize])
+            .filter(|&task| !cache.is_fresh(task))
+            .collect();
+        let pairs = partial.evaluate_pairs_par(&stale, pool);
+        for (&task, pair) in stale.iter().zip(pairs) {
+            cache.store_pair(task, pair);
+        }
+        for &position in chunk {
+            let task = order[position as usize];
+            if let Some(breakdown) = cache.best(partial, task, prefer_red) {
+                return Some((position, task, breakdown));
+            }
+        }
+    }
+    None
 }
 
 impl Scheduler for MemHeft {

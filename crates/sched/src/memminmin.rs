@@ -7,9 +7,10 @@
 //! when no ready task fits in either memory.
 
 use crate::error::ScheduleError;
+use crate::incremental::EstCache;
 use crate::partial::PartialSchedule;
 use crate::traits::Scheduler;
-use mals_dag::TaskGraph;
+use mals_dag::{TaskGraph, TaskId};
 use mals_platform::Platform;
 use mals_sim::Schedule;
 use mals_util::{ParallelConfig, WorkerPool};
@@ -49,6 +50,14 @@ impl MemMinMin {
     /// a 1-thread pool: sequential). The schedule is bit-identical for every
     /// pool size; callers solving many graphs hold one pool (e.g. via an
     /// `Engine`) to amortise the thread startup.
+    ///
+    /// The loop is incremental: per-memory evaluations are cached in an
+    /// exact [`EstCache`] and only the sides a commit actually touched are
+    /// re-evaluated — after a same-memory placement with no cross-memory
+    /// transfer, the whole ready list keeps its other-memory evaluations.
+    /// The selection itself still scans the ready list in task-id order with
+    /// the exact comparison of [`PartialSchedule::best_ready_choice`], so
+    /// the chosen placements are unchanged.
     pub fn schedule_pooled(
         &self,
         graph: &TaskGraph,
@@ -57,18 +66,36 @@ impl MemMinMin {
     ) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         let mut partial = PartialSchedule::new(graph, platform);
-        let Some(pool) = pool.filter(|p| p.threads() > 1) else {
-            while !partial.is_complete() {
-                match partial.best_ready_choice() {
-                    Some((task, breakdown)) => partial.commit(task, &breakdown),
-                    None => return partial.finish_or_error(),
+        let mut cache = EstCache::new(graph.n_tasks());
+        let pool = pool.filter(|p| p.threads() > 1);
+        while !partial.is_complete() {
+            let ready = partial.ready_tasks();
+            if let Some(pool) = pool {
+                // Refresh every stale candidate in one fan-out, then reduce
+                // over the (now fresh) cache on the calling thread.
+                let stale: Vec<TaskId> = ready
+                    .iter()
+                    .copied()
+                    .filter(|&task| !cache.is_fresh(task))
+                    .collect();
+                let pairs = partial.evaluate_pairs_par(&stale, pool);
+                for (&task, pair) in stale.iter().zip(pairs) {
+                    cache.store_pair(task, pair);
                 }
             }
-            return partial.finish_or_error();
-        };
-        while !partial.is_complete() {
-            match partial.evaluate_best_par(pool) {
-                Some((task, breakdown)) => partial.commit(task, &breakdown),
+            let mut best = None;
+            for &task in &ready {
+                if let Some(breakdown) = cache.best(&partial, task, false) {
+                    if PartialSchedule::is_better_choice(&best, task, &breakdown) {
+                        best = Some((task, breakdown));
+                    }
+                }
+            }
+            match best {
+                Some((task, breakdown)) => {
+                    let effects = partial.commit(task, &breakdown);
+                    cache.apply(&effects);
+                }
                 None => return partial.finish_or_error(),
             }
         }

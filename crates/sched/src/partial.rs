@@ -62,6 +62,31 @@ pub struct EstBreakdown {
     pub eft: f64,
 }
 
+/// What a [`PartialSchedule::commit`] changed, in exactly the terms an
+/// incremental driver needs:
+///
+/// * which per-memory state (processor availability and/or usage profile)
+///   was touched — the commit's own memory always is; the *other* memory only
+///   when a cross-memory transfer released a file there;
+/// * which tasks became ready (their cached evaluations cannot exist yet —
+///   a task is evaluated only once ready, and it was not ready before).
+///
+/// An EST cache keyed on these facts ([`crate::EstCache`]) is exact: an
+/// evaluation `evaluate(task, µ)` reads only `µ`'s processor/memory state and
+/// the placements of `task`'s (already committed) parents.
+#[derive(Debug, Clone)]
+pub struct CommitEffects {
+    /// The task that was committed.
+    pub task: TaskId,
+    /// The memory it was placed on.
+    pub memory: Memory,
+    /// `true` when the commit also mutated the *other* memory's profile
+    /// (a cross-memory transfer released the file from the producer side).
+    pub other_memory_touched: bool,
+    /// Tasks whose last parent this commit scheduled, in child-list order.
+    pub newly_ready: Vec<TaskId>,
+}
+
 /// State of a schedule under construction.
 #[derive(Debug, Clone)]
 pub struct PartialSchedule<'a> {
@@ -73,13 +98,39 @@ pub struct PartialSchedule<'a> {
     assigned_memory: Vec<Option<Memory>>,
     finish: Vec<f64>,
     remaining_parents: Vec<usize>,
+    /// Indices of the ready tasks, sorted ascending, kept incrementally by
+    /// `commit` so no loop ever rescans the whole task set to find them.
+    /// A sorted vector, not a tree: the ready frontier of a layered DAG
+    /// stays around `width · √n` (tens, not thousands), where the vector's
+    /// memmove beats any node-based structure.
+    ready: Vec<u32>,
     n_scheduled: usize,
+}
+
+/// Inserts `value` into a sorted vector (no-op if already present).
+pub(crate) fn sorted_insert(sorted: &mut Vec<u32>, value: u32) {
+    if let Err(pos) = sorted.binary_search(&value) {
+        sorted.insert(pos, value);
+    }
+}
+
+/// Removes `value` from a sorted vector (no-op if absent).
+pub(crate) fn sorted_remove(sorted: &mut Vec<u32>, value: u32) {
+    if let Ok(pos) = sorted.binary_search(&value) {
+        sorted.remove(pos);
+    }
 }
 
 impl<'a> PartialSchedule<'a> {
     /// Creates an empty partial schedule for `graph` on `platform`.
     pub fn new(graph: &'a TaskGraph, platform: &'a Platform) -> Self {
-        let remaining_parents = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+        let remaining_parents: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
+        let ready = remaining_parents
+            .iter()
+            .enumerate()
+            .filter(|&(_, &parents)| parents == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
         PartialSchedule {
             graph,
             platform,
@@ -89,6 +140,7 @@ impl<'a> PartialSchedule<'a> {
             assigned_memory: vec![None; graph.n_tasks()],
             finish: vec![0.0; graph.n_tasks()],
             remaining_parents,
+            ready,
             n_scheduled: 0,
         }
     }
@@ -130,12 +182,17 @@ impl<'a> PartialSchedule<'a> {
     }
 
     /// All ready tasks, in task-id order (the `available_tasks` set of
-    /// MemMinMin).
+    /// MemMinMin). `O(|ready|)` — the set is maintained incrementally.
     pub fn ready_tasks(&self) -> Vec<TaskId> {
-        self.graph
-            .task_ids()
-            .filter(|&t| self.is_ready(t))
+        self.ready
+            .iter()
+            .map(|&i| TaskId::from_index(i as usize))
             .collect()
+    }
+
+    /// Number of ready tasks.
+    pub fn n_ready(&self) -> usize {
+        self.ready.len()
     }
 
     /// Actual finish time of a placed task.
@@ -266,19 +323,21 @@ impl<'a> PartialSchedule<'a> {
         })
     }
 
-    /// Evaluates `task` on both memories and returns the breakdown with the
-    /// smallest EFT (ties broken in favour of the blue memory), or `None` if
-    /// the task fits on neither memory.
-    pub fn evaluate_best(&self, task: TaskId) -> Option<EstBreakdown> {
-        self.evaluate_best_with(task, false)
+    /// Evaluates `task` on both memories, returning the per-memory
+    /// breakdowns as `[blue, red]` (the cacheable unit of the incremental
+    /// engine).
+    pub fn evaluate_pair(&self, task: TaskId) -> [Option<EstBreakdown>; 2] {
+        [
+            self.evaluate(task, Memory::Blue),
+            self.evaluate(task, Memory::Red),
+        ]
     }
 
-    /// Like [`PartialSchedule::evaluate_best`], but EFT ties between the two
-    /// memories are broken in favour of the red memory when `prefer_red` is
-    /// set (the ablation variants exercise both policies).
-    pub fn evaluate_best_with(&self, task: TaskId, prefer_red: bool) -> Option<EstBreakdown> {
-        let blue = self.evaluate(task, Memory::Blue);
-        let red = self.evaluate(task, Memory::Red);
+    /// Combines a `[blue, red]` evaluation pair into the preferred
+    /// breakdown: smaller EFT wins, exact ties go to the blue memory unless
+    /// `prefer_red` is set (the ablation variants exercise both policies).
+    pub fn combine_pair(pair: [Option<EstBreakdown>; 2], prefer_red: bool) -> Option<EstBreakdown> {
+        let [blue, red] = pair;
         match (blue, red) {
             (Some(b), Some(r)) => Some(match prefer_red {
                 false => {
@@ -300,6 +359,20 @@ impl<'a> PartialSchedule<'a> {
             (None, Some(r)) => Some(r),
             (None, None) => None,
         }
+    }
+
+    /// Evaluates `task` on both memories and returns the breakdown with the
+    /// smallest EFT (ties broken in favour of the blue memory), or `None` if
+    /// the task fits on neither memory.
+    pub fn evaluate_best(&self, task: TaskId) -> Option<EstBreakdown> {
+        self.evaluate_best_with(task, false)
+    }
+
+    /// Like [`PartialSchedule::evaluate_best`], but EFT ties between the two
+    /// memories are broken in favour of the red memory when `prefer_red` is
+    /// set.
+    pub fn evaluate_best_with(&self, task: TaskId, prefer_red: bool) -> Option<EstBreakdown> {
+        Self::combine_pair(self.evaluate_pair(task), prefer_red)
     }
 
     /// Evaluates [`PartialSchedule::evaluate_best_with`] for every task in
@@ -326,6 +399,22 @@ impl<'a> PartialSchedule<'a> {
             pool.run_indexed(tasks.len(), |i| {
                 self.evaluate_best_with(tasks[i], prefer_red)
             })
+        }
+    }
+
+    /// [`PartialSchedule::evaluate_pair`] for every task in `tasks`, spread
+    /// over `pool`, in input order (the cache-fill fan-out of the
+    /// incremental engine; short lists are evaluated inline, like
+    /// [`PartialSchedule::evaluate_tasks_par`]).
+    pub fn evaluate_pairs_par(
+        &self,
+        tasks: &[TaskId],
+        pool: &WorkerPool,
+    ) -> Vec<[Option<EstBreakdown>; 2]> {
+        if pool.threads() <= 1 || tasks.len() < PAR_EVAL_CUTOFF {
+            tasks.iter().map(|&t| self.evaluate_pair(t)).collect()
+        } else {
+            pool.run_indexed(tasks.len(), |i| self.evaluate_pair(tasks[i]))
         }
     }
 
@@ -375,7 +464,7 @@ impl<'a> PartialSchedule<'a> {
     /// The (EFT, task-index) ordering shared by the sequential and parallel
     /// MemMinMin selection: smaller EFT wins, near-ties (within
     /// [`mals_util::EPSILON`]) go to the smaller task id.
-    fn is_better_choice(
+    pub(crate) fn is_better_choice(
         best: &Option<(TaskId, EstBreakdown)>,
         task: TaskId,
         bd: &EstBreakdown,
@@ -396,14 +485,19 @@ impl<'a> PartialSchedule<'a> {
     /// incoming cross-memory transfers as late as possible, and updates the
     /// memory profiles.
     ///
+    /// Returns the [`CommitEffects`] — which per-memory state the commit
+    /// touched and which tasks became ready — so incremental drivers can
+    /// invalidate exactly the evaluations this placement stales.
+    ///
     /// # Panics
     /// Panics if the task is not ready or the breakdown is stale (no
     /// processor available at the chosen start time).
-    pub fn commit(&mut self, task: TaskId, breakdown: &EstBreakdown) {
+    pub fn commit(&mut self, task: TaskId, breakdown: &EstBreakdown) -> CommitEffects {
         assert!(self.is_ready(task), "commit on a non-ready task");
         let mem = breakdown.memory;
         let est = breakdown.est;
         let eft = breakdown.eft;
+        let mut other_memory_touched = false;
 
         // Processor selection: the available processor wasting the least idle
         // time (paper: minimise `EST(i, µ) − avail_proc(p)`).
@@ -443,6 +537,7 @@ impl<'a> PartialSchedule<'a> {
                 });
                 self.mem.reserve_range(mem, window_start, eft, edge.size);
                 self.mem.release_from(parent_mem, est, edge.size);
+                other_memory_touched |= edge.size != 0.0;
             }
         }
 
@@ -455,8 +550,14 @@ impl<'a> PartialSchedule<'a> {
         self.assigned_memory[task.index()] = Some(mem);
         self.finish[task.index()] = eft;
         self.n_scheduled += 1;
+        sorted_remove(&mut self.ready, task.index() as u32);
+        let mut newly_ready = Vec::new();
         for child in self.graph.children(task) {
             self.remaining_parents[child.index()] -= 1;
+            if self.remaining_parents[child.index()] == 0 {
+                sorted_insert(&mut self.ready, child.index() as u32);
+                newly_ready.push(child);
+            }
         }
 
         debug_assert!(
@@ -464,6 +565,12 @@ impl<'a> PartialSchedule<'a> {
             "memory invariant violated after committing {task}: {:?}",
             self.mem.check_invariants()
         );
+        CommitEffects {
+            task,
+            memory: mem,
+            other_memory_touched,
+            newly_ready,
+        }
     }
 }
 

@@ -18,6 +18,9 @@
 //!   wrapper.
 //! * [`json`] — a dependency-free JSON value type (parser + emitter) backing
 //!   the solver-service request/report surface.
+//! * [`streaming`] — constant-memory aggregation (Welford accumulators and a
+//!   fixed-grid quantile sketch) for campaigns too large to hold their
+//!   per-instance results, with bit-exact JSON checkpointing.
 
 #![warn(missing_docs)]
 
@@ -27,6 +30,7 @@ pub mod pool;
 pub mod rng;
 pub mod staircase;
 pub mod stats;
+pub mod streaming;
 
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
 pub use json::{Json, JsonError};
@@ -34,3 +38,4 @@ pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig, WorkerPool};
 pub use rng::Pcg64;
 pub use staircase::Staircase;
 pub use stats::{OnlineStats, Summary};
+pub use streaming::QuantileSketch;

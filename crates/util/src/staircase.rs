@@ -11,6 +11,25 @@
 //! * find the earliest time `t ≥ t_min` such that the profile stays above a
 //!   threshold **forever after** `t` (the `task_mem_EST` / `comm_mem_EST`
 //!   computations).
+//!
+//! # Complexity
+//!
+//! The breakpoint list is kept sorted, so point queries locate their segment
+//! by binary search, and the sustained-threshold queries binary-search a
+//! suffix-extrema index (`suffix_min` / `suffix_max`, rebuilt on mutation)
+//! instead of walking every segment: with `k` breakpoints, [`value_at`],
+//! [`min_from`], [`earliest_sustained_ge`] and [`earliest_sustained_le`] are
+//! all `O(log k)`. Mutations stay `O(k)` (they already shift the breakpoint
+//! vector), but run in place — no allocation per update — so the
+//! reserve/release pattern of the schedulers, whose breakpoints cluster near
+//! the end of the horizon, stays cheap. The scheduler hot path performs many
+//! queries per mutation (one per ready candidate per memory), which is what
+//! the index trades for.
+//!
+//! [`value_at`]: Staircase::value_at
+//! [`min_from`]: Staircase::min_from
+//! [`earliest_sustained_ge`]: Staircase::earliest_sustained_ge
+//! [`earliest_sustained_le`]: Staircase::earliest_sustained_le
 
 use crate::float::{approx_eq, approx_ge, EPSILON};
 
@@ -19,10 +38,21 @@ use crate::float::{approx_eq, approx_ge, EPSILON};
 /// Internally stored as a sorted list of breakpoints `(x_i, v_i)`, meaning
 /// `f(t) = v_i` for `t ∈ [x_i, x_{i+1})` and `f(t) = v_ℓ` for `t ≥ x_ℓ`.
 /// The first breakpoint is always at `x = 0`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Staircase {
     /// Breakpoints, sorted by strictly increasing `x`, starting at `x = 0`.
     points: Vec<(f64, f64)>,
+    /// `suffix[i] = (min, max)` of the values `v_i, …, v_ℓ`; the min
+    /// component is non-decreasing in `i`, the max non-increasing.
+    suffix: Vec<(f64, f64)>,
+}
+
+/// Equality is a property of the function, i.e. of the breakpoints; the
+/// suffix indices are derived data.
+impl PartialEq for Staircase {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl Staircase {
@@ -30,6 +60,7 @@ impl Staircase {
     pub fn constant(value: f64) -> Self {
         Staircase {
             points: vec![(0.0, value)],
+            suffix: vec![(value, value)],
         }
     }
 
@@ -43,14 +74,29 @@ impl Staircase {
         self.points.len() <= 1
     }
 
+    /// Index of the segment containing `t`: the last `i` with
+    /// `x_i ≤ t + EPSILON`, or 0 when `t` lies before the first breakpoint.
+    #[inline]
+    fn seg_index(&self, t: f64) -> usize {
+        self.points
+            .partition_point(|&(x, _)| x <= t + EPSILON)
+            .saturating_sub(1)
+    }
+
+    /// End of segment `i` (the next breakpoint, or `+∞` for the last one).
+    #[inline]
+    fn seg_end(&self, i: usize) -> f64 {
+        self.points
+            .get(i + 1)
+            .map(|&(x, _)| x)
+            .unwrap_or(f64::INFINITY)
+    }
+
     /// Returns the value of the function at time `t`.
     ///
     /// Times before the first breakpoint evaluate to the first segment value.
     pub fn value_at(&self, t: f64) -> f64 {
-        match self.points.iter().rposition(|&(x, _)| x <= t + EPSILON) {
-            Some(i) => self.points[i].1,
-            None => self.points[0].1,
-        }
+        self.points[self.seg_index(t)].1
     }
 
     /// Returns the value of the last (rightmost) segment, i.e. `f(+∞)`.
@@ -63,18 +109,25 @@ impl Staircase {
 
     /// Returns the minimum of the function over `[0, +∞)`.
     pub fn min_value(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(f64::INFINITY, f64::min)
+        self.suffix[0].0
     }
 
     /// Returns the maximum of the function over `[0, +∞)`.
     pub fn max_value(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.suffix[0].1
+    }
+
+    /// Index range `[lo, hi)` of the segments intersecting the window
+    /// `[t1, t2)` (with the shared tolerance on both ends), found by binary
+    /// search on segment ends / starts.
+    fn window_range(&self, t1: f64, t2: f64) -> (usize, usize) {
+        // First segment whose end reaches past t1: segment ends are the
+        // breakpoints shifted by one (`seg_end(i) = x_{i+1}`, `+∞` for the
+        // last), so this is a partition point of the shifted view …
+        let lo = self.points[1..].partition_point(|&(x, _)| x <= t1 + EPSILON);
+        // … up to the last segment starting before t2.
+        let hi = self.points.partition_point(|&(x, _)| x < t2 - EPSILON);
+        (lo, hi)
     }
 
     /// Returns the maximum of the function over `[t1, t2)`.
@@ -84,34 +137,21 @@ impl Staircase {
         if t2 <= t1 + EPSILON {
             return f64::NEG_INFINITY;
         }
-        let mut max = f64::NEG_INFINITY;
-        for (i, &(x, v)) in self.points.iter().enumerate() {
-            let seg_end = self
-                .points
-                .get(i + 1)
-                .map(|&(x2, _)| x2)
-                .unwrap_or(f64::INFINITY);
-            if seg_end > t1 + EPSILON && x < t2 - EPSILON {
-                max = max.max(v);
-            }
-        }
-        max
+        let (lo, hi) = self.window_range(t1, t2);
+        self.points[lo.min(hi)..hi]
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns the minimum of the function over `[t, +∞)`.
     pub fn min_from(&self, t: f64) -> f64 {
-        let mut min = f64::INFINITY;
-        for (i, &(x, v)) in self.points.iter().enumerate() {
-            let seg_end = self.points.get(i + 1).map(|&(x2, _)| x2);
-            let segment_reaches_t = match seg_end {
-                Some(end) => end > t + EPSILON,
-                None => true,
-            };
-            if x >= t - EPSILON || segment_reaches_t {
-                min = min.min(v);
-            }
-        }
-        min
+        // The segments intersecting [t, +∞) form a suffix: everything from
+        // the segment containing (or reaching past) t onwards.
+        let shifted = &self.points[1..];
+        let first = shifted.partition_point(|&(x, _)| x <= t + EPSILON);
+        let first = first.min(self.points.partition_point(|&(x, _)| x < t - EPSILON));
+        self.suffix[first].0
     }
 
     /// Returns the minimum of the function over `[t1, t2)`.
@@ -121,20 +161,78 @@ impl Staircase {
         if t2 <= t1 + EPSILON {
             return f64::INFINITY;
         }
-        let mut min = f64::INFINITY;
-        for (i, &(x, v)) in self.points.iter().enumerate() {
-            let seg_start = x;
-            let seg_end = self
-                .points
-                .get(i + 1)
-                .map(|&(x2, _)| x2)
-                .unwrap_or(f64::INFINITY);
-            // Segment [seg_start, seg_end) intersects [t1, t2)?
-            if seg_end > t1 + EPSILON && seg_start < t2 - EPSILON {
-                min = min.min(v);
-            }
+        let (lo, hi) = self.window_range(t1, t2);
+        self.points[lo.min(hi)..hi]
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≥ threshold` for
+    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
+    /// segment is below the threshold).
+    ///
+    /// This is the query used to compute `task_mem_EST` and `comm_mem_EST`
+    /// in the MemHEFT / MemMinMin heuristics. Runs in `O(log k)` via the
+    /// suffix-minimum index: the rightmost violating segment is the one just
+    /// before the longest all-satisfying suffix.
+    pub fn earliest_sustained_ge(&self, t_min: f64, threshold: f64) -> Option<f64> {
+        let t_min = t_min.max(0.0);
+        if !approx_ge(self.final_value(), threshold) {
+            return None;
         }
-        min
+        // `approx_ge(·, threshold)` is monotone in its first argument, so a
+        // suffix satisfies it everywhere iff its minimum does; the set of
+        // all-satisfying suffixes is itself a suffix of the index range.
+        let first_ok = self
+            .suffix
+            .partition_point(|&(lo, _)| !approx_ge(lo, threshold));
+        if first_ok == 0 {
+            return Some(t_min);
+        }
+        // Rightmost violation lives in segment `first_ok - 1`; the earliest
+        // sustained time is that segment's end, unless the violation lies
+        // entirely before `t_min`.
+        let end = self.seg_end(first_ok - 1);
+        if end <= t_min + EPSILON {
+            Some(t_min)
+        } else {
+            Some(t_min.max(end))
+        }
+    }
+
+    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≤ threshold` for
+    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
+    /// segment is above the threshold).
+    ///
+    /// This is the mirror of [`Staircase::earliest_sustained_ge`], used when
+    /// the staircase tracks memory *usage* rather than *availability*; it
+    /// binary-searches the suffix-maximum index the same way.
+    pub fn earliest_sustained_le(&self, t_min: f64, threshold: f64) -> Option<f64> {
+        let t_min = t_min.max(0.0);
+        if self.final_value() > threshold + EPSILON {
+            return None;
+        }
+        let first_ok = self
+            .suffix
+            .partition_point(|&(_, hi)| hi > threshold + EPSILON);
+        if first_ok == 0 {
+            return Some(t_min);
+        }
+        let end = self.seg_end(first_ok - 1);
+        if end <= t_min + EPSILON {
+            Some(t_min)
+        } else {
+            Some(t_min.max(end))
+        }
+    }
+
+    /// Returns `true` if `f(t) ≥ threshold` for all `t ≥ t_min`.
+    pub fn sustained_ge(&self, t_min: f64, threshold: f64) -> bool {
+        match self.earliest_sustained_ge(t_min, threshold) {
+            Some(t) => approx_eq(t, t_min.max(0.0)) || t <= t_min,
+            None => false,
+        }
     }
 
     /// Adds `delta` to the function on `[t, +∞)`.
@@ -147,7 +245,7 @@ impl Staircase {
         for p in &mut self.points[idx..] {
             p.1 += delta;
         }
-        self.normalize();
+        self.repair(idx);
     }
 
     /// Adds `delta` to the function on the half-open interval `[t1, t2)`.
@@ -164,82 +262,7 @@ impl Staircase {
         for p in &mut self.points[i1..i2] {
             p.1 += delta;
         }
-        self.normalize();
-    }
-
-    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≥ threshold` for
-    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
-    /// segment is below the threshold).
-    ///
-    /// This is the query used to compute `task_mem_EST` and `comm_mem_EST`
-    /// in the MemHEFT / MemMinMin heuristics.
-    pub fn earliest_sustained_ge(&self, t_min: f64, threshold: f64) -> Option<f64> {
-        let t_min = t_min.max(0.0);
-        if !approx_ge(self.final_value(), threshold) {
-            return None;
-        }
-        // Walk segments from the right; stop at the last segment whose value
-        // violates the threshold. The answer is the start of the following
-        // segment (or t_min if nothing violates it after t_min).
-        let mut answer = t_min;
-        for i in (0..self.points.len()).rev() {
-            let (x, v) = self.points[i];
-            let seg_end = self
-                .points
-                .get(i + 1)
-                .map(|&(x2, _)| x2)
-                .unwrap_or(f64::INFINITY);
-            // Segments entirely before t_min cannot constrain the answer.
-            if seg_end <= t_min + EPSILON {
-                break;
-            }
-            if !approx_ge(v, threshold) {
-                // Violation in [x, seg_end); the earliest sustained time is
-                // seg_end (the start of the next, satisfying, segment).
-                answer = answer.max(seg_end);
-                break;
-            }
-            let _ = x;
-        }
-        Some(answer)
-    }
-
-    /// Finds the earliest time `t ≥ t_min` such that `f(t') ≤ threshold` for
-    /// **every** `t' ≥ t`. Returns `None` if no such time exists (the last
-    /// segment is above the threshold).
-    ///
-    /// This is the mirror of [`Staircase::earliest_sustained_ge`], used when
-    /// the staircase tracks memory *usage* rather than *availability*.
-    pub fn earliest_sustained_le(&self, t_min: f64, threshold: f64) -> Option<f64> {
-        let t_min = t_min.max(0.0);
-        if self.final_value() > threshold + EPSILON {
-            return None;
-        }
-        let mut answer = t_min;
-        for i in (0..self.points.len()).rev() {
-            let (_x, v) = self.points[i];
-            let seg_end = self
-                .points
-                .get(i + 1)
-                .map(|&(x2, _)| x2)
-                .unwrap_or(f64::INFINITY);
-            if seg_end <= t_min + EPSILON {
-                break;
-            }
-            if v > threshold + EPSILON {
-                answer = answer.max(seg_end);
-                break;
-            }
-        }
-        Some(answer)
-    }
-
-    /// Returns `true` if `f(t) ≥ threshold` for all `t ≥ t_min`.
-    pub fn sustained_ge(&self, t_min: f64, threshold: f64) -> bool {
-        match self.earliest_sustained_ge(t_min, threshold) {
-            Some(t) => approx_eq(t, t_min.max(0.0)) || t <= t_min,
-            None => false,
-        }
+        self.repair(i1);
     }
 
     /// Iterates over the breakpoints `(x_i, v_i)` of the representation.
@@ -249,12 +272,7 @@ impl Staircase {
 
     /// Ensures a breakpoint exists exactly at `t` and returns its index.
     fn ensure_breakpoint(&mut self, t: f64) -> usize {
-        // Find the segment containing t.
-        let pos = self
-            .points
-            .iter()
-            .rposition(|&(x, _)| x <= t + EPSILON)
-            .unwrap_or(0);
+        let pos = self.seg_index(t);
         if approx_eq(self.points[pos].0, t) {
             return pos;
         }
@@ -269,21 +287,59 @@ impl Staircase {
         pos + 1
     }
 
-    /// Merges adjacent segments with (approximately) equal values.
-    fn normalize(&mut self) {
-        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.points.len());
-        for &(x, v) in &self.points {
-            match out.last() {
-                Some(&(_, lv)) if approx_eq(lv, v) => {
-                    // Same value as previous segment: breakpoint is redundant.
-                }
-                _ => out.push((x, v)),
+    /// Re-establishes the invariants after the values of `points[dirty..]`
+    /// changed (and up to two breakpoints were inserted at `≥ dirty`):
+    /// merges adjacent approx-equal segments — merges can only appear at or
+    /// after `dirty` — and patches the suffix-extrema index, rebuilding the
+    /// modified tail and then walking left only while the extrema actually
+    /// change. The scheduler's reserve/release pattern mutates near the end
+    /// of the horizon, so the repaired region is typically tiny ("append
+    /// fast"); the worst case stays the `O(k)` of the old full rebuild.
+    fn repair(&mut self, dirty: usize) {
+        // Merge pass over the modified tail. Values before `dirty` did not
+        // change, so any new merge involves at least one index `≥ dirty`
+        // (the anchor at index 0 is never removed).
+        let start = dirty.max(1);
+        let mut kept = start;
+        for i in start..self.points.len() {
+            let (x, v) = self.points[i];
+            if !approx_eq(self.points[kept - 1].1, v) {
+                self.points[kept] = (x, v);
+                kept += 1;
             }
         }
-        if out.is_empty() {
-            out.push((0.0, 0.0));
+        self.points.truncate(kept);
+
+        // Rebuild the extrema over the modified tail. Indices `< dirty` were
+        // neither shifted by the inserts nor re-valued, so their stored
+        // suffix entries are still positionally aligned.
+        let n = self.points.len();
+        self.suffix.resize(n, (0.0, 0.0));
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in (dirty.min(n)..n).rev() {
+            let v = self.points[i].1;
+            lo = lo.min(v);
+            hi = hi.max(v);
+            self.suffix[i] = (lo, hi);
         }
-        self.points = out;
+        // Propagate leftward; once an index's extrema are unchanged, every
+        // index to its left is unchanged too (they depend on the tail only
+        // through this entry). When the merge swallowed the whole tail, the
+        // last surviving index has no right neighbour: seed it neutrally.
+        for i in (0..dirty.min(n)).rev() {
+            let v = self.points[i].1;
+            let (next_lo, next_hi) = if i + 1 < n {
+                self.suffix[i + 1]
+            } else {
+                (f64::INFINITY, f64::NEG_INFINITY)
+            };
+            let new = (v.min(next_lo), v.max(next_hi));
+            if new == self.suffix[i] {
+                break;
+            }
+            self.suffix[i] = new;
+        }
     }
 }
 
@@ -466,5 +522,176 @@ mod tests {
         assert!(approx_eq(s.value_at(2.0), 15.0));
         assert!(approx_eq(s.value_at(4.0), 15.0));
         assert!(approx_eq(s.value_at(6.0), 20.0));
+    }
+
+    // ---- edge cases around step boundaries and degenerate windows ----
+
+    /// A staircase with steps at 2, 5 and 9: 1 on [0,2), 6 on [2,5),
+    /// 3 on [5,9), 4 on [9,∞).
+    fn stepped() -> Staircase {
+        let mut s = Staircase::constant(1.0);
+        s.add_range(2.0, 5.0, 5.0);
+        s.add_range(5.0, 9.0, 2.0);
+        s.add_from(9.0, 3.0);
+        s
+    }
+
+    #[test]
+    fn queries_exactly_on_step_boundaries() {
+        let s = stepped();
+        // value_at on every breakpoint takes the segment starting there.
+        assert_eq!(s.value_at(2.0), 6.0);
+        assert_eq!(s.value_at(5.0), 3.0);
+        assert_eq!(s.value_at(9.0), 4.0);
+        // A window [2, 5) sees only the 6-segment.
+        assert_eq!(s.max_over(2.0, 5.0), 6.0);
+        assert_eq!(s.min_over(2.0, 5.0), 6.0);
+        // A window ending exactly at a step start excludes that step.
+        assert_eq!(s.max_over(0.0, 2.0), 1.0);
+        // A window starting exactly at a step end excludes the step before.
+        assert_eq!(s.min_over(5.0, 9.0), 3.0);
+        // Windows spanning a boundary see both sides.
+        assert_eq!(s.max_over(4.0, 6.0), 6.0);
+        assert_eq!(s.min_over(4.0, 6.0), 3.0);
+    }
+
+    #[test]
+    fn degenerate_windows_are_empty() {
+        let s = stepped();
+        for t in [0.0, 2.0, 5.0, 9.0, 100.0] {
+            assert_eq!(s.max_over(t, t), f64::NEG_INFINITY);
+            assert_eq!(s.min_over(t, t), f64::INFINITY);
+        }
+        // Reversed windows are empty too.
+        assert_eq!(s.max_over(5.0, 2.0), f64::NEG_INFINITY);
+        assert_eq!(s.min_over(5.0, 2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn queries_before_the_first_step() {
+        let s = stepped();
+        assert_eq!(s.value_at(-3.0), 1.0);
+        assert_eq!(s.min_from(-3.0), 1.0);
+        assert_eq!(s.max_over(-5.0, 1.0), 1.0);
+        assert_eq!(s.min_over(-5.0, 3.0), 1.0);
+        assert_eq!(s.earliest_sustained_ge(-2.0, 0.5), Some(0.0));
+        assert_eq!(s.earliest_sustained_le(-2.0, 10.0), Some(0.0));
+    }
+
+    #[test]
+    fn min_from_exactly_on_boundaries() {
+        let s = stepped();
+        // From a breakpoint: the segment starting there counts, the one
+        // ending there does not.
+        assert_eq!(s.min_from(2.0), 3.0); // min(6, 3, 4)
+        assert_eq!(s.min_from(5.0), 3.0);
+        assert_eq!(s.min_from(9.0), 4.0);
+        // Strictly inside a segment, that segment still counts.
+        assert_eq!(s.min_from(4.5), 3.0);
+        assert_eq!(s.min_from(8.9), 3.0);
+    }
+
+    #[test]
+    fn earliest_sustained_on_boundaries() {
+        let s = stepped();
+        // Threshold 4: violated by the 1- and 3-segments; the last violation
+        // is [5, 9), so the earliest sustained time is exactly 9.
+        assert_eq!(s.earliest_sustained_ge(0.0, 4.0), Some(9.0));
+        // t_min exactly at the sustained point.
+        assert_eq!(s.earliest_sustained_ge(9.0, 4.0), Some(9.0));
+        // t_min past it.
+        assert_eq!(s.earliest_sustained_ge(11.0, 4.0), Some(11.0));
+        // Usage view: stay ≤ 3 fails on [2,5) and forever after 9 → None.
+        assert_eq!(s.earliest_sustained_le(0.0, 3.0), None);
+        // Stay ≤ 5: last violation is [2,5) → sustained from 5.
+        assert_eq!(s.earliest_sustained_le(0.0, 5.0), Some(5.0));
+        assert_eq!(s.earliest_sustained_le(5.0, 5.0), Some(5.0));
+    }
+
+    #[test]
+    fn repair_keeps_index_in_sync() {
+        // Deterministic mutation storm mixing early/late, positive/negative
+        // updates (including ones that merge whole tails away); after every
+        // mutation the incremental index must match a from-scratch rebuild.
+        let mut s = Staircase::constant(10.0);
+        let mut t = 1.0f64;
+        for i in 0..400 {
+            match i % 5 {
+                0 => s.add_from(t, 2.0),
+                1 => s.add_range(t * 0.5, t + 2.0, -1.5),
+                2 => s.add_from(t * 0.25, -0.5),
+                3 => s.add_from(t, -2.0), // cancels case 0 → tail merges
+                _ => s.add_range(0.0, t, 1.0),
+            }
+            t += 0.7 + (i % 4) as f64 * 0.3;
+            let points: Vec<(f64, f64)> = s.breakpoints().collect();
+            let full_min = points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+            let full_max = points
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(s.min_value(), full_min, "min index diverged at step {i}");
+            assert_eq!(s.max_value(), full_max, "max index diverged at step {i}");
+            // Spot-check a suffix query against the definition.
+            let mid = points[points.len() / 2].0;
+            let linear: f64 = points
+                .iter()
+                .enumerate()
+                .filter(|&(j, &(x, _))| {
+                    let end = points.get(j + 1).map(|&(nx, _)| nx);
+                    x >= mid - EPSILON || end.map(|e| e > mid + EPSILON).unwrap_or(true)
+                })
+                .map(|(_, &(_, v))| v)
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(s.min_from(mid), linear, "min_from diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn suffix_index_matches_linear_scan() {
+        // Randomized-ish cross-check of the indexed queries against the
+        // obvious linear-scan definitions, across many breakpoints.
+        let mut s = Staircase::constant(50.0);
+        let mut x = 0.5f64;
+        for i in 0..60 {
+            let delta = if i % 2 == 0 { -3.0 } else { 2.0 };
+            s.add_range(x, x + 1.5, delta);
+            x += 1.0 + (i % 3) as f64 * 0.5;
+        }
+        let points: Vec<(f64, f64)> = s.breakpoints().collect();
+        let linear_min_from = |t: f64| {
+            let mut min = f64::INFINITY;
+            for (i, &(px, v)) in points.iter().enumerate() {
+                let end = points.get(i + 1).map(|&(nx, _)| nx);
+                let reaches = match end {
+                    Some(e) => e > t + EPSILON,
+                    None => true,
+                };
+                if px >= t - EPSILON || reaches {
+                    min = min.min(v);
+                }
+            }
+            min
+        };
+        for t in [-1.0, 0.0, 0.5, 3.25, 17.0, 40.0, 1000.0] {
+            assert_eq!(s.min_from(t), linear_min_from(t), "min_from({t})");
+        }
+        for thr in [20.0, 35.0, 49.0, 50.0, 60.0] {
+            for t_min in [0.0, 5.0, 33.0] {
+                // The sustained point, if any, must satisfy the definition.
+                if let Some(t) = s.earliest_sustained_ge(t_min, thr) {
+                    assert!(t >= t_min);
+                    assert!(linear_min_from(t) >= thr - 1e-9, "ge({t_min}, {thr})");
+                    // And nothing strictly earlier (by more than one segment
+                    // boundary) works: just before t there is a violation,
+                    // unless t == t_min.
+                    if t > t_min + EPSILON {
+                        assert!(s.value_at(t - 1e-6) < thr, "not tight at {t}");
+                    }
+                } else {
+                    assert!(s.final_value() < thr);
+                }
+            }
+        }
     }
 }

@@ -38,9 +38,36 @@ impl OnlineStats {
         self.max = self.max.max(x);
     }
 
+    /// Reconstructs an accumulator from its raw moments (the checkpoint
+    /// restore path of the streaming campaigns). Returns `None` when the
+    /// parts are inconsistent (`count > 0` with non-finite moments, negative
+    /// `m2`, or an inverted min/max).
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Option<Self> {
+        if count == 0 {
+            return Some(OnlineStats::new());
+        }
+        let finite = mean.is_finite() && m2.is_finite() && min.is_finite() && max.is_finite();
+        if !finite || m2 < 0.0 || min > max {
+            return None;
+        }
+        Some(OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        })
+    }
+
     /// Number of observations pushed so far.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Raw second central moment `Σ (x − mean)²` (the Welford `M2` term),
+    /// exposed so accumulators can be checkpointed and restored bit-exactly.
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Sample mean (0 if no observations).

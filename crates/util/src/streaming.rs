@@ -1,0 +1,309 @@
+//! Streaming aggregation: statistics that never hold their samples.
+//!
+//! The large-campaign harness (10⁴–10⁵-task DAGs, thousands of seeds) folds
+//! every per-instance result into constant-size accumulators instead of
+//! collecting a `Vec` of outcomes:
+//!
+//! * [`OnlineStats`] (re-exported from [`crate::stats`]) — Welford
+//!   mean/variance with min/max, mergeable;
+//! * [`QuantileSketch`] — a fixed-grid histogram over a caller-chosen value
+//!   range, answering approximate quantile queries with error bounded by one
+//!   grid cell. Values outside the grid are clamped into the edge cells (and
+//!   counted), so the sketch never loses mass.
+//!
+//! Both are deterministic (fold order is the only input), mergeable, and
+//! serialise to/from [`crate::json::Json`] with bit-exact counts, which is
+//! what makes campaign checkpoints byte-stable across a kill/resume cycle.
+
+use crate::json::Json;
+pub use crate::stats::OnlineStats;
+
+/// A fixed-grid quantile sketch: `bins` equal-width cells over `[lo, hi)`,
+/// plus clamped edge mass for out-of-range values.
+///
+/// Memory is `O(bins)` regardless of how many values are folded in; a
+/// quantile query answers with the midpoint of the cell containing the
+/// requested rank, so the error is at most half a cell width (plus the
+/// clamping error for values outside `[lo, hi)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch over `[lo, hi)` with `bins` cells.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "QuantileSketch needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "QuantileSketch needs a finite, non-empty range (got [{lo}, {hi}))"
+        );
+        QuantileSketch {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// The sketch used for normalised-makespan campaigns: 256 cells over
+    /// `[0, 4)` (normalised makespans live near 1; anything ≥ 4 is clamped).
+    pub fn normalized_makespan() -> Self {
+        QuantileSketch::new(0.0, 4.0, 256)
+    }
+
+    /// Number of values folded in so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the grid.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the grid.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Index of the cell a value falls into (out-of-range values clamp to
+    /// the edge cells; NaN clamps low).
+    fn bin_of(&self, x: f64) -> usize {
+        let span = self.hi - self.lo;
+        let pos = (x - self.lo) / span * self.counts.len() as f64;
+        if pos.is_nan() || pos < 0.0 {
+            0
+        } else {
+            (pos as usize).min(self.counts.len() - 1)
+        }
+    }
+
+    /// Folds one value in.
+    pub fn push(&mut self, x: f64) {
+        let bin = self.bin_of(x);
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`): the midpoint of the cell
+    /// containing the rank `⌈q · n⌉`. Returns `None` on an empty sketch.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let width = (self.hi - self.lo) / self.counts.len() as f64;
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        // Unreachable while counts sum to total; be safe anyway.
+        Some(self.hi)
+    }
+
+    /// Approximate median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Merges another sketch into this one.
+    ///
+    /// # Panics
+    /// Panics if the grids differ (range or bin count).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge sketches with different grids"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Serialises the sketch (grid + counts). Counts are `u64` but stay far
+    /// below 2⁵³ in practice; the JSON number encoding is exact there.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("lo", Json::Num(self.lo)),
+            ("hi", Json::Num(self.hi)),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the shape produced by [`QuantileSketch::to_json`].
+    pub fn from_json(json: &Json) -> Option<Self> {
+        let lo = json.get("lo")?.as_f64()?;
+        let hi = json.get("hi")?.as_f64()?;
+        let counts: Vec<u64> = json
+            .get("counts")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<_>>()?;
+        if counts.is_empty() || !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return None;
+        }
+        let total = counts.iter().sum();
+        Some(QuantileSketch {
+            lo,
+            hi,
+            counts,
+            total,
+        })
+    }
+}
+
+/// Serialises an [`OnlineStats`] accumulator. The moments round-trip
+/// bit-exactly through the JSON float encoding, so folding more samples into
+/// a deserialised accumulator continues the exact same stream.
+pub fn stats_to_json(stats: &OnlineStats) -> Json {
+    if stats.count() == 0 {
+        return Json::obj([("count", Json::Num(0.0))]);
+    }
+    Json::obj([
+        ("count", Json::Num(stats.count() as f64)),
+        ("mean", Json::Num(stats.mean())),
+        ("m2", Json::Num(stats.m2())),
+        ("min", Json::Num(stats.min())),
+        ("max", Json::Num(stats.max())),
+    ])
+}
+
+/// Parses the shape produced by [`stats_to_json`].
+pub fn stats_from_json(json: &Json) -> Option<OnlineStats> {
+    let count = json.get("count")?.as_u64()?;
+    if count == 0 {
+        return Some(OnlineStats::new());
+    }
+    OnlineStats::from_parts(
+        count,
+        json.get("mean")?.as_f64()?,
+        json.get("m2")?.as_f64()?,
+        json.get("min")?.as_f64()?,
+        json.get("max")?.as_f64()?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn sketch_quantiles_on_uniform_grid() {
+        let mut s = QuantileSketch::new(0.0, 10.0, 100);
+        for i in 0..1000 {
+            s.push(i as f64 / 100.0); // uniform over [0, 10)
+        }
+        assert_eq!(s.count(), 1000);
+        let median = s.median().unwrap();
+        assert!((median - 5.0).abs() < 0.2, "median ≈ 5, got {median}");
+        let p90 = s.quantile(0.9).unwrap();
+        assert!((p90 - 9.0).abs() < 0.2, "p90 ≈ 9, got {p90}");
+    }
+
+    #[test]
+    fn sketch_clamps_out_of_range() {
+        let mut s = QuantileSketch::new(0.0, 1.0, 10);
+        s.push(-5.0);
+        s.push(42.0);
+        s.push(f64::NAN);
+        assert_eq!(s.count(), 3);
+        // All mass is in the edge cells; quantiles stay inside the grid.
+        let q = s.quantile(1.0).unwrap();
+        assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn sketch_empty_has_no_quantiles() {
+        let s = QuantileSketch::new(0.0, 1.0, 4);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.quantile(0.9), None);
+    }
+
+    #[test]
+    fn sketch_merge_equals_single_stream() {
+        let mut whole = QuantileSketch::new(0.0, 2.0, 32);
+        let mut a = QuantileSketch::new(0.0, 2.0, 32);
+        let mut b = QuantileSketch::new(0.0, 2.0, 32);
+        for i in 0..200 {
+            let x = (i as f64 * 0.7).rem_euclid(2.0);
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grids")]
+    fn sketch_merge_rejects_grid_mismatch() {
+        let mut a = QuantileSketch::new(0.0, 1.0, 4);
+        let b = QuantileSketch::new(0.0, 2.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sketch_json_round_trip() {
+        let mut s = QuantileSketch::normalized_makespan();
+        for x in [0.9, 1.0, 1.1, 1.5, 3.9, 7.0] {
+            s.push(x);
+        }
+        let back = QuantileSketch::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.median(), s.median());
+    }
+
+    #[test]
+    fn stats_json_round_trip_is_bit_exact() {
+        let mut stats = OnlineStats::new();
+        for x in [0.1, 0.2, 0.30000000000000004, 1e-300, 3.5e12] {
+            stats.push(x);
+        }
+        let text = stats_to_json(&stats).to_compact();
+        let back = stats_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), stats.count());
+        assert_eq!(back.mean().to_bits(), stats.mean().to_bits());
+        assert_eq!(back.m2().to_bits(), stats.m2().to_bits());
+        assert_eq!(back.min().to_bits(), stats.min().to_bits());
+        assert_eq!(back.max().to_bits(), stats.max().to_bits());
+        // Continuing the stream after a round trip matches never pausing.
+        let mut resumed = back;
+        let mut uninterrupted = stats.clone();
+        for x in [2.0, -1.0] {
+            resumed.push(x);
+            uninterrupted.push(x);
+        }
+        assert_eq!(resumed.mean().to_bits(), uninterrupted.mean().to_bits());
+        assert_eq!(
+            resumed.variance().to_bits(),
+            uninterrupted.variance().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_stats_round_trip() {
+        let back = stats_from_json(&stats_to_json(&OnlineStats::new())).unwrap();
+        assert_eq!(back.count(), 0);
+        assert!(approx_eq(back.mean(), 0.0));
+    }
+}
