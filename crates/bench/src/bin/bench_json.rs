@@ -168,6 +168,27 @@ fn benches(quick: bool) -> Vec<Bench> {
         });
     }
 
+    // The portfolio racer (PR 6): all five default heuristic members racing
+    // on a 4-thread pool over one medium DAG, winner by best makespan.
+    // Guards the race overhead on top of the members themselves — the race
+    // should cost about one slowest-member solve, not the sum of all five.
+    {
+        let race_graph = large_rand_dag(300, 0xACE + 300);
+        let race_platform = bounded_single_pair(&race_graph);
+        set.push(Bench {
+            id: "engine/portfolio-race-300-t4".into(),
+            run: Box::new(move || {
+                let engine =
+                    Engine::new(solver_registry(), EngineConfig::default().with_threads(4));
+                let report = engine
+                    .solve_portfolio::<&str>(&[], 0, &race_graph, &race_platform, None)
+                    .expect("default members are registered");
+                std::hint::black_box(report.winner);
+            }),
+            min_samples: None,
+        });
+    }
+
     set.push(Bench {
         id: "pool/parallel_map-10k".into(),
         run: Box::new(|| {

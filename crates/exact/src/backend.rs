@@ -22,6 +22,7 @@ use mals_dag::TaskGraph;
 use mals_platform::Platform;
 use mals_sched::{ScheduleError, Scheduler};
 use mals_sim::Schedule;
+use mals_util::CancelSignal;
 use std::path::PathBuf;
 
 // The budget type is shared with the heuristics' engine layer and lives next
@@ -121,6 +122,23 @@ pub trait ExactBackend {
 
     /// Solves `graph` on `platform` within `limits`.
     fn solve(&self, graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> ExactOutcome;
+
+    /// [`ExactBackend::solve`] with a cooperative cancel signal, polled once
+    /// per search node: a trip ends the solve with the incumbent-so-far
+    /// (mapped to [`ExactOutcome::Feasible`]) or, when nothing was found
+    /// yet, [`ExactOutcome::LimitHit`]. The default implementation ignores
+    /// the signal — backends without inner loops (the LP exporter) need
+    /// nothing more; the searching backends override it.
+    fn solve_cancellable(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        limits: &SolveLimits,
+        cancel: CancelSignal<'_>,
+    ) -> ExactOutcome {
+        let _ = cancel;
+        self.solve(graph, platform, limits)
+    }
 }
 
 impl ExactBackend for BranchAndBound {
@@ -131,7 +149,19 @@ impl ExactBackend for BranchAndBound {
     /// Runs the combinatorial search; `limits.node_limit` overrides the
     /// solver's own node budget.
     fn solve(&self, graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> ExactOutcome {
-        let result = BranchAndBound::with_node_limit(limits.node_limit).solve(graph, platform);
+        ExactBackend::solve_cancellable(self, graph, platform, limits, CancelSignal::default())
+    }
+
+    /// The combinatorial search polling `cancel` once per expanded node.
+    fn solve_cancellable(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        limits: &SolveLimits,
+        cancel: CancelSignal<'_>,
+    ) -> ExactOutcome {
+        let result = BranchAndBound::with_node_limit(limits.node_limit)
+            .solve_cancellable(graph, platform, cancel);
         let nodes = result.nodes_explored;
         match (result.schedule, result.proven_optimal) {
             (Some(schedule), true) => ExactOutcome::Optimal {

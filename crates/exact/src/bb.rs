@@ -28,9 +28,11 @@ use crate::bounds::{
 };
 use mals_dag::{TaskGraph, TaskId};
 use mals_platform::{Memory, Platform};
-use mals_sched::{MemHeft, MemMinMin, PartialSchedule, ScheduleError, Scheduler};
+use mals_sched::{
+    MemHeft, MemMinMin, PartialSchedule, ScheduleError, Scheduler, SolveCtx, SolveLimits, Solver,
+};
 use mals_sim::Schedule;
-use mals_util::EPSILON;
+use mals_util::{CancelSignal, EPSILON};
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +73,21 @@ struct SearchState<'a> {
     nodes: u64,
     node_limit: u64,
     complete: bool,
+    cancel: CancelSignal<'a>,
+}
+
+impl SearchState<'_> {
+    /// True when the search must wind down: node budget exhausted or the
+    /// cancel signal tripped. Both lose the optimality proof but keep the
+    /// incumbent.
+    fn out_of_budget(&mut self) -> bool {
+        if self.nodes >= self.node_limit || self.cancel.is_cancelled() {
+            self.complete = false;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl BranchAndBound {
@@ -81,6 +98,19 @@ impl BranchAndBound {
 
     /// Solves the instance exactly (within the node budget).
     pub fn solve(&self, graph: &TaskGraph, platform: &Platform) -> ExactResult {
+        self.solve_cancellable(graph, platform, CancelSignal::default())
+    }
+
+    /// [`BranchAndBound::solve`] polling `cancel` once per expanded node
+    /// (and inside the heuristic incumbent seeding, once per commit): when
+    /// the signal trips, the search stops with `proven_optimal = false` and
+    /// returns the incumbent found so far, if any.
+    pub fn solve_cancellable(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        cancel: CancelSignal<'_>,
+    ) -> ExactResult {
         if graph.validate().is_err() {
             return ExactResult {
                 schedule: None,
@@ -110,16 +140,34 @@ impl BranchAndBound {
             };
         }
 
+        // A pre-tripped signal stops the solve before the (potentially
+        // expensive on large graphs) incumbent seeding.
+        if cancel.is_cancelled() {
+            return ExactResult {
+                schedule: None,
+                makespan: None,
+                proven_optimal: false,
+                nodes_explored: 0,
+            };
+        }
+
         // Optimistic remaining work below each task (zero communications,
         // faster resource): a valid completion-time bound for any descendant
         // chain of the task.
         let bottom_level = optimistic_bottom_levels(graph);
 
-        // Incumbent: best heuristic schedule, if any.
+        // Incumbent: best heuristic schedule, if any. The heuristics observe
+        // the same cancel signal per commit, so a mid-seeding trip falls
+        // through to the (immediately truncated) search below.
         let mut best_makespan = f64::INFINITY;
         let mut best_schedule = None;
-        for heuristic in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-            if let Ok(s) = heuristic.schedule(graph, platform) {
+        let seed_ctx = SolveCtx {
+            limits: SolveLimits::default(),
+            pool: None,
+            cancel,
+        };
+        for heuristic in [&MemHeft::new() as &dyn Solver, &MemMinMin::new()] {
+            if let Some(s) = heuristic.solve(graph, platform, &seed_ctx).schedule {
                 if s.makespan() < best_makespan {
                     best_makespan = s.makespan();
                     best_schedule = Some(s);
@@ -135,6 +183,7 @@ impl BranchAndBound {
             nodes: 0,
             node_limit: self.node_limit,
             complete: true,
+            cancel,
         };
 
         // Quick optimality check: the incumbent may already match the global
@@ -189,8 +238,7 @@ fn explore(partial: &PartialSchedule<'_>, state: &mut SearchState<'_>) {
         }
         return;
     }
-    if state.nodes >= state.node_limit {
-        state.complete = false;
+    if state.out_of_budget() {
         return;
     }
     state.nodes += 1;
@@ -223,8 +271,7 @@ fn explore(partial: &PartialSchedule<'_>, state: &mut SearchState<'_>) {
         let mut child = partial.clone();
         child.commit(task, &bd);
         explore(&child, state);
-        if state.nodes >= state.node_limit {
-            state.complete = false;
+        if state.out_of_budget() {
             return;
         }
     }

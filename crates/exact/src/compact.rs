@@ -45,9 +45,9 @@ use crate::milp::{IntegralDecision, MilpLimits, MilpSolver};
 use crate::model::{LpModel, Sense, VarId, VarKind};
 use mals_dag::{algo, TaskGraph, TaskId};
 use mals_platform::{Memory, Platform};
-use mals_sched::{MemHeft, MemMinMin, PartialSchedule, Scheduler};
+use mals_sched::{MemHeft, MemMinMin, PartialSchedule, SolveCtx, Solver};
 use mals_sim::{validate, CommPlacement, Schedule, TaskPlacement};
-use mals_util::EPSILON;
+use mals_util::{CancelSignal, EPSILON};
 use std::collections::HashSet;
 
 /// `true` when every processing time and transfer time is an integer, in
@@ -88,7 +88,20 @@ impl ExactBackend for MilpBackend {
     }
 
     fn solve(&self, graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> ExactOutcome {
-        solve_milp(graph, platform, limits)
+        solve_milp(graph, platform, limits, CancelSignal::default())
+    }
+
+    /// The MILP search polling `cancel` once per node — in the outer MILP
+    /// branch-and-bound, the heuristic incumbent seeding and the
+    /// fixed-assignment repair searches alike.
+    fn solve_cancellable(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        limits: &SolveLimits,
+        cancel: CancelSignal<'_>,
+    ) -> ExactOutcome {
+        solve_milp(graph, platform, limits, cancel)
     }
 }
 
@@ -370,6 +383,7 @@ fn fixed_assignment_search(
     assignment: &[Memory],
     cutoff: f64,
     budget: u64,
+    cancel: CancelSignal<'_>,
 ) -> (Option<(Schedule, f64)>, u64, bool) {
     // Assignment-aware bottom levels: remaining work below each task at the
     // *assigned* speed.
@@ -392,6 +406,7 @@ fn fixed_assignment_search(
         nodes: 0,
         budget,
         complete: true,
+        cancel,
     };
     let root = PartialSchedule::new(graph, platform);
     search.explore(&root);
@@ -411,6 +426,19 @@ struct FixedSearch<'a> {
     nodes: u64,
     budget: u64,
     complete: bool,
+    cancel: CancelSignal<'a>,
+}
+
+impl FixedSearch<'_> {
+    /// Node budget exhausted or cancel signal tripped: stop, lose the proof.
+    fn out_of_budget(&mut self) -> bool {
+        if self.nodes >= self.budget || self.cancel.is_cancelled() {
+            self.complete = false;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl FixedSearch<'_> {
@@ -439,8 +467,7 @@ impl FixedSearch<'_> {
             }
             return;
         }
-        if self.nodes >= self.budget {
-            self.complete = false;
+        if self.out_of_budget() {
             return;
         }
         self.nodes += 1;
@@ -471,8 +498,7 @@ impl FixedSearch<'_> {
             let mut child = partial.clone();
             child.commit(task, &bd);
             self.explore(&child);
-            if self.nodes >= self.budget {
-                self.complete = false;
+            if self.out_of_budget() {
                 return;
             }
         }
@@ -496,7 +522,12 @@ fn no_good_cut(on_red: &[VarId], assignment: &[Memory]) -> (Vec<(f64, VarId)>, S
 }
 
 /// The MILP backend's solve loop (see the module docs).
-fn solve_milp(graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> ExactOutcome {
+fn solve_milp(
+    graph: &TaskGraph,
+    platform: &Platform,
+    limits: &SolveLimits,
+    cancel: CancelSignal<'_>,
+) -> ExactOutcome {
     if graph.validate().is_err() {
         return ExactOutcome::LimitHit { nodes: 0 };
     }
@@ -511,18 +542,39 @@ fn solve_milp(graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> E
     if feas.is_infeasible() {
         return ExactOutcome::Infeasible { nodes: 0 };
     }
+    // A pre-tripped signal stops the solve before the incumbent seeding.
+    if cancel.is_cancelled() {
+        return ExactOutcome::LimitHit { nodes: 0 };
+    }
 
     // Incumbent seeding, exactly like the combinatorial backend: the best of
-    // the two memory-aware heuristics (when they succeed).
+    // the two memory-aware heuristics (when they succeed). The heuristics
+    // observe the same cancel signal per commit.
     let mut best_schedule: Option<Schedule> = None;
     let mut best_makespan = f64::INFINITY;
-    for heuristic in [&MemHeft::new() as &dyn Scheduler, &MemMinMin::new()] {
-        if let Ok(s) = heuristic.schedule(graph, platform) {
+    let seed_ctx = SolveCtx {
+        limits: SolveLimits::default(),
+        pool: None,
+        cancel,
+    };
+    for heuristic in [&MemHeft::new() as &dyn Solver, &MemMinMin::new()] {
+        if let Some(s) = heuristic.solve(graph, platform, &seed_ctx).schedule {
             if s.makespan() < best_makespan {
                 best_makespan = s.makespan();
                 best_schedule = Some(s);
             }
         }
+    }
+    // A mid-seeding trip keeps the incumbent (if any) but skips the search.
+    if cancel.is_cancelled() {
+        return match best_schedule {
+            Some(schedule) => ExactOutcome::Feasible {
+                makespan: schedule.makespan(),
+                schedule,
+                nodes: 0,
+            },
+            None => ExactOutcome::LimitHit { nodes: 0 },
+        };
     }
     let lower_bound = makespan_lower_bound_with_memory(graph, platform);
 
@@ -594,62 +646,73 @@ fn solve_milp(graph: &TaskGraph, platform: &Platform, limits: &SolveLimits) -> E
     let mut repair_nodes = 0u64;
     let mut repair_complete = true;
 
-    let result = solver.solve_with(&cm.model, initial_cutoff, |x, lp_obj| {
-        let assignment: Vec<Memory> = cm
-            .on_red
-            .iter()
-            .map(|v| {
-                if x[v.index()] > 0.5 {
-                    Memory::Red
-                } else {
-                    Memory::Blue
+    let result = solver.solve_with_cancel(
+        &cm.model,
+        initial_cutoff,
+        |x, lp_obj| {
+            let assignment: Vec<Memory> = cm
+                .on_red
+                .iter()
+                .map(|v| {
+                    if x[v.index()] > 0.5 {
+                        Memory::Red
+                    } else {
+                        Memory::Blue
+                    }
+                })
+                .collect();
+            let starts: Vec<f64> = cm.start.iter().map(|v| x[v.index()]).collect();
+            let (schedule, makespan) =
+                extract_schedule(graph, platform, &topo_pos, &assignment, &starts);
+            let report = validate(graph, platform, &schedule);
+            if report.is_valid() && makespan <= lp_obj + ACCEPT_TOL {
+                if makespan < best_makespan {
+                    best_makespan = makespan;
+                    best_schedule = Some(schedule);
                 }
-            })
-            .collect();
-        let starts: Vec<f64> = cm.start.iter().map(|v| x[v.index()]).collect();
-        let (schedule, makespan) =
-            extract_schedule(graph, platform, &topo_pos, &assignment, &starts);
-        let report = validate(graph, platform, &schedule);
-        if report.is_valid() && makespan <= lp_obj + ACCEPT_TOL {
-            if makespan < best_makespan {
+                return IntegralDecision::Accept {
+                    objective: makespan,
+                };
+            }
+            // The point is memory-infeasible (or processor contention pushed the
+            // greedy timing past the LP bound): search this assignment exactly,
+            // then exclude it.
+            let mut achieved = None;
+            if report.is_valid() && makespan < best_makespan {
                 best_makespan = makespan;
                 best_schedule = Some(schedule);
+                achieved = Some(makespan);
             }
-            return IntegralDecision::Accept {
-                objective: makespan,
-            };
-        }
-        // The point is memory-infeasible (or processor contention pushed the
-        // greedy timing past the LP bound): search this assignment exactly,
-        // then exclude it.
-        let mut achieved = None;
-        if report.is_valid() && makespan < best_makespan {
-            best_makespan = makespan;
-            best_schedule = Some(schedule);
-            achieved = Some(makespan);
-        }
-        let key: Vec<bool> = assignment.iter().map(|m| !m.is_blue()).collect();
-        if repaired.insert(key) {
-            let budget = limits.node_limit.saturating_sub(repair_nodes);
-            let (found, used, complete) =
-                fixed_assignment_search(graph, platform, &assignment, best_makespan, budget);
-            repair_nodes += used;
-            if !complete {
-                repair_complete = false;
-            }
-            if let Some((s, ms)) = found {
-                if ms < best_makespan {
-                    best_makespan = ms;
-                    best_schedule = Some(s);
-                    achieved = Some(ms);
+            let key: Vec<bool> = assignment.iter().map(|m| !m.is_blue()).collect();
+            if repaired.insert(key) {
+                let budget = limits.node_limit.saturating_sub(repair_nodes);
+                let (found, used, complete) = fixed_assignment_search(
+                    graph,
+                    platform,
+                    &assignment,
+                    best_makespan,
+                    budget,
+                    cancel,
+                );
+                repair_nodes += used;
+                if !complete {
+                    repair_complete = false;
+                }
+                if let Some((s, ms)) = found {
+                    if ms < best_makespan {
+                        best_makespan = ms;
+                        best_schedule = Some(s);
+                        achieved = Some(ms);
+                    }
                 }
             }
-        }
-        IntegralDecision::Reject {
-            cut: no_good_cut(&cm.on_red, &assignment),
-            achieved,
-        }
-    });
+            IntegralDecision::Reject {
+                cut: no_good_cut(&cm.on_red, &assignment),
+                achieved,
+            }
+        },
+        cancel,
+    );
 
     let nodes = result.nodes + repair_nodes;
     let proven = result.proven && repair_complete;
@@ -677,7 +740,7 @@ mod tests {
 
     fn solve(platform: &Platform) -> ExactOutcome {
         let (g, _) = dex();
-        MilpBackend.solve(&g, platform, &SolveLimits::default())
+        ExactBackend::solve(&MilpBackend, &g, platform, &SolveLimits::default())
     }
 
     #[test]
@@ -715,7 +778,12 @@ mod tests {
     #[test]
     fn empty_graph_is_trivially_optimal() {
         let g = TaskGraph::new();
-        let outcome = MilpBackend.solve(&g, &Platform::default(), &SolveLimits::default());
+        let outcome = ExactBackend::solve(
+            &MilpBackend,
+            &g,
+            &Platform::default(),
+            &SolveLimits::default(),
+        );
         assert!(outcome.is_optimal());
         assert_eq!(outcome.makespan(), Some(0.0));
     }
@@ -725,7 +793,7 @@ mod tests {
         let (g, _) = dex();
         for (blue, red) in [(4.0, 5.0), (5.0, 4.0), (3.0, 5.0), (10.0, 10.0)] {
             let platform = Platform::single_pair(blue, red);
-            let milp = MilpBackend.solve(&g, &platform, &SolveLimits::default());
+            let milp = ExactBackend::solve(&MilpBackend, &g, &platform, &SolveLimits::default());
             let bb = BranchAndBound::default().solve(&g, &platform);
             assert!(bb.proven_optimal);
             match (milp.makespan(), bb.makespan) {
@@ -760,7 +828,7 @@ mod tests {
         // the extraction handles the packing; cross-check against bb.
         let (g, _) = dex();
         let platform = Platform::new(2, 2, 6.0, 6.0).unwrap();
-        let milp = MilpBackend.solve(&g, &platform, &SolveLimits::default());
+        let milp = ExactBackend::solve(&MilpBackend, &g, &platform, &SolveLimits::default());
         let bb = BranchAndBound::default().solve(&g, &platform);
         assert!(bb.proven_optimal);
         let (a, b) = (milp.makespan().unwrap(), bb.makespan.unwrap());

@@ -25,7 +25,7 @@
 
 use crate::model::{LpModel, Sense, StandardForm, VarId};
 use crate::simplex::{solve_lp, LpStatus};
-use mals_util::F64Ord;
+use mals_util::{CancelSignal, F64Ord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -163,7 +163,20 @@ impl MilpSolver {
         &self,
         model: &LpModel,
         initial_cutoff: Option<f64>,
+        on_integral: impl FnMut(&[f64], f64) -> IntegralDecision,
+    ) -> MilpResult {
+        self.solve_with_cancel(model, initial_cutoff, on_integral, CancelSignal::default())
+    }
+
+    /// [`MilpSolver::solve_with`] polling `cancel` once per node (LP solve):
+    /// a trip ends the search exactly like an exhausted node budget —
+    /// `proven` is forfeited and the incumbent, if any, is kept.
+    pub fn solve_with_cancel(
+        &self,
+        model: &LpModel,
+        initial_cutoff: Option<f64>,
         mut on_integral: impl FnMut(&[f64], f64) -> IntegralDecision,
+        cancel: CancelSignal<'_>,
     ) -> MilpResult {
         let mut working = model.clone();
         let mut sf = working.to_standard_form();
@@ -216,7 +229,7 @@ impl MilpSolver {
             // A node may be re-queued several times while the callback grows
             // the cut pool; each re-solve counts against the budget.
             loop {
-                if nodes >= self.limits.node_limit {
+                if nodes >= self.limits.node_limit || cancel.is_cancelled() {
                     proven = false;
                     break 'search;
                 }

@@ -47,9 +47,15 @@ impl Solver for BranchAndBound {
     }
 
     /// The combinatorial search under `ctx.limits` (the pool is unused: the
-    /// search is sequential by construction).
+    /// search is sequential by construction), polling `ctx.cancel` per node.
     fn solve(&self, graph: &TaskGraph, platform: &Platform, ctx: &SolveCtx) -> SolveOutcome {
-        outcome_from_exact(ExactBackend::solve(self, graph, platform, &ctx.limits))
+        outcome_from_exact(ExactBackend::solve_cancellable(
+            self,
+            graph,
+            platform,
+            &ctx.limits,
+            ctx.cancel,
+        ))
     }
 }
 
@@ -59,9 +65,15 @@ impl Solver for MilpBackend {
     }
 
     /// The MILP search under `ctx.limits` (node budget = LP solves,
-    /// iteration budget per LP).
+    /// iteration budget per LP), polling `ctx.cancel` per node.
     fn solve(&self, graph: &TaskGraph, platform: &Platform, ctx: &SolveCtx) -> SolveOutcome {
-        outcome_from_exact(ExactBackend::solve(self, graph, platform, &ctx.limits))
+        outcome_from_exact(ExactBackend::solve_cancellable(
+            self,
+            graph,
+            platform,
+            &ctx.limits,
+            ctx.cancel,
+        ))
     }
 }
 
@@ -127,7 +139,7 @@ mod tests {
     #[test]
     fn registry_contains_heuristics_and_exact_backends() {
         let registry = solver_registry();
-        assert_eq!(registry.len(), 11);
+        assert_eq!(registry.len(), 12);
         for key in ["memheft", "heft", "bb", "milp", "lp-export"] {
             assert!(registry.entry(key).is_some(), "missing {key}");
         }

@@ -77,6 +77,7 @@ fn main() {
     let ctx = SolveCtx {
         limits: SolveLimits::with_node_limit(200_000),
         pool: pool.as_ref(),
+        ..Default::default()
     };
     for (name, graph, platform) in &workloads {
         let reference = heft_reference(graph, platform);

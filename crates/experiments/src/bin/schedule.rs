@@ -7,6 +7,8 @@
 //! schedule -                      # read the request from stdin
 //! schedule --gen-tasks N [--gen-seed S] [--solver NAME] ...
 //!                                 # solve a generated daggen instance
+//! schedule ... --solver portfolio [--solvers a,b,c] [--deadline-ms N]
+//!                                 # race a solver portfolio (anytime)
 //! schedule --print-request        # emit a ready-to-edit example request
 //! schedule --list-solvers         # list the registry keys
 //! ```
@@ -67,6 +69,8 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut gen_tasks: Option<usize> = None;
     let mut gen_seed: Option<u64> = None;
+    let mut solvers: Option<Vec<String>> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut compact = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -117,13 +121,37 @@ fn main() {
                         .unwrap_or_else(|| fail("--gen-seed expects an integer")),
                 )
             }
+            "--solvers" => {
+                solvers = Some(
+                    iter.next()
+                        .map(|v| {
+                            v.split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty())
+                                .map(str::to_string)
+                                .collect::<Vec<_>>()
+                        })
+                        .filter(|keys| !keys.is_empty())
+                        .unwrap_or_else(|| {
+                            fail("--solvers expects a comma-separated list of registry keys")
+                        }),
+                )
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--deadline-ms expects an integer")),
+                )
+            }
             "--compact" => compact = true,
             "--help" | "-h" => {
                 // Requested help is a success, unlike the exit-2 error path.
                 println!(
                     "usage: schedule REQUEST.json|- [--solver NAME] [--threads N] [--seed N] \
-                     [--compact]\n       schedule --gen-tasks N [--gen-seed S] [--solver NAME] \
-                     ...\n       schedule --print-request | --list-solvers"
+                     [--solvers a,b,c] [--deadline-ms N] [--compact]\n       schedule \
+                     --gen-tasks N [--gen-seed S] [--solver NAME] ...\n       schedule \
+                     --print-request | --list-solvers"
                 );
                 return;
             }
@@ -164,6 +192,12 @@ fn main() {
     }
     if seed.is_some() {
         request.seed = seed;
+    }
+    if let Some(solvers) = solvers {
+        request.solvers = solvers;
+    }
+    if deadline_ms.is_some() {
+        request.deadline_ms = deadline_ms;
     }
 
     let report = solve_request(&request).unwrap_or_else(|e| fail(e));

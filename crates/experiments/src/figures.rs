@@ -229,6 +229,7 @@ fn single_dag_sweep(
             .map(|(_, node_limit)| SolveLimits::with_node_limit(node_limit))
             .unwrap_or_default(),
         pool: pool.as_ref(),
+        ..Default::default()
     };
     let points = sweep_absolute(
         &graph,

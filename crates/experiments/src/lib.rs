@@ -38,7 +38,8 @@ pub use campaign::{
 };
 pub use min_memory::{minimum_memory, minimum_memory_table, MinMemory};
 pub use service::{
-    example_request, solve_request, solve_with_engine, ServiceError, SolveReport, SolveRequest,
+    example_request, solve_request, solve_with_engine, MemberOutcome, ServiceError, SolveReport,
+    SolveRequest,
 };
 pub use sweep::{
     heft_reference, memory_oblivious_result, sweep_absolute, sweep_absolute_streaming, Reference,

@@ -15,12 +15,12 @@
 use mals_dag::{serialize, TaskGraph};
 use mals_exact::solver_registry;
 use mals_platform::Platform;
-use mals_sched::{Engine, EngineConfig, OptimalityStatus, SolveLimits};
+use mals_sched::{Engine, EngineConfig, MemberReport, OptimalityStatus, Portfolio, SolveLimits};
 use mals_sim::{
     peaks_from_json, peaks_to_json, schedule_from_json, schedule_to_json, validate, MemoryPeaks,
     Schedule,
 };
-use mals_util::{Json, ParallelConfig};
+use mals_util::{Deadline, Json, ParallelConfig};
 
 /// Encodes a `u64` losslessly: as a JSON number while `f64` is exact
 /// (≤ 2⁵³), as a decimal string beyond (seeds are arbitrary 64-bit values).
@@ -60,6 +60,13 @@ pub struct SolveRequest {
     pub limits: SolveLimits,
     /// Seed for randomised solvers (`None` = 0); echoed in the report.
     pub seed: Option<u64>,
+    /// Member keys when `solver` is `"portfolio"` (empty: the default
+    /// member set); ignored for ordinary solvers.
+    pub solvers: Vec<String>,
+    /// Wall-clock deadline for the solve in milliseconds (`None`: no
+    /// deadline). Every solver polls it cooperatively; a portfolio returns
+    /// the best member result available when it passes.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SolveRequest {
@@ -72,6 +79,8 @@ impl SolveRequest {
             threads: 1,
             limits: SolveLimits::default(),
             seed: None,
+            solvers: Vec::new(),
+            deadline_ms: None,
         }
     }
 
@@ -83,6 +92,15 @@ impl SolveRequest {
         ];
         if let Some(seed) = self.seed {
             pairs.push(("seed".into(), u64_to_json(seed)));
+        }
+        if !self.solvers.is_empty() {
+            pairs.push((
+                "solvers".into(),
+                Json::Arr(self.solvers.iter().map(Json::str).collect()),
+            ));
+        }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), u64_to_json(ms)));
         }
         pairs.push((
             "limits".into(),
@@ -128,6 +146,27 @@ impl SolveRequest {
                 ServiceError::BadRequest("`seed` must be a non-negative integer".into())
             })?),
         };
+        let solvers = match json.get("solvers") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(value) => value
+                .as_arr()
+                .ok_or_else(|| {
+                    ServiceError::BadRequest("`solvers` must be an array of registry keys".into())
+                })?
+                .iter()
+                .map(|item| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        ServiceError::BadRequest("`solvers` entries must be strings".into())
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let deadline_ms = match json.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(json_to_u64(value).ok_or_else(|| {
+                ServiceError::BadRequest("`deadline_ms` must be a non-negative integer".into())
+            })?),
+        };
         let mut limits = SolveLimits::default();
         if let Some(doc) = json.get("limits") {
             if let Some(n) = doc.get("node_limit") {
@@ -163,6 +202,8 @@ impl SolveRequest {
             threads,
             limits,
             seed,
+            solvers,
+            deadline_ms,
         })
     }
 
@@ -170,6 +211,88 @@ impl SolveRequest {
     pub fn parse(text: &str) -> Result<Self, ServiceError> {
         let json = Json::parse(text).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
         SolveRequest::from_json(&json)
+    }
+}
+
+/// One portfolio member's outcome, echoed in a portfolio [`SolveReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberOutcome {
+    /// Registry key of the member.
+    pub key: String,
+    /// Display name of the member.
+    pub name: String,
+    /// The member's own claimed status.
+    pub status: OptimalityStatus,
+    /// Makespan of the member's schedule, if it produced one.
+    pub makespan: Option<f64>,
+    /// Search effort the member spent.
+    pub nodes: u64,
+    /// Wall time the member ran for, in milliseconds.
+    pub wall_time_ms: u64,
+    /// `true` when the member was cooperatively cancelled.
+    pub cancelled: bool,
+    /// A contained panic, solver error, or validation exclusion.
+    pub error: Option<String>,
+}
+
+impl From<&MemberReport> for MemberOutcome {
+    fn from(member: &MemberReport) -> Self {
+        MemberOutcome {
+            key: member.key.clone(),
+            name: member.name.clone(),
+            status: member.status,
+            makespan: member.makespan,
+            nodes: member.nodes,
+            wall_time_ms: member.wall_time_ms,
+            cancelled: member.cancelled,
+            error: member.error.clone(),
+        }
+    }
+}
+
+impl MemberOutcome {
+    /// Serialises the member outcome.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("key".to_string(), Json::str(&self.key)),
+            ("name".to_string(), Json::str(&self.name)),
+            ("status".to_string(), Json::str(self.status.as_str())),
+            (
+                "makespan".to_string(),
+                self.makespan.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("nodes".to_string(), u64_to_json(self.nodes)),
+            ("wall_time_ms".to_string(), u64_to_json(self.wall_time_ms)),
+            ("cancelled".to_string(), Json::Bool(self.cancelled)),
+        ];
+        if let Some(error) = &self.error {
+            pairs.push(("error".into(), Json::str(error)));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses the shape produced by [`MemberOutcome::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        let text = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServiceError::BadRequest(format!("member missing `{key}`")))
+        };
+        Ok(MemberOutcome {
+            key: text("key")?,
+            name: text("name")?,
+            status: OptimalityStatus::parse(&text("status")?)
+                .ok_or_else(|| ServiceError::BadRequest("unknown member `status`".into()))?,
+            makespan: json.get("makespan").and_then(Json::as_f64),
+            nodes: json.get("nodes").and_then(json_to_u64).unwrap_or(0),
+            wall_time_ms: json.get("wall_time_ms").and_then(json_to_u64).unwrap_or(0),
+            cancelled: json
+                .get("cancelled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            error: json.get("error").and_then(Json::as_str).map(str::to_string),
+        })
     }
 }
 
@@ -203,6 +326,12 @@ pub struct SolveReport {
     pub threads: usize,
     /// The request's seed, echoed for provenance.
     pub seed: Option<u64>,
+    /// The request's deadline, echoed for provenance.
+    pub deadline_ms: Option<u64>,
+    /// Per-member outcomes of a portfolio race (empty for ordinary solves).
+    pub members: Vec<MemberOutcome>,
+    /// Registry key of the winning portfolio member, if any.
+    pub winner: Option<String>,
     /// Why the instance was rejected, when it never reached the solver.
     pub error: Option<String>,
 }
@@ -241,6 +370,18 @@ impl SolveReport {
         ];
         if let Some(seed) = self.seed {
             pairs.push(("seed".into(), u64_to_json(seed)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), u64_to_json(ms)));
+        }
+        if !self.members.is_empty() {
+            pairs.push((
+                "portfolio".into(),
+                Json::Arr(self.members.iter().map(MemberOutcome::to_json).collect()),
+            ));
+        }
+        if let Some(winner) = &self.winner {
+            pairs.push(("winner".into(), Json::str(winner)));
         }
         if let Some(error) = &self.error {
             pairs.push(("error".into(), Json::str(error)));
@@ -299,6 +440,20 @@ impl SolveReport {
                 .unwrap_or(0.0),
             threads: json.get("threads").and_then(Json::as_usize).unwrap_or(1),
             seed: json.get("seed").and_then(json_to_u64),
+            deadline_ms: json.get("deadline_ms").and_then(json_to_u64),
+            members: match json.get("portfolio") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(doc) => doc
+                    .as_arr()
+                    .ok_or_else(|| ServiceError::BadRequest("`portfolio` must be an array".into()))?
+                    .iter()
+                    .map(MemberOutcome::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            winner: json
+                .get("winner")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             error: json.get("error").and_then(Json::as_str).map(str::to_string),
         })
     }
@@ -370,12 +525,30 @@ pub fn solve_with_engine(
                 known: engine.registry().keys(),
             })?;
     let info = entry.info;
-    let solver = entry.build(request.seed.unwrap_or(0));
+    let seed = request.seed.unwrap_or(0);
     let mut ctx = engine.ctx();
     ctx.limits = request.limits;
+    ctx.cancel.deadline = request.deadline_ms.map(Deadline::after_millis);
 
+    // The `portfolio` key is dispatched through `Portfolio::solve_race`
+    // directly (not through the registry factory) so the request can select
+    // the member set and the report can echo the per-member breakdown.
     let started = std::time::Instant::now();
-    let outcome = solver.solve(&request.graph, &request.platform, &ctx);
+    let (solver_name, outcome, members, winner) = if info.key == "portfolio" {
+        let portfolio = Portfolio::from_registry(engine.registry(), &request.solvers, seed)
+            .map_err(|key| ServiceError::UnknownSolver {
+                name: key,
+                known: engine.registry().keys(),
+            })?;
+        let race = portfolio.solve_race(&request.graph, &request.platform, &ctx);
+        let members: Vec<MemberOutcome> = race.members.iter().map(MemberOutcome::from).collect();
+        let winner = race.winner_key().map(str::to_string);
+        ("Portfolio".to_string(), race.outcome, members, winner)
+    } else {
+        let solver = entry.build(seed);
+        let outcome = solver.solve(&request.graph, &request.platform, &ctx);
+        (solver.name().to_string(), outcome, Vec::new(), None)
+    };
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
 
     // Memory-oblivious baselines schedule on the unbounded platform by
@@ -391,7 +564,7 @@ pub fn solve_with_engine(
         .as_ref()
         .map(|s| validate(&request.graph, &validation_platform, s));
     Ok(SolveReport {
-        solver: solver.name().to_string(),
+        solver: solver_name,
         solver_key: info.key.to_string(),
         engine_version: env!("CARGO_PKG_VERSION").to_string(),
         status: outcome.status,
@@ -407,6 +580,9 @@ pub fn solve_with_engine(
         wall_time_ms,
         threads: engine.threads(),
         seed: request.seed,
+        deadline_ms: request.deadline_ms,
+        members,
+        winner,
         error: outcome.error,
     })
 }
@@ -429,6 +605,8 @@ mod tests {
         request.threads = 4;
         request.seed = Some(99);
         request.limits = SolveLimits::with_node_limit(1234);
+        request.solvers = vec!["memheft".into(), "memminmin".into()];
+        request.deadline_ms = Some(750);
         let json = request.to_json();
         assert_eq!(SolveRequest::from_json(&json).unwrap(), request);
         // Through text (pretty and compact).
@@ -549,6 +727,61 @@ mod tests {
         let report = solve_request(&reparsed).unwrap();
         assert_eq!(report.valid, Some(true));
         assert!(report.threads >= 1); // 0 resolved to the actual core count
+    }
+
+    #[test]
+    fn portfolio_request_reports_member_breakdown() {
+        let mut request = example_request();
+        request.solver = "portfolio".into();
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.solver, "Portfolio");
+        assert_eq!(report.solver_key, "portfolio");
+        assert_eq!(report.status, OptimalityStatus::Heuristic);
+        assert_eq!(report.valid, Some(true));
+        assert_eq!(report.members.len(), mals_sched::DEFAULT_MEMBERS.len());
+        let winner = report
+            .winner
+            .as_deref()
+            .expect("dex at bound 5 is feasible");
+        let winning = report.members.iter().find(|m| m.key == winner).unwrap();
+        assert_eq!(winning.makespan, report.makespan);
+        // The member breakdown and deadline echo survive the JSON round-trip.
+        let back = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(back, report);
+
+        // A custom member set may mix heuristics and exact backends; the
+        // aggregate inherits the winner's status (`bb` first so a makespan
+        // tie resolves to the exact proof).
+        request.solvers = vec!["bb".into(), "memheft".into()];
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.members.len(), 2);
+        assert_eq!(report.status, OptimalityStatus::Optimal);
+        assert_eq!(report.makespan, Some(6.0));
+
+        // Unknown member keys are named errors.
+        request.solvers = vec!["memheft".into(), "cplex".into()];
+        let err = solve_request(&request).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownSolver { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_yields_limit_hit_with_echo() {
+        let mut request = example_request();
+        request.solver = "portfolio".into();
+        request.deadline_ms = Some(0);
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.status, OptimalityStatus::LimitHit);
+        assert!(report.schedule.is_none());
+        assert_eq!(report.deadline_ms, Some(0));
+        assert!(report.members.iter().all(|m| m.cancelled));
+        assert_eq!(report.winner, None);
+        let back = SolveReport::parse(&report.to_json().to_compact()).unwrap();
+        assert_eq!(back, report);
+        // Ordinary solvers honour the deadline through the same field.
+        request.solver = "memheft".into();
+        let report = solve_request(&request).unwrap();
+        assert_eq!(report.status, OptimalityStatus::LimitHit);
+        assert!(report.members.is_empty());
     }
 
     #[test]

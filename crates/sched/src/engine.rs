@@ -22,11 +22,12 @@
 //! assert!(outcome.schedule.is_some());
 //! ```
 
+use crate::portfolio::{Portfolio, PortfolioReport};
 use crate::registry::SolverRegistry;
 use crate::solver::{SolveCtx, SolveLimits, SolveOutcome, Solver};
 use mals_dag::TaskGraph;
 use mals_platform::Platform;
-use mals_util::{ParallelConfig, WorkerPool};
+use mals_util::{CancelSignal, Deadline, ParallelConfig, WorkerPool};
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -132,6 +133,7 @@ impl Engine {
         SolveCtx {
             limits: self.limits,
             pool: Some(&self.pool),
+            cancel: CancelSignal::default(),
         }
     }
 
@@ -170,6 +172,33 @@ impl Engine {
     ) -> Result<SolveOutcome, EngineError> {
         let solver = self.solver_seeded(name, seed)?;
         Ok(solver.solve(graph, platform, &self.ctx()))
+    }
+
+    /// Races a solver portfolio on this engine's pool and returns the full
+    /// per-member breakdown (see [`Portfolio::solve_race`] for the racing
+    /// and determinism rules).
+    ///
+    /// `keys` selects the members from this engine's registry (empty:
+    /// [`DEFAULT_MEMBERS`](crate::portfolio::DEFAULT_MEMBERS)); `deadline`
+    /// bounds the race — every member polls it cooperatively and yields its
+    /// incumbent-so-far once it passes.
+    pub fn solve_portfolio<S: AsRef<str>>(
+        &self,
+        keys: &[S],
+        seed: u64,
+        graph: &TaskGraph,
+        platform: &Platform,
+        deadline: Option<Deadline>,
+    ) -> Result<PortfolioReport, EngineError> {
+        let portfolio = Portfolio::from_registry(&self.registry, keys, seed).map_err(|key| {
+            EngineError::UnknownSolver {
+                name: key,
+                known: self.registry.keys(),
+            }
+        })?;
+        let mut ctx = self.ctx();
+        ctx.cancel.deadline = deadline;
+        Ok(portfolio.solve_race(graph, platform, &ctx))
     }
 
     /// Solves many graphs with one solver instance, reusing the pool for the
@@ -271,10 +300,31 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_solve_matches_best_member() {
+        let engine = engine(2);
+        let (g, _) = dex();
+        let platform = Platform::single_pair(6.0, 6.0);
+        let report = engine
+            .solve_portfolio::<&str>(&[], 0, &g, &platform, None)
+            .unwrap();
+        let winner = report.winner.expect("dex is feasible at bound 6");
+        let best = report.outcome.makespan().unwrap();
+        let direct = engine
+            .solve(report.members[winner].key.as_str(), &g, &platform)
+            .unwrap();
+        assert_eq!(direct.makespan(), Some(best));
+        let err = engine
+            .solve_portfolio(&["memheft", "gurobi"], 0, &g, &platform, None)
+            .unwrap_err();
+        let EngineError::UnknownSolver { name, .. } = &err;
+        assert_eq!(name, "gurobi");
+    }
+
+    #[test]
     fn debug_and_accessors() {
         let engine = engine(3);
         assert_eq!(engine.limits(), SolveLimits::default());
-        assert_eq!(engine.registry().len(), 8);
+        assert_eq!(engine.registry().len(), 9);
         let debug = format!("{engine:?}");
         assert!(debug.contains("memheft"));
         assert!(debug.contains("threads: 3"));

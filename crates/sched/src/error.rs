@@ -18,6 +18,15 @@ pub enum ScheduleError {
         /// Total number of tasks in the graph.
         total: usize,
     },
+    /// The solve was cooperatively cancelled (token tripped or deadline
+    /// passed) before the schedule was complete. The partial placements are
+    /// discarded — a prefix of a schedule is not a schedule.
+    Cancelled {
+        /// Number of tasks placed before the cancellation was observed.
+        scheduled: usize,
+        /// Total number of tasks in the graph.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -29,6 +38,10 @@ impl std::fmt::Display for ScheduleError {
                 "the graph cannot be processed within the memory bounds \
                  ({scheduled}/{total} tasks placed)"
             ),
+            ScheduleError::Cancelled { scheduled, total } => write!(
+                f,
+                "the solve was cancelled ({scheduled}/{total} tasks placed)"
+            ),
         }
     }
 }
@@ -37,7 +50,7 @@ impl std::error::Error for ScheduleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScheduleError::InvalidGraph(e) => Some(e),
-            ScheduleError::Infeasible { .. } => None,
+            ScheduleError::Infeasible { .. } | ScheduleError::Cancelled { .. } => None,
         }
     }
 }
@@ -63,6 +76,12 @@ mod tests {
         assert!(e.to_string().contains("3/10"));
         let g = ScheduleError::InvalidGraph(GraphError::Cycle(TaskId::from_index(0)));
         assert!(g.to_string().contains("cycle"));
+        let c = ScheduleError::Cancelled {
+            scheduled: 5,
+            total: 9,
+        };
+        assert!(c.to_string().contains("cancelled"));
+        assert!(c.to_string().contains("5/9"));
     }
 
     #[test]

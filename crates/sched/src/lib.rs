@@ -37,7 +37,12 @@
 //!   ([`SolverRegistry::heuristics`] registers everything in this crate;
 //!   `mals_exact::solver_registry()` adds the exact backends);
 //! * [`Engine`] — a reusable session owning the worker pool and the default
-//!   [`SolveLimits`], with single-solve and batch APIs.
+//!   [`SolveLimits`], with single-solve and batch APIs;
+//! * [`Portfolio`] — anytime racing: a member set solved concurrently on the
+//!   worker pool with cooperative cancellation (deadlines, caller tokens,
+//!   cancel-on-optimal) and deterministic winner selection
+//!   ([`Engine::solve_portfolio`](Engine::solve_portfolio) is the
+//!   session-level entry point).
 //!
 //! # Example
 //!
@@ -65,6 +70,7 @@ pub mod incremental;
 pub mod memheft;
 pub mod memminmin;
 pub mod partial;
+pub mod portfolio;
 pub mod registry;
 pub mod solver;
 pub mod traits;
@@ -77,6 +83,7 @@ pub use incremental::EstCache;
 pub use memheft::MemHeft;
 pub use memminmin::MemMinMin;
 pub use partial::{CommitEffects, EstBreakdown, PartialSchedule};
+pub use portfolio::{MemberReport, Portfolio, PortfolioReport, DEFAULT_MEMBERS};
 pub use registry::{SolverEntry, SolverInfo, SolverRegistry};
 pub use solver::{OptimalityStatus, SolveCtx, SolveLimits, SolveOutcome, Solver};
 pub use traits::Scheduler;

@@ -22,7 +22,7 @@ use crate::traits::Scheduler;
 use mals_dag::{rank, TaskGraph, TaskId};
 use mals_platform::Platform;
 use mals_sim::Schedule;
-use mals_util::{ParallelConfig, WorkerPool};
+use mals_util::{CancelSignal, ParallelConfig, WorkerPool};
 
 /// The MemHEFT scheduler (Algorithm 1 of the paper).
 ///
@@ -88,14 +88,15 @@ pub fn schedule_with_priority_engine(
     parallel: ParallelConfig,
     prefer_red: bool,
 ) -> Result<Schedule, ScheduleError> {
+    let cancel = CancelSignal::default();
     if parallel.resolved_threads() <= 1 {
-        schedule_with_priority_pooled(graph, platform, order, None, prefer_red)
+        schedule_with_priority_pooled(graph, platform, order, None, prefer_red, cancel)
     } else {
         // A transient pool for this one schedule; callers that solve many
         // graphs should hold a pool (e.g. via an `Engine`) and use
         // [`schedule_with_priority_pooled`] to amortise the thread startup.
         let pool = WorkerPool::new(parallel);
-        schedule_with_priority_pooled(graph, platform, order, Some(&pool), prefer_red)
+        schedule_with_priority_pooled(graph, platform, order, Some(&pool), prefer_red, cancel)
     }
 }
 
@@ -112,12 +113,18 @@ pub fn schedule_with_priority_engine(
 /// every step, the first ready task in priority order whose evaluation is
 /// feasible — the cache returns the same bits a fresh evaluation would — so
 /// the schedule is unchanged from the scan-everything engine.
+///
+/// `cancel` is polled once per committed task: when it trips, the loop
+/// returns [`ScheduleError::Cancelled`] without committing anything further
+/// (partial placements are discarded — a prefix of a schedule is not a
+/// schedule). [`CancelSignal::default`] never trips.
 pub fn schedule_with_priority_pooled(
     graph: &TaskGraph,
     platform: &Platform,
     order: &[TaskId],
     pool: Option<&WorkerPool>,
     prefer_red: bool,
+    cancel: CancelSignal<'_>,
 ) -> Result<Schedule, ScheduleError> {
     graph.validate()?;
     debug_assert_eq!(
@@ -143,6 +150,12 @@ pub fn schedule_with_priority_pooled(
     let pool = pool.filter(|p| p.threads() > 1);
 
     while !partial.is_complete() {
+        if cancel.is_cancelled() {
+            return Err(ScheduleError::Cancelled {
+                scheduled: partial.n_scheduled(),
+                total: graph.n_tasks(),
+            });
+        }
         let mut chosen = None;
         match pool {
             None => {

@@ -13,7 +13,7 @@ use crate::traits::Scheduler;
 use mals_dag::{TaskGraph, TaskId};
 use mals_platform::Platform;
 use mals_sim::Schedule;
-use mals_util::{ParallelConfig, WorkerPool};
+use mals_util::{CancelSignal, ParallelConfig, WorkerPool};
 
 /// The MemMinMin scheduler (Algorithm 2 of the paper).
 ///
@@ -58,17 +58,28 @@ impl MemMinMin {
     /// The selection itself still scans the ready list in task-id order with
     /// the exact comparison of [`PartialSchedule::best_ready_choice`], so
     /// the chosen placements are unchanged.
+    ///
+    /// `cancel` is polled once per committed task: when it trips, the loop
+    /// returns [`ScheduleError::Cancelled`] instead of committing anything
+    /// further. [`CancelSignal::default`] never trips.
     pub fn schedule_pooled(
         &self,
         graph: &TaskGraph,
         platform: &Platform,
         pool: Option<&WorkerPool>,
+        cancel: CancelSignal<'_>,
     ) -> Result<Schedule, ScheduleError> {
         graph.validate()?;
         let mut partial = PartialSchedule::new(graph, platform);
         let mut cache = EstCache::new(graph.n_tasks());
         let pool = pool.filter(|p| p.threads() > 1);
         while !partial.is_complete() {
+            if cancel.is_cancelled() {
+                return Err(ScheduleError::Cancelled {
+                    scheduled: partial.n_scheduled(),
+                    total: graph.n_tasks(),
+                });
+            }
             let ready = partial.ready_tasks();
             if let Some(pool) = pool {
                 // Refresh every stale candidate in one fan-out, then reduce
@@ -109,13 +120,14 @@ impl Scheduler for MemMinMin {
     }
 
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Result<Schedule, ScheduleError> {
+        let cancel = CancelSignal::default();
         if self.parallel.resolved_threads() <= 1 {
-            self.schedule_pooled(graph, platform, None)
+            self.schedule_pooled(graph, platform, None, cancel)
         } else {
             // One pool for the whole schedule: the workers persist across
             // the thousands of selection steps instead of being re-spawned.
             let pool = WorkerPool::new(self.parallel);
-            self.schedule_pooled(graph, platform, Some(&pool))
+            self.schedule_pooled(graph, platform, Some(&pool), cancel)
         }
     }
 }

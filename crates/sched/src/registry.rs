@@ -80,6 +80,7 @@ impl SolverRegistry {
     /// | `memheft-memreq` | MemHEFT with memory-requirement priorities |
     /// | `memheft-red` | MemHEFT preferring red on EFT ties |
     /// | `memheft-rand` | MemHEFT with seeded random tie-breaking |
+    /// | `portfolio` | anytime race over the memory-aware heuristics |
     pub fn heuristics() -> Self {
         let mut registry = SolverRegistry::empty();
         registry.register(
@@ -174,6 +175,15 @@ impl SolverRegistry {
                 })
             },
         );
+        registry.register(
+            SolverInfo {
+                key: "portfolio",
+                summary: "Portfolio — races the memory-aware heuristics, best makespan wins",
+                memory_aware: true,
+                exact: false,
+            },
+            |seed| Box::new(crate::portfolio::Portfolio::default_heuristics(seed)),
+        );
         registry
     }
 
@@ -239,7 +249,7 @@ mod tests {
     #[test]
     fn heuristic_registry_contents() {
         let registry = SolverRegistry::heuristics();
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         assert!(!registry.is_empty());
         for key in [
             "memheft",
@@ -250,6 +260,7 @@ mod tests {
             "memheft-memreq",
             "memheft-red",
             "memheft-rand",
+            "portfolio",
         ] {
             assert!(registry.entry(key).is_some(), "missing {key}");
             assert!(!registry.entry(key).unwrap().info.exact);

@@ -28,7 +28,7 @@ use crate::unbounded::Unbounded;
 use mals_dag::{rank, TaskGraph};
 use mals_platform::Platform;
 use mals_sim::Schedule;
-use mals_util::WorkerPool;
+use mals_util::{CancelSignal, CancelToken, Deadline, WorkerPool};
 
 /// Budgets shared by every solver (the heuristics ignore them).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,9 +62,10 @@ impl SolveLimits {
     }
 }
 
-/// Per-solve context handed to every [`Solver`]: the budgets and the shared
-/// worker pool, owned by the caller (typically an [`Engine`](crate::Engine))
-/// so that pool startup is amortised across many solves.
+/// Per-solve context handed to every [`Solver`]: the budgets, the shared
+/// worker pool, and the cooperative cancellation signal, owned by the caller
+/// (typically an [`Engine`](crate::Engine)) so that pool startup is
+/// amortised across many solves.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveCtx<'a> {
     /// Budgets for exact solvers.
@@ -72,6 +73,11 @@ pub struct SolveCtx<'a> {
     /// Worker pool for within-schedule parallelism (`None`: run
     /// sequentially). A pool of 1 thread is equivalent to `None`.
     pub pool: Option<&'a WorkerPool>,
+    /// Cooperative cancellation: solvers poll this once per committed task
+    /// (heuristics) or explored node (exact backends) and return
+    /// [`OptimalityStatus::LimitHit`] — with the incumbent-so-far, if any —
+    /// once it trips. Default: never cancelled.
+    pub cancel: CancelSignal<'a>,
 }
 
 impl<'a> SolveCtx<'a> {
@@ -82,7 +88,10 @@ impl<'a> SolveCtx<'a> {
 
     /// A sequential context with the given limits.
     pub fn with_limits(limits: SolveLimits) -> SolveCtx<'static> {
-        SolveCtx { limits, pool: None }
+        SolveCtx {
+            limits,
+            ..SolveCtx::default()
+        }
     }
 
     /// A context evaluating on `pool` with the given limits.
@@ -90,7 +99,27 @@ impl<'a> SolveCtx<'a> {
         SolveCtx {
             limits,
             pool: Some(pool),
+            cancel: CancelSignal::default(),
         }
+    }
+
+    /// Returns a copy observing `token` (replacing any previous token).
+    pub fn with_cancel_token(mut self, token: &'a CancelToken) -> SolveCtx<'a> {
+        self.cancel.token = Some(token);
+        self
+    }
+
+    /// Returns a copy observing `deadline` (replacing any previous one).
+    pub fn with_deadline(mut self, deadline: Deadline) -> SolveCtx<'a> {
+        self.cancel.deadline = Some(deadline);
+        self
+    }
+
+    /// True once the solve should wind down (token tripped or deadline
+    /// passed). Solvers poll this at their per-commit / per-node check
+    /// points.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     /// The pool, if it would actually parallelise anything.
@@ -198,13 +227,19 @@ impl SolveOutcome {
 
     /// Maps a [`Scheduler`] result to a heuristic outcome:
     /// success → [`OptimalityStatus::Heuristic`], infeasibility →
-    /// [`OptimalityStatus::Infeasible`], and any other scheduling error →
-    /// `Infeasible` with [`SolveOutcome::error`] recording the cause.
+    /// [`OptimalityStatus::Infeasible`], cancellation →
+    /// [`OptimalityStatus::LimitHit`] (a heuristic has no incumbent to
+    /// salvage: a prefix of a schedule is not a schedule), and any other
+    /// scheduling error → `Infeasible` with [`SolveOutcome::error`]
+    /// recording the cause.
     pub fn from_heuristic(result: Result<Schedule, ScheduleError>) -> Self {
         match result {
             Ok(schedule) => SolveOutcome::with_schedule(schedule, OptimalityStatus::Heuristic, 0),
             Err(ScheduleError::Infeasible { .. }) => {
                 SolveOutcome::without_schedule(OptimalityStatus::Infeasible, 0)
+            }
+            Err(ScheduleError::Cancelled { .. }) => {
+                SolveOutcome::without_schedule(OptimalityStatus::LimitHit, 0)
             }
             Err(e) => SolveOutcome {
                 schedule: None,
@@ -285,6 +320,7 @@ impl Solver for MemHeft {
             &order,
             ctx.parallel_pool(),
             false,
+            ctx.cancel,
         ))
     }
 }
@@ -297,7 +333,12 @@ impl Solver for MemMinMin {
     /// MemMinMin with the ready-list evaluations spread over `ctx.pool`
     /// (bit-identical to the sequential run for any thread count).
     fn solve(&self, graph: &TaskGraph, platform: &Platform, ctx: &SolveCtx) -> SolveOutcome {
-        SolveOutcome::from_heuristic(self.schedule_pooled(graph, platform, ctx.parallel_pool()))
+        SolveOutcome::from_heuristic(self.schedule_pooled(
+            graph,
+            platform,
+            ctx.parallel_pool(),
+            ctx.cancel,
+        ))
     }
 }
 
@@ -319,6 +360,7 @@ impl Solver for MemHeftVariant {
             &order,
             ctx.parallel_pool(),
             self.memory_preference == crate::ablation::MemoryPreference::Red,
+            ctx.cancel,
         ))
     }
 }

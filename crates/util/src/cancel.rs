@@ -1,0 +1,204 @@
+//! Cooperative cancellation primitives for anytime solving.
+//!
+//! Solvers in the workspace are *cooperatively* cancellable: a long-running
+//! search periodically polls a [`CancelSignal`] (a shared [`CancelToken`]
+//! plus an optional wall-clock [`Deadline`]) at its natural quiescent points
+//! — once per committed task for the list heuristics, once per explored node
+//! for the exact backends — and winds down with its incumbent-so-far when
+//! the signal trips. Nothing is ever killed mid-commit, so every schedule
+//! that escapes a cancelled solve is still internally consistent.
+//!
+//! Tokens form a single-level hierarchy: [`CancelToken::child`] creates a
+//! token that also trips when its parent does, which is how a portfolio race
+//! cancels individual members without the members being able to cancel each
+//! other.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared, thread-safe cancellation flag.
+///
+/// Cloning a token yields a handle to the *same* flag; tripping any clone
+/// trips them all. A token created with [`CancelToken::child`] additionally
+/// observes its parent: it reports cancelled when either its own flag or the
+/// parent's is set, but cancelling the child never propagates upward.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    own: Arc<AtomicBool>,
+    parent: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a token that also trips when `parent` trips. Tripping the
+    /// child does not affect the parent.
+    pub fn child(parent: &CancelToken) -> Self {
+        CancelToken {
+            own: Arc::new(AtomicBool::new(false)),
+            parent: Some(parent.own.clone()),
+        }
+    }
+
+    /// Trips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.own.store(true, Ordering::Release);
+    }
+
+    /// True once this token (or its parent, for child tokens) has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.own.load(Ordering::Acquire)
+            || self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.load(Ordering::Acquire))
+    }
+}
+
+/// A wall-clock deadline, compared against [`Instant::now`] when polled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + timeout,
+        }
+    }
+
+    /// A deadline `millis` milliseconds from now.
+    pub fn after_millis(millis: u64) -> Self {
+        Self::after(Duration::from_millis(millis))
+    }
+
+    /// The instant at which the deadline expires.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+}
+
+/// The cancellation inputs a solver polls: an optional shared token and an
+/// optional deadline. `Default` is "never cancelled", so existing call sites
+/// that don't care about cancellation cost one branch per poll.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CancelSignal<'a> {
+    /// Shared flag tripped by whoever wants the solve to stop.
+    pub token: Option<&'a CancelToken>,
+    /// Wall-clock budget; the solve stops at its next poll after expiry.
+    pub deadline: Option<Deadline>,
+}
+
+impl<'a> CancelSignal<'a> {
+    /// A signal that only observes `token`.
+    pub fn from_token(token: &'a CancelToken) -> Self {
+        CancelSignal {
+            token: Some(token),
+            deadline: None,
+        }
+    }
+
+    /// A signal that only observes `deadline`.
+    pub fn from_deadline(deadline: Deadline) -> Self {
+        CancelSignal {
+            token: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Returns a copy with the deadline set (replacing any existing one).
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// True once the token has tripped or the deadline has passed. This is
+    /// the poll solvers place at their per-commit / per-node check points.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_some_and(CancelToken::is_cancelled)
+            || self.deadline.is_some_and(|d| d.expired())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_untripped() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = CancelToken::child(&parent);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+
+        let parent2 = CancelToken::new();
+        let child2 = CancelToken::child(&parent2);
+        child2.cancel();
+        assert!(child2.is_cancelled());
+        assert!(!parent2.is_cancelled(), "child must not trip the parent");
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        let handle = std::thread::spawn(move || u.cancel());
+        handle.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let past = Deadline::after(Duration::ZERO);
+        assert!(past.expired());
+        let future = Deadline::after(Duration::from_secs(3600));
+        assert!(!future.expired());
+        assert!(future.instant() > Instant::now());
+    }
+
+    #[test]
+    fn signal_combines_token_and_deadline() {
+        assert!(!CancelSignal::default().is_cancelled());
+
+        let t = CancelToken::new();
+        let s = CancelSignal::from_token(&t);
+        assert!(!s.is_cancelled());
+        t.cancel();
+        assert!(s.is_cancelled());
+
+        let s = CancelSignal::from_deadline(Deadline::after(Duration::from_secs(3600)));
+        assert!(!s.is_cancelled());
+        let s = s.with_deadline(Deadline::after(Duration::ZERO));
+        assert!(s.is_cancelled());
+    }
+}

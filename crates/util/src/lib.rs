@@ -21,9 +21,13 @@
 //! * [`streaming`] — constant-memory aggregation (Welford accumulators and a
 //!   fixed-grid quantile sketch) for campaigns too large to hold their
 //!   per-instance results, with bit-exact JSON checkpointing.
+//! * [`cancel`] — cooperative cancellation primitives ([`CancelToken`],
+//!   [`Deadline`], [`CancelSignal`]) polled by the anytime solvers and the
+//!   portfolio racer.
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod float;
 pub mod json;
 pub mod pool;
@@ -32,6 +36,7 @@ pub mod staircase;
 pub mod stats;
 pub mod streaming;
 
+pub use cancel::{CancelSignal, CancelToken, Deadline};
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
 pub use json::{Json, JsonError};
 pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig, WorkerPool};

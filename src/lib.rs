@@ -76,12 +76,15 @@ pub use mals_util as util;
 pub mod prelude {
     pub use mals_dag::{EdgeId, TaskGraph, TaskId};
     pub use mals_exact::{build_ilp, solver_registry, BranchAndBound};
-    pub use mals_experiments::{solve_request, solve_with_engine, SolveReport, SolveRequest};
+    pub use mals_experiments::{
+        solve_request, solve_with_engine, MemberOutcome, SolveReport, SolveRequest,
+    };
     pub use mals_gen::{cholesky_dag, dex, lu_dag, DaggenParams, KernelCosts, WeightRanges};
     pub use mals_platform::{Memory, Platform};
     pub use mals_sched::{
-        Engine, EngineConfig, Heft, MemHeft, MemMinMin, MinMin, OptimalityStatus, ScheduleError,
-        Scheduler, SolveCtx, SolveLimits, SolveOutcome, Solver, SolverRegistry,
+        Engine, EngineConfig, Heft, MemHeft, MemMinMin, MemberReport, MinMin, OptimalityStatus,
+        Portfolio, PortfolioReport, ScheduleError, Scheduler, SolveCtx, SolveLimits, SolveOutcome,
+        Solver, SolverRegistry, DEFAULT_MEMBERS,
     };
     pub use mals_sim::{memory_peaks, validate, Schedule};
     pub use mals_util::{Json, Pcg64};

@@ -179,15 +179,23 @@ proptest! {
     /// `SolveRequest` round-trips through JSON text exactly.
     #[test]
     fn request_json_roundtrip(seed in any::<u64>(), n_tasks in 1usize..12,
-                              threads in 0usize..8, node_limit in 1usize..1_000_000) {
+                              threads in 0usize..8, node_limit in 1usize..1_000_000,
+                              deadline in 0usize..100_000, has_deadline in any::<bool>(),
+                              portfolio in any::<bool>()) {
         let (graph, platform) = small_instance(seed, n_tasks.max(4));
         let request = SolveRequest {
             graph,
             platform,
-            solver: "memheft-rand".into(),
+            solver: if portfolio { "portfolio".into() } else { "memheft-rand".into() },
             threads,
             limits: SolveLimits::with_node_limit(node_limit as u64),
             seed: Some(seed),
+            solvers: if portfolio {
+                vec!["memheft".into(), "memminmin".into()]
+            } else {
+                Vec::new()
+            },
+            deadline_ms: has_deadline.then_some(deadline as u64),
         };
         let text = request.to_json().to_pretty();
         prop_assert_eq!(SolveRequest::parse(&text).unwrap(), request);
@@ -198,7 +206,7 @@ proptest! {
     #[test]
     fn report_json_roundtrip(seed in any::<u64>()) {
         let (graph, platform) = small_instance(seed, 6);
-        for key in ["memheft", "memminmin", "heft", "bb", "milp"] {
+        for key in ["memheft", "memminmin", "heft", "bb", "milp", "portfolio"] {
             let request = SolveRequest {
                 graph: graph.clone(),
                 platform: platform.clone(),
@@ -206,10 +214,21 @@ proptest! {
                 threads: 1,
                 limits: SolveLimits::with_node_limit(100_000),
                 seed: None,
+                solvers: Vec::new(),
+                deadline_ms: (key == "portfolio").then_some(60_000),
             };
             let report = solve_request(&request).unwrap();
             let back = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
             prop_assert_eq!(&back, &report, "{} diverged through JSON", key);
+            if key == "portfolio" {
+                // The member breakdown and deadline echo must survive the
+                // round-trip, and a winner implies a matching member entry.
+                prop_assert_eq!(back.members.len(), DEFAULT_MEMBERS.len());
+                prop_assert_eq!(back.deadline_ms, Some(60_000));
+                if let Some(winner) = &back.winner {
+                    prop_assert!(back.members.iter().any(|m| &m.key == winner));
+                }
+            }
             if let Some(schedule) = &back.schedule {
                 let check = if key == "heft" { platform.unbounded() } else { platform.clone() };
                 prop_assert!(validate(&graph, &check, schedule).is_valid());
