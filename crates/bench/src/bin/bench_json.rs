@@ -244,6 +244,43 @@ fn benches(quick: bool) -> Vec<Bench> {
         min_samples: Some(3),
     });
 
+    // The service layer (PR 7): one full sustained-load cycle — an
+    // in-process `malsd` on a loopback socket, a closed-loop loadgen over 8
+    // concurrent connections, graceful shutdown. The wall time is dominated
+    // by request handling (framing, admission, queueing, response fan-out),
+    // not the solves themselves, which is exactly the surface this bench
+    // guards: a regression here is a service-layer regression.
+    {
+        use mals_experiments::daemon::{Daemon, DaemonConfig};
+        use mals_experiments::loadgen::{run_loadgen, LoadgenConfig};
+        set.push(Bench {
+            id: "service/daemon-sustained-8x25-120".into(),
+            run: Box::new(|| {
+                let handle = Daemon::start(DaemonConfig {
+                    queue_capacity: 256,
+                    batch_max: 8,
+                    threads: 2,
+                    ..DaemonConfig::default()
+                })
+                .expect("daemon bind on loopback");
+                let report = run_loadgen(&LoadgenConfig {
+                    addr: handle.addr().to_string(),
+                    connections: 8,
+                    requests_per_conn: 25,
+                    tasks: 120,
+                    mix: 2,
+                    ..LoadgenConfig::default()
+                })
+                .expect("loadgen connect");
+                assert!(report.is_clean(), "sustained load dropped responses");
+                std::hint::black_box(report.p99_ms);
+                handle.shutdown();
+                handle.join();
+            }),
+            min_samples: Some(3),
+        });
+    }
+
     // The within-schedule scaling fixture (the tentpole of the parallel
     // engine): quick mode keeps the 1- and 8-thread endpoints so CI still
     // guards the engine, full mode sweeps the whole ladder.

@@ -1,0 +1,134 @@
+//! `loadgen` — closed-loop load generator for the `malsd` daemon.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--connections N] [--requests N] [--tasks N]
+//!         [--mix N] [--solver KEY] [--deadline-ms N] [--seed N]
+//!         [--out FILE] [--max-p99-ms MS] [--strict]
+//! ```
+//!
+//! Prints the aggregated latency/outcome report as pretty JSON on stdout
+//! (and to `--out FILE` when given). Exit status 0 on a clean run; with
+//! `--strict`, exits 1 when any response was mismatched or lost, or when
+//! `--max-p99-ms` is given and the observed p99 exceeds it — the CI
+//! daemon-smoke gate.
+
+use mals_experiments::loadgen::{run_loadgen, LoadgenConfig};
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = LoadgenConfig::default();
+    let mut out: Option<String> = None;
+    let mut max_p99_ms: Option<f64> = None;
+    let mut strict = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(format!("{arg} expects {what}")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("HOST:PORT"),
+            "--connections" => {
+                config.connections = value("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| fail("--connections expects a positive integer"))
+            }
+            "--requests" => {
+                config.requests_per_conn = value("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| fail("--requests expects a positive integer"))
+            }
+            "--tasks" => {
+                config.tasks = value("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| fail("--tasks expects a positive integer"))
+            }
+            "--mix" => {
+                config.mix = value("a positive integer")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| fail("--mix expects a positive integer"))
+            }
+            "--solver" => config.solver = value("a registry key"),
+            "--deadline-ms" => {
+                config.deadline_ms = Some(
+                    value("an integer")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--deadline-ms expects an integer")),
+                )
+            }
+            "--seed" => {
+                config.seed = value("an integer")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "--out" => out = Some(value("a file path")),
+            "--max-p99-ms" => {
+                max_p99_ms = Some(
+                    value("a number")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-p99-ms expects a number")),
+                )
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
+                     [--tasks N] [--mix N] [--solver KEY] [--deadline-ms N] [--seed N] \
+                     [--out FILE] [--max-p99-ms MS] [--strict]"
+                );
+                return;
+            }
+            other => fail(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if config.addr.is_empty() {
+        fail("--addr is required (the daemon prints `listening on HOST:PORT`)");
+    }
+
+    let report = run_loadgen(&config).unwrap_or_else(|e| fail(format!("cannot connect: {e}")));
+    let json = report.to_json();
+    print!("{}", json.to_pretty());
+    if let Some(path) = out {
+        std::fs::write(&path, json.to_pretty())
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+    }
+
+    if strict {
+        let mut failures = Vec::new();
+        if !report.is_clean() {
+            failures.push(format!(
+                "not clean: {} ok of {} sent ({} mismatched, {} io errors)",
+                report.ok, report.sent, report.mismatched, report.io_errors
+            ));
+        }
+        if let Some(bound) = max_p99_ms {
+            if report.p99_ms > bound {
+                failures.push(format!(
+                    "p99 {:.1} ms exceeds bound {bound:.1} ms",
+                    report.p99_ms
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for failure in failures {
+                eprintln!("loadgen: FAIL: {failure}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: strict checks passed");
+    }
+}

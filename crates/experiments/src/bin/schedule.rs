@@ -32,33 +32,12 @@
 //! valid answer), 2 on a bad request / unknown solver / I/O failure.
 
 use mals_exact::solver_registry;
-use mals_experiments::service::{example_request, solve_request, SolveRequest};
+use mals_experiments::service::{example_request, generated_request, Service, SolveRequest};
 use std::io::Read;
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("schedule: {message}");
     std::process::exit(2);
-}
-
-/// Builds the `--gen-tasks` request: a seeded LargeRandSet-shaped DAG with
-/// the platform bounded at HEFT's own memory requirement.
-fn generated_request(tasks: usize, seed: u64) -> SolveRequest {
-    use mals_gen::{daggen, DaggenParams, WeightRanges};
-    let mut rng = mals_util::Pcg64::new(seed);
-    let graph = daggen::generate(
-        &DaggenParams::large_rand().with_size(tasks),
-        &WeightRanges::large_rand(),
-        &mut rng,
-    );
-    let platform = mals_platform::Platform::single_pair(0.0, 0.0);
-    let reference = mals_experiments::heft_reference(&graph, &platform);
-    let bound = reference.heft_peaks.max();
-    let platform = platform.with_memory_bounds(bound, bound);
-    let mut request = SolveRequest::new(graph, platform, "memheft");
-    // Echo the generation seed through the request so the report's
-    // provenance names the instance it solved.
-    request.seed = Some(seed);
-    request
 }
 
 fn main() {
@@ -200,7 +179,9 @@ fn main() {
         request.deadline_ms = deadline_ms;
     }
 
-    let report = solve_request(&request).unwrap_or_else(|e| fail(e));
+    let report = Service::for_request(&request)
+        .try_handle(&request)
+        .unwrap_or_else(|e| fail(e));
     if compact {
         println!("{}", report.to_json().to_compact());
     } else {

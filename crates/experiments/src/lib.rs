@@ -26,7 +26,9 @@
 pub mod campaign;
 pub mod cli;
 pub mod csv;
+pub mod daemon;
 pub mod figures;
+pub mod loadgen;
 pub mod min_memory;
 pub mod service;
 pub mod sweep;
@@ -36,11 +38,15 @@ pub use campaign::{
     run_normalized_campaign, run_streaming_campaign, CampaignAccumulator, CampaignConfig,
     CampaignIo, CampaignPoint, CampaignRun, MethodAggregate,
 };
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use min_memory::{minimum_memory, minimum_memory_table, MinMemory};
 pub use service::{
-    example_request, solve_request, solve_with_engine, MemberOutcome, ServiceError, SolveReport,
-    SolveRequest,
+    example_request, generated_request, CodedError, ErrorCode, MemberOutcome, Service,
+    ServiceError, SolveReport, SolveRequest, PROTOCOL_VERSION,
 };
+#[allow(deprecated)]
+pub use service::{solve_request, solve_with_engine};
 pub use sweep::{
     heft_reference, memory_oblivious_result, sweep_absolute, sweep_absolute_streaming, Reference,
     SweepPoint,

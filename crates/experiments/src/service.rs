@@ -3,24 +3,40 @@
 //! This is the library-first "endpoint" shape of the workspace: a request
 //! names a solver (a registry key of `mals_exact::solver_registry()`),
 //! carries the task graph, the platform, the thread budget and the solve
-//! limits, and [`solve_request`] returns a provenance-stamped report — the
-//! schedule, its makespan and memory peaks, an *independent* validation
-//! verdict from `mals_sim::validate`, the optimality status, the wall time
-//! and the solver/engine identity. Both types round-trip through JSON
-//! ([`SolveRequest::to_json`] / [`SolveRequest::from_json`], same for the
-//! report), and the `schedule` binary wires the same functions to a file /
-//! stdin, so any process that can write JSON can use every solver in the
-//! registry through one code path.
+//! limits, and a [`Service`] session turns it into a provenance-stamped
+//! report — the schedule, its makespan and memory peaks, an *independent*
+//! validation verdict from `mals_sim::validate`, the optimality status, the
+//! wall time and the solver/engine identity. Both types round-trip through
+//! JSON ([`SolveRequest::to_json`] / [`SolveRequest::from_json`], same for
+//! the report), and the `schedule` binary and the `malsd` daemon wire the
+//! same session to a file / stdin / TCP socket, so any process that can
+//! write JSON can use every solver in the registry through one code path.
+//!
+//! The JSON wire format is **versioned**: both documents carry a top-level
+//! `"v"` field ([`PROTOCOL_VERSION`]); an absent field means version 1
+//! (back-compat with pre-versioning documents), an unknown version is a
+//! structured [`ServiceError::UnsupportedVersion`] error. Failures are
+//! machine-readable: every [`ServiceError`] maps onto an [`ErrorCode`]
+//! (`bad_request`, `unknown_solver`, `queue_full`, `deadline_exceeded`,
+//! `internal`), carried as [`CodedError`] objects in the report's `errors`
+//! array and in the daemon's reject frames.
 
 use mals_dag::{serialize, TaskGraph};
 use mals_exact::solver_registry;
 use mals_platform::Platform;
-use mals_sched::{Engine, EngineConfig, MemberReport, OptimalityStatus, Portfolio, SolveLimits};
+use mals_sched::{
+    Engine, EngineConfig, MemberReport, OptimalityStatus, Portfolio, SolveLimits, Solver,
+};
 use mals_sim::{
     peaks_from_json, peaks_to_json, schedule_from_json, schedule_to_json, validate, MemoryPeaks,
     Schedule,
 };
 use mals_util::{Deadline, Json, ParallelConfig};
+
+/// Version of the JSON wire protocol spoken by [`SolveRequest`] /
+/// [`SolveReport`] and the `malsd` daemon. Documents without a `"v"` field
+/// are interpreted as version 1.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// Encodes a `u64` losslessly: as a JSON number while `f64` is exact
 /// (≤ 2⁵³), as a decimal string beyond (seeds are arbitrary 64-bit values).
@@ -37,6 +53,21 @@ fn json_to_u64(value: &Json) -> Option<u64> {
     value
         .as_u64()
         .or_else(|| value.as_str().and_then(|s| s.parse().ok()))
+}
+
+/// Checks the top-level `"v"` field of a wire document: absent (or null)
+/// means version 1, anything other than [`PROTOCOL_VERSION`] is a
+/// structured error.
+pub fn check_version(json: &Json) -> Result<(), ServiceError> {
+    match json.get("v") {
+        None | Some(Json::Null) => Ok(()),
+        Some(value) => match value.as_u64() {
+            Some(PROTOCOL_VERSION) => Ok(()),
+            _ => Err(ServiceError::UnsupportedVersion {
+                got: value.to_compact(),
+            }),
+        },
+    }
 }
 
 /// Largest worker-thread count a JSON request may ask for (`0` = all
@@ -65,7 +96,8 @@ pub struct SolveRequest {
     pub solvers: Vec<String>,
     /// Wall-clock deadline for the solve in milliseconds (`None`: no
     /// deadline). Every solver polls it cooperatively; a portfolio returns
-    /// the best member result available when it passes.
+    /// the best member result available when it passes. The daemon stamps
+    /// the deadline at *admission*, so queueing delay counts against it.
     pub deadline_ms: Option<u64>,
 }
 
@@ -84,9 +116,10 @@ impl SolveRequest {
         }
     }
 
-    /// Serialises the request.
+    /// Serialises the request (wire version [`PROTOCOL_VERSION`]).
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
+            ("v".to_string(), Json::Num(PROTOCOL_VERSION as f64)),
             ("solver".to_string(), Json::str(&self.solver)),
             ("threads".to_string(), Json::Num(self.threads as f64)),
         ];
@@ -117,10 +150,12 @@ impl SolveRequest {
         Json::Obj(pairs)
     }
 
-    /// Parses the shape produced by [`SolveRequest::to_json`]. `threads`,
-    /// `limits` and `seed` are optional (defaults: 1 thread, default
-    /// limits, no seed); `solver`, `graph` and `platform` are required.
+    /// Parses the shape produced by [`SolveRequest::to_json`]. `v`,
+    /// `threads`, `limits` and `seed` are optional (defaults: version 1,
+    /// 1 thread, default limits, no seed); `solver`, `graph` and `platform`
+    /// are required.
     pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        check_version(json)?;
         let solver = json
             .get("solver")
             .and_then(Json::as_str)
@@ -318,6 +353,10 @@ pub struct SolveReport {
     pub valid: Option<bool>,
     /// Rendered validation errors (empty for a valid schedule).
     pub validation_errors: Vec<String>,
+    /// Machine-readable errors: why a request was rejected (bad request,
+    /// unknown solver), why a solve fell short (deadline exceeded), or a
+    /// contained internal failure. Empty for clean solves.
+    pub errors: Vec<CodedError>,
     /// Search effort (0 for heuristics).
     pub nodes: u64,
     /// Wall-clock solve time in milliseconds.
@@ -332,15 +371,44 @@ pub struct SolveReport {
     pub members: Vec<MemberOutcome>,
     /// Registry key of the winning portfolio member, if any.
     pub winner: Option<String>,
-    /// Why the instance was rejected, when it never reached the solver.
+    /// Why the instance was rejected, when it never reached the solver
+    /// (human-readable twin of the first [`CodedError`] in `errors`).
     pub error: Option<String>,
 }
 
 impl SolveReport {
+    /// A rejection report: the request never reached a solver. Status is
+    /// [`OptimalityStatus::LimitHit`] (nothing was proven), the coded cause
+    /// is in [`SolveReport::errors`] and its rendering in
+    /// [`SolveReport::error`].
+    pub fn rejection(solver_key: &str, error: &ServiceError) -> Self {
+        SolveReport {
+            solver: solver_key.to_string(),
+            solver_key: solver_key.to_string(),
+            engine_version: env!("CARGO_PKG_VERSION").to_string(),
+            status: OptimalityStatus::LimitHit,
+            schedule: None,
+            makespan: None,
+            peaks: None,
+            valid: None,
+            validation_errors: Vec::new(),
+            errors: vec![CodedError::from(error)],
+            nodes: 0,
+            wall_time_ms: 0.0,
+            threads: 0,
+            seed: None,
+            deadline_ms: None,
+            members: Vec::new(),
+            winner: None,
+            error: Some(error.to_string()),
+        }
+    }
+
     /// Serialises the report (the schedule is embedded, so the report is
     /// self-contained and can be re-validated downstream).
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
+            ("v".to_string(), Json::Num(PROTOCOL_VERSION as f64)),
             ("solver".to_string(), Json::str(&self.solver)),
             ("solver_key".to_string(), Json::str(&self.solver_key)),
             (
@@ -368,6 +436,12 @@ impl SolveReport {
             ("wall_time_ms".to_string(), Json::Num(self.wall_time_ms)),
             ("threads".to_string(), Json::Num(self.threads as f64)),
         ];
+        if !self.errors.is_empty() {
+            pairs.push((
+                "errors".into(),
+                Json::Arr(self.errors.iter().map(CodedError::to_json).collect()),
+            ));
+        }
         if let Some(seed) = self.seed {
             pairs.push(("seed".into(), u64_to_json(seed)));
         }
@@ -394,6 +468,7 @@ impl SolveReport {
 
     /// Parses the shape produced by [`SolveReport::to_json`].
     pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        check_version(json)?;
         let text = |key: &str| {
             json.get(key)
                 .and_then(Json::as_str)
@@ -433,6 +508,15 @@ impl SolveReport {
                         .collect()
                 })
                 .unwrap_or_default(),
+            errors: match json.get("errors") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(doc) => doc
+                    .as_arr()
+                    .ok_or_else(|| ServiceError::BadRequest("`errors` must be an array".into()))?
+                    .iter()
+                    .map(CodedError::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
             nodes: json.get("nodes").and_then(json_to_u64).unwrap_or(0),
             wall_time_ms: json
                 .get("wall_time_ms")
@@ -465,11 +549,129 @@ impl SolveReport {
     }
 }
 
-/// Errors raised by the service surface.
+/// Machine-readable failure categories of the service surface and the
+/// daemon's wire protocol. Stable strings; clients switch on these instead
+/// of parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request document is malformed, inconsistent, or speaks an
+    /// unsupported protocol version.
+    BadRequest,
+    /// The requested solver key is not in the registry.
+    UnknownSolver,
+    /// The daemon's bounded request queue is full (or the daemon is
+    /// draining for shutdown): admission refused, try again later.
+    QueueFull,
+    /// The request's deadline passed before a schedule was found.
+    DeadlineExceeded,
+    /// A contained internal failure (solver error, panic, I/O).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable lower-case identifier used on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownSolver => "unknown_solver",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses [`ErrorCode::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_solver" => ErrorCode::UnknownSolver,
+            "queue_full" => ErrorCode::QueueFull,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A machine-readable error: a stable [`ErrorCode`] plus a human-readable
+/// message. Carried in [`SolveReport::errors`] and in the daemon's reject
+/// frames as `{"code": "...", "message": "..."}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedError {
+    /// The stable category.
+    pub code: ErrorCode,
+    /// Human-readable detail (free-form; never parse this).
+    pub message: String,
+}
+
+impl CodedError {
+    /// A coded error from its parts.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        CodedError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Serialises as `{"code": ..., "message": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("code", Json::str(self.code.as_str())),
+            ("message", Json::str(&self.message)),
+        ])
+    }
+
+    /// Parses the shape produced by [`CodedError::to_json`].
+    pub fn from_json(json: &Json) -> Result<Self, ServiceError> {
+        let code = json
+            .get("code")
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse)
+            .ok_or_else(|| ServiceError::BadRequest("error entry missing a known `code`".into()))?;
+        Ok(CodedError {
+            code,
+            message: json
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for CodedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl From<&ServiceError> for CodedError {
+    fn from(error: &ServiceError) -> Self {
+        CodedError {
+            code: error.code(),
+            message: error.to_string(),
+        }
+    }
+}
+
+/// Errors raised by the service surface. Every variant maps onto a stable
+/// [`ErrorCode`] via [`ServiceError::code`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// The request document is malformed or inconsistent.
     BadRequest(String),
+    /// The document declares a wire-protocol version this engine does not
+    /// speak. The payload is the rendered `"v"` value.
+    UnsupportedVersion {
+        /// The rendered version value that failed to match.
+        got: String,
+    },
     /// The requested solver is not registered; the payload lists the keys
     /// that are.
     UnknownSolver {
@@ -478,43 +680,189 @@ pub enum ServiceError {
         /// Every registered key.
         known: Vec<&'static str>,
     },
+    /// The daemon's bounded queue rejected the request (admission control).
+    QueueFull {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The daemon is draining for shutdown and refuses new work.
+    ShuttingDown,
+    /// The request's deadline passed before any schedule was found.
+    DeadlineExceeded,
+    /// A contained internal failure.
+    Internal(String),
+}
+
+impl ServiceError {
+    /// The stable machine-readable category of this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::BadRequest(_) | ServiceError::UnsupportedVersion { .. } => {
+                ErrorCode::BadRequest
+            }
+            ServiceError::UnknownSolver { .. } => ErrorCode::UnknownSolver,
+            // Shutdown refusal is admission control too: the client-visible
+            // contract ("try again later, possibly elsewhere") is the same.
+            ServiceError::QueueFull { .. } | ServiceError::ShuttingDown => ErrorCode::QueueFull,
+            ServiceError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            ServiceError::Internal(_) => ErrorCode::Internal,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::BadRequest(reason) => write!(f, "bad request: {reason}"),
+            ServiceError::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported protocol version {got} (this engine speaks v{PROTOCOL_VERSION})"
+            ),
             ServiceError::UnknownSolver { name, known } => {
                 write!(f, "unknown solver `{name}` (known: {})", known.join(", "))
             }
+            ServiceError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "request queue full ({capacity} pending); try again later"
+                )
+            }
+            ServiceError::ShuttingDown => write!(f, "daemon is shutting down; refusing new work"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline passed before a schedule was found")
+            }
+            ServiceError::Internal(reason) => write!(f, "internal error: {reason}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-/// Solves a request on a dedicated engine (pool spun up for this one call).
-/// Services handling many requests should create one [`Engine`] and use
-/// [`solve_with_engine`] to amortise the pool startup.
-pub fn solve_request(request: &SolveRequest) -> Result<SolveReport, ServiceError> {
-    let engine = Engine::new(
-        solver_registry(),
-        EngineConfig {
-            // `0` resolves to all cores inside the pool, per the request
-            // contract.
-            parallel: ParallelConfig::with_threads(request.threads),
-            limits: request.limits,
-        },
-    );
-    solve_with_engine(&engine, request)
+/// A window of prepared solves: one request plus its admission-stamped
+/// deadline (the daemon stamps [`Deadline`]s when requests are *queued*, so
+/// time spent waiting counts against the budget).
+pub type PreparedRequest<'a> = (&'a SolveRequest, Option<Deadline>);
+
+/// Cache of instantiated solvers, keyed by `(registry key, seed)` — the
+/// cross-request batch-formation machinery: one solver instance serves
+/// every request in a drained queue window that names the same solver.
+type SolverCache = Vec<((String, u64), Box<dyn Solver>)>;
+
+/// A service session: owns the [`Engine`] (registry + worker pool + default
+/// limits) and turns [`SolveRequest`]s into [`SolveReport`]s.
+///
+/// Create one `Service` per process (or per daemon) and call
+/// [`Service::handle`] for every request — the worker pool is spawned once
+/// and amortised across the session, which is what the
+/// `engine/batch-solve-16x12-t2` bench quantifies (~7× over per-solve
+/// setup). The request's `threads` field is honoured only by
+/// [`Service::once`]; a long-lived session's pool is fixed at construction.
+pub struct Service {
+    engine: Engine,
 }
 
-/// Solves a request on an existing engine session. The request's limits
-/// override the engine's defaults; the engine's pool and registry are used
-/// as-is.
-pub fn solve_with_engine(
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl Service {
+    /// A session over the full solver registry (heuristics + exact
+    /// backends) with the given engine configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Service {
+            engine: Engine::new(solver_registry(), config),
+        }
+    }
+
+    /// A session around an existing engine (custom registry, shared pool).
+    pub fn with_engine(engine: Engine) -> Self {
+        Service { engine }
+    }
+
+    /// A session sized to one request: pool threads from the request's
+    /// `threads` field (`0` = all cores), default limits from its `limits`.
+    /// For anything beyond a one-shot, create a `Service` once and reuse it.
+    pub fn for_request(request: &SolveRequest) -> Self {
+        Service::new(EngineConfig {
+            parallel: ParallelConfig::with_threads(request.threads),
+            limits: request.limits,
+        })
+    }
+
+    /// Handles a single request on a throwaway [`Service::for_request`]
+    /// session (pool spun up for this one call).
+    pub fn once(request: &SolveRequest) -> SolveReport {
+        Service::for_request(request).handle(request)
+    }
+
+    /// The engine backing this session.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handles one request; failures become *rejection reports* (status
+    /// `limit_hit`, coded cause in [`SolveReport::errors`]) so the caller
+    /// always has one report per request.
+    pub fn handle(&self, request: &SolveRequest) -> SolveReport {
+        self.handle_at(request, request.deadline_ms.map(Deadline::after_millis))
+    }
+
+    /// [`Service::handle`] with an explicit absolute deadline (overriding
+    /// the request's relative `deadline_ms`). The daemon stamps deadlines
+    /// at admission and passes them here, so queueing delay is on the
+    /// clock.
+    pub fn handle_at(&self, request: &SolveRequest, deadline: Option<Deadline>) -> SolveReport {
+        let mut cache = SolverCache::new();
+        match solve_on_engine(&self.engine, request, deadline, &mut cache) {
+            Ok(report) => report,
+            Err(error) => SolveReport::rejection(&request.solver, &error),
+        }
+    }
+
+    /// Handles one request, surfacing rejections as `Err` instead of a
+    /// rejection report.
+    pub fn try_handle(&self, request: &SolveRequest) -> Result<SolveReport, ServiceError> {
+        let mut cache = SolverCache::new();
+        solve_on_engine(
+            &self.engine,
+            request,
+            request.deadline_ms.map(Deadline::after_millis),
+            &mut cache,
+        )
+    }
+
+    /// Handles a *window* of prepared requests back to back — the daemon's
+    /// cross-request batch formation. Solver instances are built once per
+    /// distinct `(solver, seed)` in the window and reused (the same
+    /// amortisation as [`Engine::solve_batch`], but across requests that
+    /// may mix solvers, platforms and deadlines). Reports come back in
+    /// window order, one per request, rejections included.
+    pub fn handle_window(&self, window: &[PreparedRequest<'_>]) -> Vec<SolveReport> {
+        let mut cache = SolverCache::new();
+        window
+            .iter()
+            .map(|(request, deadline)| {
+                solve_on_engine(&self.engine, request, *deadline, &mut cache)
+                    .unwrap_or_else(|error| SolveReport::rejection(&request.solver, &error))
+            })
+            .collect()
+    }
+}
+
+/// The solve core shared by [`Service`] and the deprecated free functions:
+/// resolves the solver (through `cache`, so a window of same-solver
+/// requests builds it once), runs it under the engine's pool with the
+/// prepared deadline, validates the schedule independently, and stamps the
+/// report.
+fn solve_on_engine(
     engine: &Engine,
     request: &SolveRequest,
+    deadline: Option<Deadline>,
+    cache: &mut SolverCache,
 ) -> Result<SolveReport, ServiceError> {
     let entry =
         engine
@@ -526,9 +874,7 @@ pub fn solve_with_engine(
             })?;
     let info = entry.info;
     let seed = request.seed.unwrap_or(0);
-    let mut ctx = engine.ctx();
-    ctx.limits = request.limits;
-    ctx.cancel.deadline = request.deadline_ms.map(Deadline::after_millis);
+    let ctx = engine.ctx_with(Some(request.limits), deadline);
 
     // The `portfolio` key is dispatched through `Portfolio::solve_race`
     // directly (not through the registry factory) so the request can select
@@ -545,11 +891,31 @@ pub fn solve_with_engine(
         let winner = race.winner_key().map(str::to_string);
         ("Portfolio".to_string(), race.outcome, members, winner)
     } else {
-        let solver = entry.build(seed);
+        let cache_key = (info.key.to_string(), seed);
+        let solver = match cache.iter().position(|(k, _)| *k == cache_key) {
+            Some(at) => &cache[at].1,
+            None => {
+                cache.push((cache_key, entry.build(seed)));
+                &cache.last().expect("just pushed").1
+            }
+        };
         let outcome = solver.solve(&request.graph, &request.platform, &ctx);
         (solver.name().to_string(), outcome, Vec::new(), None)
     };
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Machine-readable failure annotations: a deadline that expired with
+    // nothing proven, and any instance-rejection the solver reported.
+    let mut errors = Vec::new();
+    if outcome.status == OptimalityStatus::LimitHit && deadline.is_some_and(|d| d.expired()) {
+        errors.push(CodedError::new(
+            ErrorCode::DeadlineExceeded,
+            ServiceError::DeadlineExceeded.to_string(),
+        ));
+    }
+    if let Some(cause) = &outcome.error {
+        errors.push(CodedError::new(ErrorCode::Internal, cause.clone()));
+    }
 
     // Memory-oblivious baselines schedule on the unbounded platform by
     // contract, so their schedules are validated against it; everything
@@ -575,6 +941,7 @@ pub fn solve_with_engine(
             .as_ref()
             .map(|v| v.errors.iter().map(|e| e.to_string()).collect())
             .unwrap_or_default(),
+        errors,
         schedule: outcome.schedule,
         nodes: outcome.nodes,
         wall_time_ms,
@@ -587,6 +954,33 @@ pub fn solve_with_engine(
     })
 }
 
+/// Solves a request on a dedicated engine (pool spun up for this one call).
+#[deprecated(
+    since = "0.2.0",
+    note = "create a `Service` session and call `Service::handle` (or `Service::once` for one-shots)"
+)]
+pub fn solve_request(request: &SolveRequest) -> Result<SolveReport, ServiceError> {
+    Service::for_request(request).try_handle(request)
+}
+
+/// Solves a request on an existing engine session.
+#[deprecated(
+    since = "0.2.0",
+    note = "wrap the engine in a `Service` (`Service::with_engine`) and call `Service::try_handle`"
+)]
+pub fn solve_with_engine(
+    engine: &Engine,
+    request: &SolveRequest,
+) -> Result<SolveReport, ServiceError> {
+    let mut cache = SolverCache::new();
+    solve_on_engine(
+        engine,
+        request,
+        request.deadline_ms.map(Deadline::after_millis),
+        &mut cache,
+    )
+}
+
 /// A ready-made example request (the paper's `D_ex` toy DAG on a 1+1
 /// platform with 5 memory units per side), used by `schedule
 /// --print-request` and the docs.
@@ -595,9 +989,39 @@ pub fn example_request() -> SolveRequest {
     SolveRequest::new(graph, Platform::single_pair(5.0, 5.0), "memheft")
 }
 
+/// A generated request: a seeded LargeRandSet-shaped DAG of `tasks` tasks
+/// with both memory bounds pinned at the memory-oblivious HEFT schedule's
+/// own requirement — the `α = 1` campaign point, where MemHEFT is
+/// guaranteed feasible. Used by `schedule --gen-tasks`, the `loadgen`
+/// request mix, and the CI large-DAG smoke path.
+pub fn generated_request(tasks: usize, seed: u64) -> SolveRequest {
+    use mals_gen::{daggen, DaggenParams, WeightRanges};
+    let mut rng = mals_util::Pcg64::new(seed);
+    let graph = daggen::generate(
+        &DaggenParams::large_rand().with_size(tasks),
+        &WeightRanges::large_rand(),
+        &mut rng,
+    );
+    let platform = Platform::single_pair(0.0, 0.0);
+    let reference = crate::heft_reference(&graph, &platform);
+    let bound = reference.heft_peaks.max();
+    let platform = platform.with_memory_bounds(bound, bound);
+    let mut request = SolveRequest::new(graph, platform, "memheft");
+    // Echo the generation seed through the request so the report's
+    // provenance names the instance it solved.
+    request.seed = Some(seed);
+    request
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The `Service`-session equivalent of the old `solve_request` free
+    /// function: a throwaway session sized to the request.
+    fn solve(request: &SolveRequest) -> Result<SolveReport, ServiceError> {
+        Service::for_request(request).try_handle(request)
+    }
 
     #[test]
     fn request_json_roundtrip() {
@@ -615,6 +1039,105 @@ mod tests {
     }
 
     #[test]
+    fn wire_documents_carry_the_protocol_version() {
+        let request = example_request();
+        let json = request.to_json();
+        assert_eq!(json.get("v").and_then(Json::as_u64), Some(PROTOCOL_VERSION));
+        let report = solve(&request).unwrap();
+        assert_eq!(
+            report.to_json().get("v").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+    }
+
+    #[test]
+    fn absent_version_means_v1_and_unknown_versions_are_structured_errors() {
+        // Pre-versioning documents (no "v") still parse.
+        let mut json = example_request().to_json();
+        {
+            let Json::Obj(pairs) = &mut json else {
+                unreachable!()
+            };
+            pairs.retain(|(k, _)| k != "v");
+        }
+        assert!(SolveRequest::from_json(&json).is_ok());
+        // An unknown version is refused with the bad_request code, for
+        // requests and reports alike.
+        {
+            let Json::Obj(pairs) = &mut json else {
+                unreachable!()
+            };
+            pairs.insert(0, ("v".into(), Json::Num(2.0)));
+        }
+        let err = SolveRequest::from_json(&json).unwrap_err();
+        assert!(matches!(err, ServiceError::UnsupportedVersion { .. }));
+        assert_eq!(err.code(), ErrorCode::BadRequest);
+        assert!(err.to_string().contains("v1"), "{err}");
+        let report_json = Json::parse(r#"{"v": "vFuture"}"#).unwrap();
+        assert!(matches!(
+            SolveReport::from_json(&report_json),
+            Err(ServiceError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_cover_every_service_error() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownSolver,
+            ErrorCode::QueueFull,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
+        let cases: Vec<(ServiceError, ErrorCode)> = vec![
+            (ServiceError::BadRequest("x".into()), ErrorCode::BadRequest),
+            (
+                ServiceError::UnsupportedVersion { got: "9".into() },
+                ErrorCode::BadRequest,
+            ),
+            (
+                ServiceError::UnknownSolver {
+                    name: "x".into(),
+                    known: vec!["memheft"],
+                },
+                ErrorCode::UnknownSolver,
+            ),
+            (
+                ServiceError::QueueFull { capacity: 4 },
+                ErrorCode::QueueFull,
+            ),
+            (ServiceError::ShuttingDown, ErrorCode::QueueFull),
+            (ServiceError::DeadlineExceeded, ErrorCode::DeadlineExceeded),
+            (ServiceError::Internal("x".into()), ErrorCode::Internal),
+        ];
+        for (error, expected) in cases {
+            assert_eq!(error.code(), expected, "{error}");
+            let coded = CodedError::from(&error);
+            let back = CodedError::from_json(&coded.to_json()).unwrap();
+            assert_eq!(back, coded);
+        }
+        assert!(CodedError::from_json(&Json::parse(r#"{"code": "nope"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejection_reports_carry_coded_errors_and_round_trip() {
+        let mut request = example_request();
+        request.solver = "cplex".into();
+        let report = Service::for_request(&request).handle(&request);
+        assert_eq!(report.status, OptimalityStatus::LimitHit);
+        assert!(report.schedule.is_none());
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].code, ErrorCode::UnknownSolver);
+        assert_eq!(report.solver_key, "cplex");
+        assert!(report.error.as_deref().unwrap().contains("memheft"));
+        let back = SolveReport::parse(&report.to_json().to_compact()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
     fn minimal_request_document_uses_defaults() {
         let text = r#"{
             "solver": "memminmin",
@@ -625,9 +1148,10 @@ mod tests {
         assert_eq!(request.threads, 1);
         assert_eq!(request.seed, None);
         assert_eq!(request.limits, SolveLimits::default());
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.solver, "MemMinMin");
         assert_eq!(report.valid, Some(true));
+        assert!(report.errors.is_empty());
     }
 
     #[test]
@@ -638,7 +1162,7 @@ mod tests {
             ("bb", OptimalityStatus::Optimal),
             ("milp", OptimalityStatus::Optimal),
         ] {
-            let report = solve_request(&SolveRequest {
+            let report = solve(&SolveRequest {
                 solver: key.into(),
                 ..request.clone()
             })
@@ -659,7 +1183,7 @@ mod tests {
         let mut request = example_request();
         request.solver = "heft".into();
         request.platform = Platform::single_pair(1.0, 1.0); // hopeless bounds
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         // HEFT ignores the bounds and its schedule is valid on the
         // unbounded platform it actually targets.
         assert_eq!(report.valid, Some(true));
@@ -671,7 +1195,7 @@ mod tests {
         let mut request = example_request();
         request.platform = Platform::single_pair(2.0, 2.0);
         request.solver = "bb".into();
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.status, OptimalityStatus::Infeasible);
         assert!(report.schedule.is_none());
         assert_eq!(report.valid, None);
@@ -682,7 +1206,7 @@ mod tests {
 
     #[test]
     fn report_json_roundtrip() {
-        let report = solve_request(&example_request()).unwrap();
+        let report = solve(&example_request()).unwrap();
         let json = report.to_json();
         let back = SolveReport::from_json(&json).unwrap();
         assert_eq!(back, report);
@@ -700,7 +1224,7 @@ mod tests {
     fn unknown_solver_is_reported_with_known_keys() {
         let mut request = example_request();
         request.solver = "cplex".into();
-        let err = solve_request(&request).unwrap_err();
+        let err = solve(&request).unwrap_err();
         assert!(matches!(err, ServiceError::UnknownSolver { .. }));
         assert!(err.to_string().contains("memheft"));
     }
@@ -724,7 +1248,7 @@ mod tests {
         request.threads = 0;
         let reparsed = SolveRequest::from_json(&request.to_json()).unwrap();
         assert_eq!(reparsed.threads, 0);
-        let report = solve_request(&reparsed).unwrap();
+        let report = solve(&reparsed).unwrap();
         assert_eq!(report.valid, Some(true));
         assert!(report.threads >= 1); // 0 resolved to the actual core count
     }
@@ -733,7 +1257,7 @@ mod tests {
     fn portfolio_request_reports_member_breakdown() {
         let mut request = example_request();
         request.solver = "portfolio".into();
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.solver, "Portfolio");
         assert_eq!(report.solver_key, "portfolio");
         assert_eq!(report.status, OptimalityStatus::Heuristic);
@@ -753,46 +1277,114 @@ mod tests {
         // aggregate inherits the winner's status (`bb` first so a makespan
         // tie resolves to the exact proof).
         request.solvers = vec!["bb".into(), "memheft".into()];
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.members.len(), 2);
         assert_eq!(report.status, OptimalityStatus::Optimal);
         assert_eq!(report.makespan, Some(6.0));
 
         // Unknown member keys are named errors.
         request.solvers = vec!["memheft".into(), "cplex".into()];
-        let err = solve_request(&request).unwrap_err();
+        let err = solve(&request).unwrap_err();
         assert!(matches!(err, ServiceError::UnknownSolver { .. }));
     }
 
     #[test]
-    fn expired_deadline_yields_limit_hit_with_echo() {
+    fn expired_deadline_yields_limit_hit_with_coded_error() {
         let mut request = example_request();
         request.solver = "portfolio".into();
         request.deadline_ms = Some(0);
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.status, OptimalityStatus::LimitHit);
         assert!(report.schedule.is_none());
         assert_eq!(report.deadline_ms, Some(0));
         assert!(report.members.iter().all(|m| m.cancelled));
         assert_eq!(report.winner, None);
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| e.code == ErrorCode::DeadlineExceeded),
+            "{:?}",
+            report.errors
+        );
         let back = SolveReport::parse(&report.to_json().to_compact()).unwrap();
         assert_eq!(back, report);
         // Ordinary solvers honour the deadline through the same field.
         request.solver = "memheft".into();
-        let report = solve_request(&request).unwrap();
+        let report = solve(&request).unwrap();
         assert_eq!(report.status, OptimalityStatus::LimitHit);
         assert!(report.members.is_empty());
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.code == ErrorCode::DeadlineExceeded));
     }
 
     #[test]
-    fn engine_reuse_matches_one_shot_solves() {
-        let engine = mals_exact::engine(EngineConfig::sequential());
+    fn admission_stamped_deadline_overrides_the_request_field() {
         let request = example_request();
-        let one_shot = solve_request(&request).unwrap();
+        let service = Service::for_request(&request);
+        // An already-expired admission deadline loses even though the
+        // request itself carries none.
+        let report = service.handle_at(&request, Some(Deadline::after_millis(0)));
+        assert_eq!(report.status, OptimalityStatus::LimitHit);
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.code == ErrorCode::DeadlineExceeded));
+        // No deadline at all solves normally on the same session.
+        let report = service.handle_at(&request, None);
+        assert_eq!(report.valid, Some(true));
+    }
+
+    #[test]
+    fn session_reuse_matches_one_shot_solves() {
+        let service = Service::new(EngineConfig::sequential());
+        let request = example_request();
+        let one_shot = Service::once(&request);
         for _ in 0..3 {
-            let reused = solve_with_engine(&engine, &request).unwrap();
+            let reused = service.handle(&request);
             assert_eq!(reused.schedule, one_shot.schedule);
             assert_eq!(reused.status, one_shot.status);
         }
+    }
+
+    #[test]
+    fn handle_window_matches_individual_handles_in_order() {
+        let service = Service::new(EngineConfig::sequential());
+        let base = example_request();
+        let memminmin = SolveRequest {
+            solver: "memminmin".into(),
+            ..base.clone()
+        };
+        let unknown = SolveRequest {
+            solver: "cplex".into(),
+            ..base.clone()
+        };
+        // A window mixing solvers (with a repeat, exercising the per-window
+        // solver cache) and a rejection.
+        let window: Vec<PreparedRequest<'_>> = vec![
+            (&base, None),
+            (&memminmin, None),
+            (&base, None),
+            (&unknown, None),
+        ];
+        let reports = service.handle_window(&window);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].schedule, service.handle(&base).schedule);
+        assert_eq!(reports[1].schedule, service.handle(&memminmin).schedule);
+        assert_eq!(reports[2].schedule, reports[0].schedule);
+        assert_eq!(reports[3].errors[0].code, ErrorCode::UnknownSolver);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        let engine = mals_exact::engine(EngineConfig::sequential());
+        let request = example_request();
+        let via_free = solve_request(&request).unwrap();
+        let via_engine = solve_with_engine(&engine, &request).unwrap();
+        assert_eq!(via_free.schedule, via_engine.schedule);
+        assert_eq!(via_free.status, via_engine.status);
     }
 }

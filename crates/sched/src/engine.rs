@@ -137,6 +137,25 @@ impl Engine {
         }
     }
 
+    /// A per-call context with overrides: the service daemon's access
+    /// pattern, where every queued request carries its own limits and an
+    /// *absolute* deadline stamped at admission time (so queueing delay
+    /// counts against the request's budget, not just solve time).
+    pub fn ctx_with(
+        &self,
+        limits: Option<SolveLimits>,
+        deadline: Option<Deadline>,
+    ) -> SolveCtx<'_> {
+        SolveCtx {
+            limits: limits.unwrap_or(self.limits),
+            pool: Some(&self.pool),
+            cancel: CancelSignal {
+                deadline,
+                ..CancelSignal::default()
+            },
+        }
+    }
+
     /// Instantiates the solver registered under `name` (seed 0).
     pub fn solver(&self, name: &str) -> Result<Box<dyn Solver>, EngineError> {
         self.solver_seeded(name, 0)

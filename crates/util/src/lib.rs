@@ -24,11 +24,14 @@
 //! * [`cancel`] — cooperative cancellation primitives ([`CancelToken`],
 //!   [`Deadline`], [`CancelSignal`]) polled by the anytime solvers and the
 //!   portfolio racer.
+//! * [`frame`] — newline-delimited frame I/O (size-capped, timeout-tolerant)
+//!   for the persistent scheduling daemon's wire protocol.
 
 #![warn(missing_docs)]
 
 pub mod cancel;
 pub mod float;
+pub mod frame;
 pub mod json;
 pub mod pool;
 pub mod rng;
@@ -38,6 +41,7 @@ pub mod streaming;
 
 pub use cancel::{CancelSignal, CancelToken, Deadline};
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
+pub use frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use json::{Json, JsonError};
 pub use pool::{parallel_map, parallel_map_indexed, ParallelConfig, WorkerPool};
 pub use rng::Pcg64;

@@ -55,7 +55,7 @@ fn main() {
     // The same run through the service surface: a JSON report carrying the
     // schedule, the validation verdict and the provenance stamp.
     let request = SolveRequest::new(graph, platform, "memheft");
-    let report = solve_with_engine(&engine, &request).unwrap();
+    let report = Service::with_engine(engine).handle(&request);
     println!(
         "service report: solver={} status={} makespan={} valid={:?} wall={:.2}ms",
         report.solver,

@@ -51,10 +51,11 @@
 //!     assert!(report.peaks.blue <= 6.0 && report.peaks.red <= 6.0);
 //! }
 //!
-//! // Or go through the serde-able service surface (the `schedule` binary
-//! // wires this to a file / stdin):
+//! // Or go through the serde-able service surface — a `Service` session
+//! // owns the engine; the `schedule` binary and the `malsd` daemon wire
+//! // the same session to a file / stdin / TCP socket:
 //! let request = SolveRequest::new(graph, platform, "milp");
-//! let report = solve_request(&request).unwrap();
+//! let report = Service::for_request(&request).try_handle(&request).unwrap();
 //! assert!(report.status == OptimalityStatus::Optimal);
 //! assert_eq!(report.valid, Some(true));
 //! let roundtrip = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
@@ -76,8 +77,11 @@ pub use mals_util as util;
 pub mod prelude {
     pub use mals_dag::{EdgeId, TaskGraph, TaskId};
     pub use mals_exact::{build_ilp, solver_registry, BranchAndBound};
+    #[allow(deprecated)]
+    pub use mals_experiments::{solve_request, solve_with_engine};
     pub use mals_experiments::{
-        solve_request, solve_with_engine, MemberOutcome, SolveReport, SolveRequest,
+        CodedError, ErrorCode, MemberOutcome, Service, ServiceError, SolveReport, SolveRequest,
+        PROTOCOL_VERSION,
     };
     pub use mals_gen::{cholesky_dag, dex, lu_dag, DaggenParams, KernelCosts, WeightRanges};
     pub use mals_platform::{Memory, Platform};

@@ -217,7 +217,7 @@ proptest! {
                 solvers: Vec::new(),
                 deadline_ms: (key == "portfolio").then_some(60_000),
             };
-            let report = solve_request(&request).unwrap();
+            let report = Service::for_request(&request).try_handle(&request).unwrap();
             let back = SolveReport::parse(&report.to_json().to_pretty()).unwrap();
             prop_assert_eq!(&back, &report, "{} diverged through JSON", key);
             if key == "portfolio" {
