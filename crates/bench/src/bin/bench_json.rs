@@ -222,6 +222,62 @@ fn benches(quick: bool) -> Vec<Bench> {
         });
     }
 
+    // The chunked-staircase scaling fixture (PR 8): one 10⁵-task daggen
+    // instance through MemHEFT at the α = 1 bound. Guards the chunked
+    // breakpoint storage + chunked ready frontier + allocation-free commit
+    // path at the scale they exist for — the flat-Vec engine took ~13 s of
+    // staircase memmoves here, the chunked one takes ~1.5 s end-to-end.
+    {
+        let huge_graph = large_rand_dag(100_000, 0xBEEF + 100_000);
+        let platform = single_pair(0.0);
+        let reference = heft_reference(&huge_graph, &platform);
+        let bound = reference.heft_peaks.max();
+        let huge_platform = platform.with_memory_bounds(bound, bound);
+        set.push(Bench {
+            id: "sched/memheft-100k".into(),
+            run: Box::new(move || {
+                let result = MemHeft::new().schedule(&huge_graph, &huge_platform);
+                std::hint::black_box(result.is_ok());
+            }),
+            min_samples: Some(3),
+        });
+    }
+
+    // The staircase mutation path in isolation: a deterministic storm of
+    // interleaved `add_range` / `add_from` deltas over a profile that grows
+    // to thousands of breakpoints — the reserve/release pattern of a commit,
+    // without the scheduler around it. Guards the chunked insert/repair
+    // (split-on-full, merge-on-sparse, summary patching) directly.
+    set.push(Bench {
+        id: "staircase/insert-storm".into(),
+        run: Box::new(|| {
+            use mals_util::Staircase;
+            let mut stair = Staircase::constant(1_000_000.0);
+            let mut state = 0x1234_5678_9ABC_DEF0u64;
+            let mut rng = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            for _ in 0..4_000 {
+                let t1 = (rng() % 1_000_000) as f64 / 10.0;
+                let len = 1.0 + (rng() % 5_000) as f64 / 10.0;
+                let size = 1.0 + (rng() % 100) as f64;
+                if rng() % 4 == 0 {
+                    // A release tail (the output-reservation shape).
+                    stair.add_from(t1, if rng() % 2 == 0 { -size } else { size });
+                } else {
+                    // A reservation window: two new breakpoints that stay,
+                    // so the profile grows to thousands of segments.
+                    stair.add_range(t1, t1 + len, -size);
+                }
+            }
+            std::hint::black_box(stair.len());
+        }),
+        min_samples: None,
+    });
+
     // The streaming campaign harness over 1000 seeds of tiny DAGs: generate
     // from seed, solve at two α points, fold into the constant-memory
     // aggregates, drop. Guards the generator fast path and the fold loop.

@@ -45,8 +45,6 @@ pub use service::{
     example_request, generated_request, CodedError, ErrorCode, MemberOutcome, Service,
     ServiceError, SolveReport, SolveRequest, PROTOCOL_VERSION,
 };
-#[allow(deprecated)]
-pub use service::{solve_request, solve_with_engine};
 pub use sweep::{
     heft_reference, memory_oblivious_result, sweep_absolute, sweep_absolute_streaming, Reference,
     SweepPoint,

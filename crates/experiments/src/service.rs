@@ -954,33 +954,6 @@ fn solve_on_engine(
     })
 }
 
-/// Solves a request on a dedicated engine (pool spun up for this one call).
-#[deprecated(
-    since = "0.2.0",
-    note = "create a `Service` session and call `Service::handle` (or `Service::once` for one-shots)"
-)]
-pub fn solve_request(request: &SolveRequest) -> Result<SolveReport, ServiceError> {
-    Service::for_request(request).try_handle(request)
-}
-
-/// Solves a request on an existing engine session.
-#[deprecated(
-    since = "0.2.0",
-    note = "wrap the engine in a `Service` (`Service::with_engine`) and call `Service::try_handle`"
-)]
-pub fn solve_with_engine(
-    engine: &Engine,
-    request: &SolveRequest,
-) -> Result<SolveReport, ServiceError> {
-    let mut cache = SolverCache::new();
-    solve_on_engine(
-        engine,
-        request,
-        request.deadline_ms.map(Deadline::after_millis),
-        &mut cache,
-    )
-}
-
 /// A ready-made example request (the paper's `D_ex` toy DAG on a 1+1
 /// platform with 5 memory units per side), used by `schedule
 /// --print-request` and the docs.
@@ -1378,13 +1351,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_answer() {
+    fn session_equals_one_shot() {
         let engine = mals_exact::engine(EngineConfig::sequential());
         let request = example_request();
-        let via_free = solve_request(&request).unwrap();
-        let via_engine = solve_with_engine(&engine, &request).unwrap();
-        assert_eq!(via_free.schedule, via_engine.schedule);
-        assert_eq!(via_free.status, via_engine.status);
+        let one_shot = Service::once(&request);
+        let via_session = Service::with_engine(engine).handle(&request);
+        assert_eq!(one_shot.schedule, via_session.schedule);
+        assert_eq!(one_shot.status, via_session.status);
     }
 }

@@ -17,12 +17,25 @@
 
 use crate::error::ScheduleError;
 use crate::incremental::EstCache;
-use crate::partial::{sorted_insert, sorted_remove, PartialSchedule};
+use crate::partial::{CommitEffects, EstBreakdown, PartialSchedule};
 use crate::traits::Scheduler;
 use mals_dag::{rank, TaskGraph, TaskId};
 use mals_platform::Platform;
 use mals_sim::Schedule;
-use mals_util::{CancelSignal, ParallelConfig, WorkerPool};
+use mals_util::{CancelSignal, ChunkedIndexSet, ParallelConfig, WorkerPool};
+
+/// Per-schedule scratch buffers of the selection loop: reused across every
+/// step so steady state allocates nothing per commit (the allocation-free
+/// commit path). `block` holds the priority positions of one parallel probe
+/// block, `stale`/`pairs` the cache-refresh fan-out, `effects` the commit
+/// record.
+#[derive(Debug, Default)]
+struct SelectScratch {
+    block: Vec<u32>,
+    stale: Vec<TaskId>,
+    pairs: Vec<[Option<EstBreakdown>; 2]>,
+    effects: CommitEffects,
+}
 
 /// The MemHEFT scheduler (Algorithm 1 of the paper).
 ///
@@ -137,16 +150,18 @@ pub fn schedule_with_priority_pooled(
         position_of[task.index()] = position as u32;
     }
     let mut partial = PartialSchedule::new(graph, platform);
-    // The ready candidates, sorted by priority-list position (a sorted
-    // vector for the same reason `PartialSchedule` uses one: the frontier
-    // stays small).
-    let mut ready: Vec<u32> = partial
-        .ready_tasks()
-        .iter()
-        .map(|&task| position_of[task.index()])
+    // The ready candidates, keyed by priority-list position (chunked storage
+    // for the same reason `PartialSchedule` uses it: at 10⁵ tasks the
+    // frontier holds thousands of candidates, past the point where a flat
+    // vector's insert memmove dominates).
+    let mut positions: Vec<u32> = partial
+        .ready_iter()
+        .map(|task| position_of[task.index()])
         .collect();
-    ready.sort_unstable();
+    positions.sort_unstable();
+    let mut ready = ChunkedIndexSet::from_sorted(positions);
     let mut cache = EstCache::new(graph.n_tasks());
+    let mut scratch = SelectScratch::default();
     let pool = pool.filter(|p| p.threads() > 1);
 
     while !partial.is_complete() {
@@ -161,7 +176,7 @@ pub fn schedule_with_priority_pooled(
             None => {
                 // Scan the ready candidates in priority order; the cache
                 // skips every evaluation whose inputs no commit touched.
-                for &position in ready.iter() {
+                for position in ready.iter() {
                     let task = order[position as usize];
                     if let Some(breakdown) = cache.best(&partial, task, prefer_red) {
                         chosen = Some((position, task, breakdown));
@@ -170,19 +185,27 @@ pub fn schedule_with_priority_pooled(
                 }
             }
             Some(pool) => {
-                chosen = first_feasible_par(&partial, order, &ready, &mut cache, prefer_red, pool);
+                chosen = first_feasible_par(
+                    &partial,
+                    order,
+                    &ready,
+                    &mut cache,
+                    prefer_red,
+                    pool,
+                    &mut scratch,
+                );
             }
         }
         // No ready task fits in either memory, now or ever.
         let Some((position, task, breakdown)) = chosen else {
             return partial.finish_or_error();
         };
-        let effects = partial.commit(task, &breakdown);
-        sorted_remove(&mut ready, position);
-        for &child in &effects.newly_ready {
-            sorted_insert(&mut ready, position_of[child.index()]);
+        partial.commit_into(task, &breakdown, &mut scratch.effects);
+        ready.remove(position);
+        for &child in &scratch.effects.newly_ready {
+            ready.insert(position_of[child.index()]);
         }
-        cache.apply(&effects);
+        cache.apply(&scratch.effects);
     }
     partial.finish_or_error()
 }
@@ -195,38 +218,47 @@ pub fn schedule_with_priority_pooled(
 fn first_feasible_par(
     partial: &PartialSchedule<'_>,
     order: &[TaskId],
-    ready: &[u32],
+    ready: &ChunkedIndexSet,
     cache: &mut EstCache,
     prefer_red: bool,
     pool: &WorkerPool,
-) -> Option<(u32, TaskId, crate::partial::EstBreakdown)> {
-    let (&head, rest) = ready.split_first()?;
+    scratch: &mut SelectScratch,
+) -> Option<(u32, TaskId, EstBreakdown)> {
+    let head = ready.first()?;
     let head_task = order[head as usize];
     if let Some(breakdown) = cache.best(partial, head_task, prefer_red) {
         return Some((head, head_task, breakdown));
     }
     let block = (pool.threads() * 4).max(crate::partial::PAR_EVAL_CUTOFF);
-    for chunk in rest.chunks(block) {
-        // Fill the cache for the chunk's stale candidates in one fan-out;
+    let mut rest = ready.iter().skip(1);
+    loop {
+        scratch.block.clear();
+        scratch.block.extend(rest.by_ref().take(block));
+        if scratch.block.is_empty() {
+            return None;
+        }
+        // Fill the cache for the block's stale candidates in one fan-out;
         // fresh entries are reused as-is (their bits cannot differ from a
         // recomputation).
-        let stale: Vec<TaskId> = chunk
-            .iter()
-            .map(|&position| order[position as usize])
-            .filter(|&task| !cache.is_fresh(task))
-            .collect();
-        let pairs = partial.evaluate_pairs_par(&stale, pool);
-        for (&task, pair) in stale.iter().zip(pairs) {
+        scratch.stale.clear();
+        scratch.stale.extend(
+            scratch
+                .block
+                .iter()
+                .map(|&position| order[position as usize])
+                .filter(|&task| !cache.is_fresh(task)),
+        );
+        partial.evaluate_pairs_into(&scratch.stale, pool, &mut scratch.pairs);
+        for (&task, &pair) in scratch.stale.iter().zip(scratch.pairs.iter()) {
             cache.store_pair(task, pair);
         }
-        for &position in chunk {
+        for &position in &scratch.block {
             let task = order[position as usize];
             if let Some(breakdown) = cache.best(partial, task, prefer_red) {
                 return Some((position, task, breakdown));
             }
         }
     }
-    None
 }
 
 impl Scheduler for MemHeft {

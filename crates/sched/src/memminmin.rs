@@ -73,6 +73,13 @@ impl MemMinMin {
         let mut partial = PartialSchedule::new(graph, platform);
         let mut cache = EstCache::new(graph.n_tasks());
         let pool = pool.filter(|p| p.threads() > 1);
+        // Per-schedule scratch (the allocation-free commit path): the ready
+        // snapshot, the stale fan-out and the commit record are refilled in
+        // place every step, so steady state allocates nothing per commit.
+        let mut ready: Vec<TaskId> = Vec::new();
+        let mut stale: Vec<TaskId> = Vec::new();
+        let mut pairs = Vec::new();
+        let mut effects = crate::partial::CommitEffects::empty();
         while !partial.is_complete() {
             if cancel.is_cancelled() {
                 return Err(ScheduleError::Cancelled {
@@ -80,17 +87,15 @@ impl MemMinMin {
                     total: graph.n_tasks(),
                 });
             }
-            let ready = partial.ready_tasks();
+            ready.clear();
+            ready.extend(partial.ready_iter());
             if let Some(pool) = pool {
                 // Refresh every stale candidate in one fan-out, then reduce
                 // over the (now fresh) cache on the calling thread.
-                let stale: Vec<TaskId> = ready
-                    .iter()
-                    .copied()
-                    .filter(|&task| !cache.is_fresh(task))
-                    .collect();
-                let pairs = partial.evaluate_pairs_par(&stale, pool);
-                for (&task, pair) in stale.iter().zip(pairs) {
+                stale.clear();
+                stale.extend(ready.iter().copied().filter(|&task| !cache.is_fresh(task)));
+                partial.evaluate_pairs_into(&stale, pool, &mut pairs);
+                for (&task, &pair) in stale.iter().zip(pairs.iter()) {
                     cache.store_pair(task, pair);
                 }
             }
@@ -104,7 +109,7 @@ impl MemMinMin {
             }
             match best {
                 Some((task, breakdown)) => {
-                    let effects = partial.commit(task, &breakdown);
+                    partial.commit_into(task, &breakdown, &mut effects);
                     cache.apply(&effects);
                 }
                 None => return partial.finish_or_error(),

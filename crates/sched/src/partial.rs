@@ -26,7 +26,7 @@ use crate::error::ScheduleError;
 use mals_dag::{TaskGraph, TaskId};
 use mals_platform::{Memory, MemoryState, Platform, ProcessorState};
 use mals_sim::{CommPlacement, Schedule, TaskPlacement};
-use mals_util::WorkerPool;
+use mals_util::{ChunkedIndexSet, WorkerPool};
 
 /// Below this many candidate tasks a "parallel" evaluation runs inline on
 /// the calling thread: dispatching a handful of microsecond-scale EST
@@ -87,6 +87,25 @@ pub struct CommitEffects {
     pub newly_ready: Vec<TaskId>,
 }
 
+impl CommitEffects {
+    /// A blank effects record to pass to [`PartialSchedule::commit_into`];
+    /// reuse one per schedule so the `newly_ready` vector is allocated once.
+    pub fn empty() -> Self {
+        CommitEffects {
+            task: TaskId::from_index(0),
+            memory: Memory::Blue,
+            other_memory_touched: false,
+            newly_ready: Vec::new(),
+        }
+    }
+}
+
+impl Default for CommitEffects {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// State of a schedule under construction.
 #[derive(Debug, Clone)]
 pub struct PartialSchedule<'a> {
@@ -98,39 +117,26 @@ pub struct PartialSchedule<'a> {
     assigned_memory: Vec<Option<Memory>>,
     finish: Vec<f64>,
     remaining_parents: Vec<usize>,
-    /// Indices of the ready tasks, sorted ascending, kept incrementally by
-    /// `commit` so no loop ever rescans the whole task set to find them.
-    /// A sorted vector, not a tree: the ready frontier of a layered DAG
-    /// stays around `width · √n` (tens, not thousands), where the vector's
-    /// memmove beats any node-based structure.
-    ready: Vec<u32>,
+    /// Indices of the ready tasks, kept incrementally by `commit` so no loop
+    /// ever rescans the whole task set to find them. Chunked storage
+    /// ([`ChunkedIndexSet`]): a 10⁵-task layered DAG keeps thousands of
+    /// tasks ready at once, where a flat sorted vector's per-commit
+    /// `Vec::insert` memmove becomes the dominant cost.
+    ready: ChunkedIndexSet,
     n_scheduled: usize,
-}
-
-/// Inserts `value` into a sorted vector (no-op if already present).
-pub(crate) fn sorted_insert(sorted: &mut Vec<u32>, value: u32) {
-    if let Err(pos) = sorted.binary_search(&value) {
-        sorted.insert(pos, value);
-    }
-}
-
-/// Removes `value` from a sorted vector (no-op if absent).
-pub(crate) fn sorted_remove(sorted: &mut Vec<u32>, value: u32) {
-    if let Ok(pos) = sorted.binary_search(&value) {
-        sorted.remove(pos);
-    }
 }
 
 impl<'a> PartialSchedule<'a> {
     /// Creates an empty partial schedule for `graph` on `platform`.
     pub fn new(graph: &'a TaskGraph, platform: &'a Platform) -> Self {
         let remaining_parents: Vec<usize> = graph.task_ids().map(|t| graph.in_degree(t)).collect();
-        let ready = remaining_parents
-            .iter()
-            .enumerate()
-            .filter(|&(_, &parents)| parents == 0)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let ready = ChunkedIndexSet::from_sorted(
+            remaining_parents
+                .iter()
+                .enumerate()
+                .filter(|&(_, &parents)| parents == 0)
+                .map(|(i, _)| i as u32),
+        );
         PartialSchedule {
             graph,
             platform,
@@ -184,10 +190,14 @@ impl<'a> PartialSchedule<'a> {
     /// All ready tasks, in task-id order (the `available_tasks` set of
     /// MemMinMin). `O(|ready|)` — the set is maintained incrementally.
     pub fn ready_tasks(&self) -> Vec<TaskId> {
-        self.ready
-            .iter()
-            .map(|&i| TaskId::from_index(i as usize))
-            .collect()
+        self.ready_iter().collect()
+    }
+
+    /// Iterates the ready tasks in task-id order without allocating (the
+    /// allocation-free counterpart of [`PartialSchedule::ready_tasks`]);
+    /// callers that need a materialised list extend a reusable buffer.
+    pub fn ready_iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.ready.iter().map(|i| TaskId::from_index(i as usize))
     }
 
     /// Number of ready tasks.
@@ -418,6 +428,25 @@ impl<'a> PartialSchedule<'a> {
         }
     }
 
+    /// [`PartialSchedule::evaluate_pairs_par`] into a caller-owned buffer:
+    /// `out` is cleared and refilled in input order, reusing its capacity.
+    /// The solver loops call this with a per-schedule scratch vector so the
+    /// per-step fan-out allocates nothing in steady state; the results are
+    /// bit-identical to [`PartialSchedule::evaluate_pairs_par`].
+    pub fn evaluate_pairs_into(
+        &self,
+        tasks: &[TaskId],
+        pool: &WorkerPool,
+        out: &mut Vec<[Option<EstBreakdown>; 2]>,
+    ) {
+        if pool.threads() <= 1 || tasks.len() < PAR_EVAL_CUTOFF {
+            out.clear();
+            out.extend(tasks.iter().map(|&t| self.evaluate_pair(t)));
+        } else {
+            pool.run_indexed_into(tasks.len(), |i| self.evaluate_pair(tasks[i]), out);
+        }
+    }
+
     /// Evaluates every ready task on both memories concurrently and returns
     /// `(task, best breakdown)` pairs in task-id order (the parallel
     /// counterpart of mapping [`PartialSchedule::evaluate_best`] over
@@ -451,7 +480,7 @@ impl<'a> PartialSchedule<'a> {
     /// MemMinMin selection step on the calling thread.
     pub fn best_ready_choice(&self) -> Option<(TaskId, EstBreakdown)> {
         let mut best: Option<(TaskId, EstBreakdown)> = None;
-        for task in self.ready_tasks() {
+        for task in self.ready_iter() {
             if let Some(bd) = self.evaluate_best(task) {
                 if Self::is_better_choice(&best, task, &bd) {
                     best = Some((task, bd));
@@ -493,6 +522,25 @@ impl<'a> PartialSchedule<'a> {
     /// Panics if the task is not ready or the breakdown is stale (no
     /// processor available at the chosen start time).
     pub fn commit(&mut self, task: TaskId, breakdown: &EstBreakdown) -> CommitEffects {
+        let mut effects = CommitEffects::empty();
+        self.commit_into(task, breakdown, &mut effects);
+        effects
+    }
+
+    /// [`PartialSchedule::commit`] into a caller-owned [`CommitEffects`]:
+    /// `effects` is overwritten (its `newly_ready` vector cleared and
+    /// refilled, reusing its capacity). The solver loops hold one effects
+    /// record per schedule, so steady state commits allocate nothing.
+    ///
+    /// # Panics
+    /// Panics if the task is not ready or the breakdown is stale (no
+    /// processor available at the chosen start time).
+    pub fn commit_into(
+        &mut self,
+        task: TaskId,
+        breakdown: &EstBreakdown,
+        effects: &mut CommitEffects,
+    ) {
         assert!(self.is_ready(task), "commit on a non-ready task");
         let mem = breakdown.memory;
         let est = breakdown.est;
@@ -550,13 +598,16 @@ impl<'a> PartialSchedule<'a> {
         self.assigned_memory[task.index()] = Some(mem);
         self.finish[task.index()] = eft;
         self.n_scheduled += 1;
-        sorted_remove(&mut self.ready, task.index() as u32);
-        let mut newly_ready = Vec::new();
+        self.ready.remove(task.index() as u32);
+        effects.task = task;
+        effects.memory = mem;
+        effects.other_memory_touched = other_memory_touched;
+        effects.newly_ready.clear();
         for child in self.graph.children(task) {
             self.remaining_parents[child.index()] -= 1;
             if self.remaining_parents[child.index()] == 0 {
-                sorted_insert(&mut self.ready, child.index() as u32);
-                newly_ready.push(child);
+                self.ready.insert(child.index() as u32);
+                effects.newly_ready.push(child);
             }
         }
 
@@ -565,12 +616,6 @@ impl<'a> PartialSchedule<'a> {
             "memory invariant violated after committing {task}: {:?}",
             self.mem.check_invariants()
         );
-        CommitEffects {
-            task,
-            memory: mem,
-            other_memory_touched,
-            newly_ready,
-        }
     }
 }
 

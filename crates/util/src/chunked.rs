@@ -1,0 +1,316 @@
+//! A sorted set of `u32` indices with chunked storage.
+//!
+//! [`ChunkedIndexSet`] is the integer sibling of the chunked
+//! [`crate::Staircase`]: the sorted values live in fixed-capacity chunks
+//! (`CAP = 128`) with a per-chunk first-element index, so membership tests
+//! stay `O(log k)` (two-level `partition_point`) while insertion and removal
+//! move at most one chunk — `O(CAP)` — instead of memmoving the whole tail
+//! of a flat vector. Chunks split when full and merge with a neighbour when
+//! they drain below `MIN`, keeping occupancy within a constant factor of
+//! optimal.
+//!
+//! The scheduling engine uses it for ready frontiers (task ids in
+//! `PartialSchedule`, priority positions in MemHEFT's selection loop): a
+//! 10⁵-task layered DAG keeps thousands of tasks ready at once, which is
+//! past the break-even point where a flat `Vec::insert` memmove starts to
+//! dominate the commit path.
+//!
+//! Iteration yields the values in ascending order, exactly like iterating a
+//! sorted `Vec` — callers that replace one with the other see the same
+//! sequence, which is what keeps schedules bit-identical.
+
+/// Chunk capacity. Two cache lines of `u32`s per chunk keeps the memmove on
+/// insert cheap while the per-chunk index stays tiny (k/128 entries).
+const CAP: usize = 128;
+/// A chunk that drains below `MIN` merges with a neighbour if the combined
+/// size fits in `MERGE_MAX`, so occupancy never falls below `MIN/CAP` except
+/// in the last chunk.
+const MIN: usize = 32;
+/// Merges only happen when the result leaves split headroom.
+const MERGE_MAX: usize = CAP - MIN;
+
+/// A sorted set of `u32` values in chunked storage (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedIndexSet {
+    /// Non-empty sorted runs; globally sorted (every value in `chunks[c]` is
+    /// less than every value in `chunks[c + 1]`).
+    chunks: Vec<Vec<u32>>,
+    /// `first[c]` = `chunks[c][0]`, the search index.
+    first: Vec<u32>,
+    /// Total number of values.
+    len: usize,
+}
+
+impl ChunkedIndexSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from values that are already sorted ascending and unique.
+    ///
+    /// # Panics
+    /// Panics (debug) if the input is not strictly increasing.
+    pub fn from_sorted(values: impl IntoIterator<Item = u32>) -> Self {
+        // Fill to CAP - MIN so early inserts do not immediately split.
+        const FILL: usize = CAP - MIN;
+        let mut set = ChunkedIndexSet::new();
+        for value in values {
+            match set.chunks.last_mut() {
+                Some(last) if last.len() < FILL => {
+                    debug_assert!(*last.last().expect("chunks are non-empty") < value);
+                    last.push(value);
+                }
+                _ => {
+                    debug_assert!(set.first.last().is_none_or(|&f| f < value));
+                    set.chunks.push(Vec::with_capacity(CAP));
+                    set.chunks.last_mut().expect("just pushed").push(value);
+                    set.first.push(value);
+                }
+            }
+            set.len += 1;
+        }
+        set
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The smallest value, if any.
+    pub fn first(&self) -> Option<u32> {
+        self.first.first().copied()
+    }
+
+    /// The chunk that could contain `value`: the last chunk whose first
+    /// element is `<= value`, or 0 when `value` sorts before everything.
+    fn chunk_for(&self, value: u32) -> usize {
+        self.first
+            .partition_point(|&f| f <= value)
+            .saturating_sub(1)
+    }
+
+    /// `true` when `value` is in the set. `O(log k)`.
+    pub fn contains(&self, value: u32) -> bool {
+        if self.chunks.is_empty() {
+            return false;
+        }
+        self.chunks[self.chunk_for(value)]
+            .binary_search(&value)
+            .is_ok()
+    }
+
+    /// Inserts `value`; returns `false` if it was already present.
+    /// `O(log k + CAP)`.
+    pub fn insert(&mut self, value: u32) -> bool {
+        if self.chunks.is_empty() {
+            self.chunks.push(Vec::with_capacity(CAP));
+            self.chunks[0].push(value);
+            self.first.push(value);
+            self.len = 1;
+            return true;
+        }
+        let c = self.chunk_for(value);
+        match self.chunks[c].binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                if self.chunks[c].len() == CAP {
+                    self.split(c);
+                    // Re-locate: the split moved the upper half into a new
+                    // chunk, so the insertion point may be there now.
+                    return self.insert(value);
+                }
+                self.chunks[c].insert(pos, value);
+                if pos == 0 {
+                    self.first[c] = value;
+                }
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `false` if it was absent. `O(log k + CAP)`.
+    pub fn remove(&mut self, value: u32) -> bool {
+        if self.chunks.is_empty() {
+            return false;
+        }
+        let c = self.chunk_for(value);
+        match self.chunks[c].binary_search(&value) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.chunks[c].remove(pos);
+                self.len -= 1;
+                if self.chunks[c].is_empty() {
+                    self.chunks.remove(c);
+                    self.first.remove(c);
+                } else {
+                    if pos == 0 {
+                        self.first[c] = self.chunks[c][0];
+                    }
+                    if self.chunks[c].len() < MIN {
+                        self.merge_around(c);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Splits the full chunk `c` into two halves.
+    fn split(&mut self, c: usize) {
+        let upper = self.chunks[c].split_off(CAP / 2);
+        self.first.insert(c + 1, upper[0]);
+        self.chunks.insert(c + 1, upper);
+    }
+
+    /// Merges the under-full chunk `c` with a neighbour when the combined
+    /// size leaves headroom; prefers the smaller neighbour.
+    fn merge_around(&mut self, c: usize) {
+        let left = (c > 0).then(|| self.chunks[c - 1].len());
+        let right = (c + 1 < self.chunks.len()).then(|| self.chunks[c + 1].len());
+        let take_left = match (left, right) {
+            (Some(l), Some(r)) => l <= r,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_left {
+            if left.expect("checked") + self.chunks[c].len() <= MERGE_MAX {
+                let tail = self.chunks.remove(c);
+                self.first.remove(c);
+                self.chunks[c - 1].extend_from_slice(&tail);
+            }
+        } else if let Some(r) = right {
+            if r + self.chunks[c].len() <= MERGE_MAX {
+                let tail = self.chunks.remove(c + 1);
+                self.first.remove(c + 1);
+                self.chunks[c].extend_from_slice(&tail);
+            }
+        }
+    }
+
+    /// Iterates the values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.iter().flat_map(|chunk| chunk.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// xorshift64* — deterministic, no external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn assert_matches(set: &ChunkedIndexSet, oracle: &BTreeSet<u32>) {
+        assert_eq!(set.len(), oracle.len());
+        assert_eq!(set.is_empty(), oracle.is_empty());
+        assert_eq!(set.first(), oracle.first().copied());
+        let got: Vec<u32> = set.iter().collect();
+        let want: Vec<u32> = oracle.iter().copied().collect();
+        assert_eq!(got, want);
+        // Structural invariants.
+        for (c, chunk) in set.chunks.iter().enumerate() {
+            assert!(!chunk.is_empty(), "empty chunk survived");
+            assert!(chunk.len() <= CAP, "chunk over capacity");
+            assert_eq!(set.first[c], chunk[0], "first index out of sync");
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = ChunkedIndexSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.first(), None);
+        assert!(!set.contains(0));
+        assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_storm_matches_btreeset() {
+        for seed in 1..=6u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut set = ChunkedIndexSet::new();
+            let mut oracle = BTreeSet::new();
+            for step in 0..4000 {
+                let value = (rng.next() % 2000) as u32;
+                if rng.next().is_multiple_of(3) {
+                    assert_eq!(set.remove(value), oracle.remove(&value));
+                } else {
+                    assert_eq!(set.insert(value), oracle.insert(value));
+                }
+                assert_eq!(set.contains(value), oracle.contains(&value));
+                if step % 64 == 0 {
+                    assert_matches(&set, &oracle);
+                }
+            }
+            assert_matches(&set, &oracle);
+            // Drain completely: exercises merge-on-sparse down to empty.
+            let values: Vec<u32> = set.iter().collect();
+            for value in values {
+                assert!(set.remove(value));
+                assert!(oracle.remove(&value));
+            }
+            assert_matches(&set, &oracle);
+        }
+    }
+
+    #[test]
+    fn split_at_capacity_boundary() {
+        let mut set = ChunkedIndexSet::new();
+        // Fill exactly one chunk, then insert below, inside and above it.
+        for i in 0..CAP as u32 {
+            set.insert(2 * i + 10);
+        }
+        assert_eq!(set.chunks.len(), 1);
+        for probe in [0u32, 11, 2 * CAP as u32 + 100] {
+            assert!(set.insert(probe));
+        }
+        let got: Vec<u32> = set.iter().collect();
+        let mut want: Vec<u32> = (0..CAP as u32).map(|i| 2 * i + 10).collect();
+        want.extend([0, 11, 2 * CAP as u32 + 100]);
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(set.chunks.len() >= 2, "a split must have happened");
+    }
+
+    #[test]
+    fn from_sorted_round_trips() {
+        let values: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let set = ChunkedIndexSet::from_sorted(values.iter().copied());
+        assert_eq!(set.len(), values.len());
+        let got: Vec<u32> = set.iter().collect();
+        assert_eq!(got, values);
+        assert!(set.contains(999 * 3));
+        assert!(!set.contains(1));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut set = ChunkedIndexSet::new();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(7));
+        assert!(!set.remove(7));
+        assert!(set.is_empty());
+    }
+}

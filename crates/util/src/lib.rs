@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod chunked;
 pub mod float;
 pub mod frame;
 pub mod json;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod streaming;
 
 pub use cancel::{CancelSignal, CancelToken, Deadline};
+pub use chunked::ChunkedIndexSet;
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
 pub use frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use json::{Json, JsonError};

@@ -252,6 +252,49 @@ impl WorkerPool {
             .collect()
     }
 
+    /// [`WorkerPool::run_indexed`] into a caller-owned buffer: `out` is
+    /// cleared and refilled with `(0..len).map(f)` in index order, reusing
+    /// its existing capacity. The allocation-free commit path of the
+    /// schedulers calls this with per-schedule scratch vectors so steady
+    /// state performs no result-buffer allocation per selection step.
+    pub fn run_indexed_into<R, F>(&self, len: usize, f: F, out: &mut Vec<R>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        if self.workers.is_empty() || len == 1 {
+            out.extend((0..len).map(f));
+            return;
+        }
+        let chunk = self.claim_size(len);
+        // Workers append (start, local results) per claimed range; the
+        // ranges are disjoint, so sorting by start and concatenating
+        // reproduces index order exactly — the same bits `run_indexed`
+        // returns.
+        let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        let runner = |start: usize, end: usize| {
+            let mut local = Vec::with_capacity(end - start);
+            for i in start..end {
+                local.push(f(i));
+            }
+            results
+                .lock()
+                .expect("worker pool results poisoned")
+                .push((start, local));
+        };
+        self.run_batch(&runner, len, chunk);
+        let mut ranges = results.into_inner().expect("worker pool results poisoned");
+        ranges.sort_unstable_by_key(|&(start, _)| start);
+        for (_, local) in ranges {
+            out.extend(local);
+        }
+        debug_assert_eq!(out.len(), len, "every index must have been processed");
+    }
+
     /// Chunks claimed per synchronisation: at least the configured minimum,
     /// scaled up on large inputs so each thread performs a bounded number of
     /// claims per batch.

@@ -3,7 +3,7 @@
 //! The memory-aware heuristics of the paper (Section 5.1) maintain, for each
 //! memory `µ`, the profile `free_mem^{(µ)}(t)` of memory still available at
 //! every instant of the partial schedule. The paper stores it as "a list of
-//! couples `[(x_1, val_1), ..., (x_ℓ, val_ℓ)]`" — exactly the representation
+//! couples `[(x_1, val_1), ..., (x_ℓ, val_ℓ)]`" — the representation
 //! implemented here, together with the two queries the heuristics need:
 //!
 //! * update the profile on a half-open interval or a suffix (reserving or
@@ -12,46 +12,141 @@
 //!   threshold **forever after** `t` (the `task_mem_EST` / `comm_mem_EST`
 //!   computations).
 //!
-//! # Complexity
+//! # Storage and complexity
 //!
-//! The breakpoint list is kept sorted, so point queries locate their segment
-//! by binary search, and the sustained-threshold queries binary-search a
-//! suffix-extrema index (`suffix_min` / `suffix_max`, rebuilt on mutation)
-//! instead of walking every segment: with `k` breakpoints, [`value_at`],
-//! [`min_from`], [`earliest_sustained_ge`] and [`earliest_sustained_le`] are
-//! all `O(log k)`. Mutations stay `O(k)` (they already shift the breakpoint
-//! vector), but run in place — no allocation per update — so the
-//! reserve/release pattern of the schedulers, whose breakpoints cluster near
-//! the end of the horizon, stays cheap. The scheduler hot path performs many
-//! queries per mutation (one per ready candidate per memory), which is what
-//! the index trades for.
+//! Breakpoints are stored in sorted order across a sequence of fixed-capacity
+//! *chunks* (at most `CHUNK_CAP` = 64 breakpoints each). Each chunk carries a
+//! suffix-extrema index over its own values, and a chunk-level index
+//! (`first_x`, `chunk_suffix`) summarises the chunks, so with `k` breakpoints
+//! [`value_at`], [`min_from`], [`earliest_sustained_ge`] and
+//! [`earliest_sustained_le`] are `O(log k)` via two-level `partition_point`.
+//! Breakpoint insertion is `O(CHUNK_CAP)` — a full chunk splits in two,
+//! sparse chunks re-merge — instead of the `O(k)` tail memmove of a flat
+//! vector, which profiling showed was the last super-logarithmic term per
+//! scheduler commit at 10⁵ tasks. Likewise, repairing the extrema indices
+//! after a mutation touches only the chunks whose values changed plus an
+//! early-stopping leftward walk over the chunk summaries.
+//!
+//! # Why deltas are applied eagerly (no per-chunk lazy offsets)
+//!
+//! An obvious further step would be to make [`add_from`] / [`add_range`]
+//! `O(log k)` by storing a pending per-chunk offset and pushing it down on
+//! access. That design is rejected here because it cannot preserve the
+//! crate's bit-identity guarantee (schedules must be bit-identical across
+//! refactors and thread counts):
+//!
+//! * accumulating offsets reorders float additions — `v + (d₁ + d₂)` is not
+//!   `(v + d₁) + d₂` in IEEE 754 — so stored values would drift from the
+//!   eager sequence, and
+//! * segment merging uses [`approx_eq`], whose tolerance has a *relative*
+//!   component: a uniform shift to large magnitudes genuinely changes which
+//!   adjacent segments merge, so the merge pass must observe post-shift
+//!   values across the whole changed region anyway. Since correctness forces
+//!   that scan, laziness saves nothing and risks divergence.
+//!
+//! Deltas are therefore added eagerly, point by point, in the same order as
+//! the historical flat implementation; the chunked layout only changes
+//! *where* the points live, never the float operations performed on them.
 //!
 //! [`value_at`]: Staircase::value_at
 //! [`min_from`]: Staircase::min_from
 //! [`earliest_sustained_ge`]: Staircase::earliest_sustained_ge
 //! [`earliest_sustained_le`]: Staircase::earliest_sustained_le
+//! [`add_from`]: Staircase::add_from
+//! [`add_range`]: Staircase::add_range
 
 use crate::float::{approx_eq, approx_ge, EPSILON};
 
-/// A piecewise-constant function `f : [0, +∞) → ℝ`.
+/// Maximum number of breakpoints per chunk; a full chunk splits in two.
+const CHUNK_CAP: usize = 64;
+/// Split point of a full chunk: the left half keeps this many points.
+const CHUNK_MID: usize = CHUNK_CAP / 2;
+/// Chunks that fall below this many points try to merge with a neighbour.
+const CHUNK_MIN: usize = 16;
+/// A sparse merge only happens if the combined chunk stays at or below this.
+const MERGE_MAX: usize = CHUNK_CAP - CHUNK_MIN;
+
+/// Neutral element for (min, max) extrema folds.
+const NEUTRAL: (f64, f64) = (f64::INFINITY, f64::NEG_INFINITY);
+
+/// A position in the two-level storage: breakpoint `idx` of chunk `chunk`.
 ///
-/// Internally stored as a sorted list of breakpoints `(x_i, v_i)`, meaning
-/// `f(t) = v_i` for `t ∈ [x_i, x_{i+1})` and `f(t) = v_ℓ` for `t ≥ x_ℓ`.
-/// The first breakpoint is always at `x = 0`.
+/// Positions are kept *normalised*: `idx` is strictly inside its chunk,
+/// except for the global end position `(last_chunk, last_len)`. Under that
+/// invariant the derived lexicographic order matches global breakpoint order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Pos {
+    chunk: usize,
+    idx: usize,
+}
+
+/// Sentinel "infinitely far right" position (used as an open-ended bound).
+const POS_INF: Pos = Pos {
+    chunk: usize::MAX,
+    idx: 0,
+};
+
+/// One storage chunk: a sorted run of breakpoints plus its suffix extrema.
 #[derive(Debug, Clone)]
-pub struct Staircase {
-    /// Breakpoints, sorted by strictly increasing `x`, starting at `x = 0`.
+struct Chunk {
+    /// Breakpoints `(x, v)`, sorted by strictly increasing `x`.
     points: Vec<(f64, f64)>,
-    /// `suffix[i] = (min, max)` of the values `v_i, …, v_ℓ`; the min
-    /// component is non-decreasing in `i`, the max non-increasing.
+    /// `suffix[i] = (min, max)` of the values `points[i..]` of this chunk.
     suffix: Vec<(f64, f64)>,
 }
 
+impl Chunk {
+    fn with_point(pt: (f64, f64)) -> Self {
+        let mut points = Vec::with_capacity(CHUNK_CAP);
+        points.push(pt);
+        let mut suffix = Vec::with_capacity(CHUNK_CAP);
+        suffix.push((pt.1, pt.1));
+        Chunk { points, suffix }
+    }
+
+    /// Rebuilds the per-chunk suffix extrema by a right-to-left fold.
+    fn rebuild_suffix(&mut self) {
+        let n = self.points.len();
+        self.suffix.clear();
+        self.suffix.resize(n, NEUTRAL);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in (0..n).rev() {
+            let v = self.points[i].1;
+            lo = lo.min(v);
+            hi = hi.max(v);
+            self.suffix[i] = (lo, hi);
+        }
+    }
+}
+
+/// A piecewise-constant function `f : [0, +∞) → ℝ`.
+///
+/// Semantically a sorted list of breakpoints `(x_i, v_i)`, meaning
+/// `f(t) = v_i` for `t ∈ [x_i, x_{i+1})` and `f(t) = v_ℓ` for `t ≥ x_ℓ`.
+/// The first breakpoint is always at `x = 0`. Internally the list is split
+/// across fixed-capacity chunks (see the module docs for the layout and the
+/// complexity trade-offs).
+#[derive(Debug, Clone)]
+pub struct Staircase {
+    /// The chunks, globally sorted: every `x` in `chunks[c]` is strictly
+    /// less than every `x` in `chunks[c + 1]`. Never empty; no chunk is
+    /// empty.
+    chunks: Vec<Chunk>,
+    /// `first_x[c]` = x-coordinate of the first breakpoint of chunk `c`.
+    first_x: Vec<f64>,
+    /// `chunk_suffix[c]` = (min, max) of **all** values from the start of
+    /// chunk `c` to the end of the function.
+    chunk_suffix: Vec<(f64, f64)>,
+    /// Total number of breakpoints.
+    n: usize,
+}
+
 /// Equality is a property of the function, i.e. of the breakpoints; the
-/// suffix indices are derived data.
+/// extrema indices are derived data.
 impl PartialEq for Staircase {
     fn eq(&self, other: &Self) -> bool {
-        self.points == other.points
+        self.n == other.n && self.breakpoints().eq(other.breakpoints())
     }
 }
 
@@ -59,75 +154,215 @@ impl Staircase {
     /// Creates a function that is constant and equal to `value` everywhere.
     pub fn constant(value: f64) -> Self {
         Staircase {
-            points: vec![(0.0, value)],
-            suffix: vec![(value, value)],
+            chunks: vec![Chunk::with_point((0.0, value))],
+            first_x: vec![0.0],
+            chunk_suffix: vec![(value, value)],
+            n: 1,
         }
+    }
+
+    /// Builds a staircase from breakpoints sorted by strictly increasing
+    /// `x`, the first at `x = 0`. Adjacent approx-equal values are merged
+    /// exactly as the incremental mutations would merge them, so bulk
+    /// construction and an equivalent mutation sequence produce the same
+    /// representation. Runs in `O(k)` — the bulk path for replay/validation
+    /// code that would otherwise pay `O(k)` *per insertion*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is empty or the first breakpoint is not at
+    /// `x = 0`; debug builds also check the ordering.
+    pub fn from_breakpoints(points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        // Fill chunks to less than capacity so later point insertions do
+        // not split immediately.
+        const FILL: usize = CHUNK_CAP - CHUNK_MIN;
+        let mut out = Staircase {
+            chunks: Vec::new(),
+            first_x: Vec::new(),
+            chunk_suffix: Vec::new(),
+            n: 0,
+        };
+        let mut last: Option<(f64, f64)> = None;
+        for (x, v) in points {
+            if let Some((px, pv)) = last {
+                debug_assert!(px < x, "breakpoints must be strictly increasing");
+                if approx_eq(pv, v) {
+                    continue;
+                }
+            } else {
+                assert_eq!(x, 0.0, "first breakpoint must be at x = 0");
+            }
+            last = Some((x, v));
+            match out.chunks.last_mut() {
+                Some(ch) if ch.points.len() < FILL => ch.points.push((x, v)),
+                _ => {
+                    out.chunks.push(Chunk::with_point((x, v)));
+                    out.first_x.push(x);
+                }
+            }
+            out.n += 1;
+        }
+        assert!(out.n > 0, "a staircase needs at least one breakpoint");
+        out.chunk_suffix.resize(out.chunks.len(), NEUTRAL);
+        let mut tail = NEUTRAL;
+        for c in (0..out.chunks.len()).rev() {
+            out.chunks[c].rebuild_suffix();
+            let local = out.chunks[c].suffix[0];
+            tail = (local.0.min(tail.0), local.1.max(tail.1));
+            out.chunk_suffix[c] = tail;
+        }
+        out
     }
 
     /// Number of breakpoints in the internal representation.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.n
     }
 
     /// Returns `true` if the function is represented by a single segment.
     pub fn is_empty(&self) -> bool {
-        self.points.len() <= 1
+        self.n <= 1
     }
 
-    /// Index of the segment containing `t`: the last `i` with
-    /// `x_i ≤ t + EPSILON`, or 0 when `t` lies before the first breakpoint.
-    #[inline]
-    fn seg_index(&self, t: f64) -> usize {
-        self.points
-            .partition_point(|&(x, _)| x <= t + EPSILON)
-            .saturating_sub(1)
+    /// Iterates over the breakpoints `(x_i, v_i)` of the representation.
+    pub fn breakpoints(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.chunks.iter().flat_map(|c| c.points.iter().copied())
     }
 
-    /// End of segment `i` (the next breakpoint, or `+∞` for the last one).
+    // ---- position arithmetic ------------------------------------------
+
     #[inline]
-    fn seg_end(&self, i: usize) -> f64 {
-        self.points
-            .get(i + 1)
-            .map(|&(x, _)| x)
-            .unwrap_or(f64::INFINITY)
+    fn point(&self, p: Pos) -> (f64, f64) {
+        self.chunks[p.chunk].points[p.idx]
     }
+
+    /// Normalises an end-of-chunk position to the start of the next chunk
+    /// (the global end stays at `(last, len)`).
+    #[inline]
+    fn normalize(&self, p: Pos) -> Pos {
+        if p.idx == self.chunks[p.chunk].points.len() && p.chunk + 1 < self.chunks.len() {
+            Pos {
+                chunk: p.chunk + 1,
+                idx: 0,
+            }
+        } else {
+            p
+        }
+    }
+
+    /// Global predecessor of a (normalised) position, saturating at the
+    /// first breakpoint — the two-level equivalent of `saturating_sub(1)`.
+    #[inline]
+    fn pos_prev(&self, p: Pos) -> Pos {
+        if p.idx > 0 {
+            Pos {
+                chunk: p.chunk,
+                idx: p.idx - 1,
+            }
+        } else if p.chunk > 0 {
+            let c = p.chunk - 1;
+            Pos {
+                chunk: c,
+                idx: self.chunks[c].points.len() - 1,
+            }
+        } else {
+            Pos { chunk: 0, idx: 0 }
+        }
+    }
+
+    /// Two-level `partition_point` over the breakpoints: `pred` must be
+    /// monotone in `x` (a prefix of the sorted breakpoints satisfies it).
+    /// Returns the normalised position of the first breakpoint that does
+    /// **not** satisfy `pred` (the global end position if all do).
+    ///
+    /// Because `pred` is genuinely monotone over the sorted `x`, the
+    /// chunk-level then in-chunk searches find the same unique boundary a
+    /// flat `partition_point` would — bit-identical, not just equivalent.
+    #[inline]
+    fn pp(&self, pred: impl Fn(f64) -> bool) -> Pos {
+        let c = self.first_x.partition_point(|&x| pred(x));
+        if c == 0 {
+            return Pos { chunk: 0, idx: 0 };
+        }
+        let ch = &self.chunks[c - 1];
+        let i = ch.points.partition_point(|&(x, _)| pred(x));
+        self.normalize(Pos {
+            chunk: c - 1,
+            idx: i,
+        })
+    }
+
+    /// Position of the segment containing `t`: the last breakpoint with
+    /// `x ≤ t + EPSILON`, or the first breakpoint when `t` lies before it.
+    #[inline]
+    fn locate(&self, t: f64) -> Pos {
+        self.pos_prev(self.pp(|x| x <= t + EPSILON))
+    }
+
+    /// Suffix extrema (min, max) of all values from position `p` to the end.
+    #[inline]
+    fn suffix_at(&self, p: Pos) -> (f64, f64) {
+        let local = self.chunks[p.chunk].suffix[p.idx];
+        let tail = self
+            .chunk_suffix
+            .get(p.chunk + 1)
+            .copied()
+            .unwrap_or(NEUTRAL);
+        (local.0.min(tail.0), local.1.max(tail.1))
+    }
+
+    // ---- queries ------------------------------------------------------
 
     /// Returns the value of the function at time `t`.
     ///
     /// Times before the first breakpoint evaluate to the first segment value.
     pub fn value_at(&self, t: f64) -> f64 {
-        self.points[self.seg_index(t)].1
+        self.point(self.locate(t)).1
     }
 
     /// Returns the value of the last (rightmost) segment, i.e. `f(+∞)`.
     pub fn final_value(&self) -> f64 {
-        self.points
-            .last()
-            .expect("staircase always has a segment")
-            .1
+        let ch = self.chunks.last().expect("staircase always has a segment");
+        ch.points.last().expect("chunks are never empty").1
     }
 
     /// Returns the minimum of the function over `[0, +∞)`.
     pub fn min_value(&self) -> f64 {
-        self.suffix[0].0
+        self.chunk_suffix[0].0
     }
 
     /// Returns the maximum of the function over `[0, +∞)`.
     pub fn max_value(&self) -> f64 {
-        self.suffix[0].1
+        self.chunk_suffix[0].1
     }
 
-    /// Index range `[lo, hi)` of the segments intersecting the window
-    /// `[t1, t2)` (with the shared tolerance on both ends), found by binary
-    /// search on segment ends / starts.
-    fn window_range(&self, t1: f64, t2: f64) -> (usize, usize) {
+    /// Position range `[lo, hi)` of the segments intersecting the window
+    /// `[t1, t2)` (with the shared tolerance on both ends).
+    fn window_range(&self, t1: f64, t2: f64) -> (Pos, Pos) {
         // First segment whose end reaches past t1: segment ends are the
-        // breakpoints shifted by one (`seg_end(i) = x_{i+1}`, `+∞` for the
-        // last), so this is a partition point of the shifted view …
-        let lo = self.points[1..].partition_point(|&(x, _)| x <= t1 + EPSILON);
+        // breakpoints shifted by one, so this is the predecessor of the
+        // boundary among breakpoint starts …
+        let lo = self.pos_prev(self.pp(|x| x <= t1 + EPSILON));
         // … up to the last segment starting before t2.
-        let hi = self.points.partition_point(|&(x, _)| x < t2 - EPSILON);
+        let hi = self.pp(|x| x < t2 - EPSILON);
         (lo, hi)
+    }
+
+    /// Left-to-right fold of the values at positions `[a, b)`.
+    fn fold_values(&self, a: Pos, b: Pos, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+        let mut acc = init;
+        if a >= b {
+            return acc;
+        }
+        for c in a.chunk..=b.chunk.min(self.chunks.len() - 1) {
+            let pts = &self.chunks[c].points;
+            let s = if c == a.chunk { a.idx } else { 0 };
+            let e = if c == b.chunk { b.idx } else { pts.len() };
+            for &(_, v) in &pts[s..e] {
+                acc = f(acc, v);
+            }
+        }
+        acc
     }
 
     /// Returns the maximum of the function over `[t1, t2)`.
@@ -138,20 +373,7 @@ impl Staircase {
             return f64::NEG_INFINITY;
         }
         let (lo, hi) = self.window_range(t1, t2);
-        self.points[lo.min(hi)..hi]
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(f64::NEG_INFINITY, f64::max)
-    }
-
-    /// Returns the minimum of the function over `[t, +∞)`.
-    pub fn min_from(&self, t: f64) -> f64 {
-        // The segments intersecting [t, +∞) form a suffix: everything from
-        // the segment containing (or reaching past) t onwards.
-        let shifted = &self.points[1..];
-        let first = shifted.partition_point(|&(x, _)| x <= t + EPSILON);
-        let first = first.min(self.points.partition_point(|&(x, _)| x < t - EPSILON));
-        self.suffix[first].0
+        self.fold_values(lo.min(hi), hi, f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns the minimum of the function over `[t1, t2)`.
@@ -162,10 +384,16 @@ impl Staircase {
             return f64::INFINITY;
         }
         let (lo, hi) = self.window_range(t1, t2);
-        self.points[lo.min(hi)..hi]
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(f64::INFINITY, f64::min)
+        self.fold_values(lo.min(hi), hi, f64::INFINITY, f64::min)
+    }
+
+    /// Returns the minimum of the function over `[t, +∞)`.
+    pub fn min_from(&self, t: f64) -> f64 {
+        // The segments intersecting [t, +∞) form a suffix: everything from
+        // the segment containing (or reaching past) t onwards.
+        let first = self.pos_prev(self.pp(|x| x <= t + EPSILON));
+        let first = first.min(self.pp(|x| x < t - EPSILON));
+        self.suffix_at(first).0
     }
 
     /// Finds the earliest time `t ≥ t_min` such that `f(t') ≥ threshold` for
@@ -173,27 +401,39 @@ impl Staircase {
     /// segment is below the threshold).
     ///
     /// This is the query used to compute `task_mem_EST` and `comm_mem_EST`
-    /// in the MemHEFT / MemMinMin heuristics. Runs in `O(log k)` via the
-    /// suffix-minimum index: the rightmost violating segment is the one just
-    /// before the longest all-satisfying suffix.
+    /// in the MemHEFT / MemMinMin heuristics. Runs in `O(log k)`: the
+    /// suffix-minimum is non-decreasing and `approx_ge(·, threshold)` is
+    /// monotone, so the all-satisfying suffixes form a suffix of the
+    /// position range, located by a chunk-level then in-chunk
+    /// `partition_point`.
     pub fn earliest_sustained_ge(&self, t_min: f64, threshold: f64) -> Option<f64> {
         let t_min = t_min.max(0.0);
         if !approx_ge(self.final_value(), threshold) {
             return None;
         }
-        // `approx_ge(·, threshold)` is monotone in its first argument, so a
-        // suffix satisfies it everywhere iff its minimum does; the set of
-        // all-satisfying suffixes is itself a suffix of the index range.
-        let first_ok = self
-            .suffix
+        // First chunk whose start already begins an all-satisfying suffix.
+        let c = self
+            .chunk_suffix
             .partition_point(|&(lo, _)| !approx_ge(lo, threshold));
-        if first_ok == 0 {
+        if c == 0 {
             return Some(t_min);
         }
-        // Rightmost violation lives in segment `first_ok - 1`; the earliest
-        // sustained time is that segment's end, unless the violation lies
-        // entirely before `t_min`.
-        let end = self.seg_end(first_ok - 1);
+        // The boundary lies in chunk c-1 (its own chunk_suffix still fails,
+        // so its first in-chunk candidate is at index ≥ 1); combine the
+        // in-chunk suffix with the tail of later chunks when testing.
+        let tail_min = self.chunk_suffix.get(c).map_or(f64::INFINITY, |s| s.0);
+        let ch = &self.chunks[c - 1];
+        let i = ch
+            .suffix
+            .partition_point(|&(lo, _)| !approx_ge(lo.min(tail_min), threshold));
+        let first_ok = self.normalize(Pos {
+            chunk: c - 1,
+            idx: i,
+        });
+        // Rightmost violation lives just before `first_ok`; the earliest
+        // sustained time is that segment's end — the breakpoint at
+        // `first_ok` itself — unless the violation ends before `t_min`.
+        let end = self.point(first_ok).0;
         if end <= t_min + EPSILON {
             Some(t_min)
         } else {
@@ -207,19 +447,28 @@ impl Staircase {
     ///
     /// This is the mirror of [`Staircase::earliest_sustained_ge`], used when
     /// the staircase tracks memory *usage* rather than *availability*; it
-    /// binary-searches the suffix-maximum index the same way.
+    /// searches the suffix-maximum indices the same way.
     pub fn earliest_sustained_le(&self, t_min: f64, threshold: f64) -> Option<f64> {
         let t_min = t_min.max(0.0);
         if self.final_value() > threshold + EPSILON {
             return None;
         }
-        let first_ok = self
-            .suffix
+        let c = self
+            .chunk_suffix
             .partition_point(|&(_, hi)| hi > threshold + EPSILON);
-        if first_ok == 0 {
+        if c == 0 {
             return Some(t_min);
         }
-        let end = self.seg_end(first_ok - 1);
+        let tail_max = self.chunk_suffix.get(c).map_or(f64::NEG_INFINITY, |s| s.1);
+        let ch = &self.chunks[c - 1];
+        let i = ch
+            .suffix
+            .partition_point(|&(_, hi)| hi.max(tail_max) > threshold + EPSILON);
+        let first_ok = self.normalize(Pos {
+            chunk: c - 1,
+            idx: i,
+        });
+        let end = self.point(first_ok).0;
         if end <= t_min + EPSILON {
             Some(t_min)
         } else {
@@ -235,17 +484,24 @@ impl Staircase {
         }
     }
 
+    // ---- mutations ----------------------------------------------------
+
     /// Adds `delta` to the function on `[t, +∞)`.
     pub fn add_from(&mut self, t: f64, delta: f64) {
         if delta == 0.0 {
             return;
         }
         let t = t.max(0.0);
-        let idx = self.ensure_breakpoint(t);
-        for p in &mut self.points[idx..] {
+        let pos = self.ensure_breakpoint(t);
+        for p in &mut self.chunks[pos.chunk].points[pos.idx..] {
             p.1 += delta;
         }
-        self.repair(idx);
+        for c in pos.chunk + 1..self.chunks.len() {
+            for p in &mut self.chunks[c].points {
+                p.1 += delta;
+            }
+        }
+        self.repair(pos, POS_INF);
     }
 
     /// Adds `delta` to the function on the half-open interval `[t1, t2)`.
@@ -256,89 +512,286 @@ impl Staircase {
             return;
         }
         let t1 = t1.max(0.0);
-        let i1 = self.ensure_breakpoint(t1);
+        self.ensure_breakpoint(t1);
         let i2 = self.ensure_breakpoint(t2);
+        // Inserting the t2 breakpoint may have split t1's chunk, so the
+        // first position is re-derived; `t2 > t1 + EPSILON` guarantees the
+        // second insert cannot become the "last breakpoint ≤ t1 + ε".
+        let i1 = self.locate(t1);
         debug_assert!(i1 < i2);
-        for p in &mut self.points[i1..i2] {
-            p.1 += delta;
+        if i1.chunk == i2.chunk {
+            for p in &mut self.chunks[i1.chunk].points[i1.idx..i2.idx] {
+                p.1 += delta;
+            }
+        } else {
+            for p in &mut self.chunks[i1.chunk].points[i1.idx..] {
+                p.1 += delta;
+            }
+            for c in i1.chunk + 1..i2.chunk {
+                for p in &mut self.chunks[c].points {
+                    p.1 += delta;
+                }
+            }
+            for p in &mut self.chunks[i2.chunk].points[..i2.idx] {
+                p.1 += delta;
+            }
         }
-        self.repair(i1);
+        self.repair(i1, i2);
     }
 
-    /// Iterates over the breakpoints `(x_i, v_i)` of the representation.
-    pub fn breakpoints(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.points.iter().copied()
-    }
-
-    /// Ensures a breakpoint exists exactly at `t` and returns its index.
-    fn ensure_breakpoint(&mut self, t: f64) -> usize {
-        let pos = self.seg_index(t);
-        if approx_eq(self.points[pos].0, t) {
+    /// Ensures a breakpoint exists exactly at `t` and returns its position.
+    fn ensure_breakpoint(&mut self, t: f64) -> Pos {
+        let pos = self.locate(t);
+        let (x, v) = self.point(pos);
+        if approx_eq(x, t) {
             return pos;
         }
-        if self.points[pos].0 > t {
+        if x > t {
             // t is before the very first breakpoint (only possible for t < 0,
             // already clamped by callers); insert at front.
-            self.points.insert(0, (t, self.points[0].1));
-            return 0;
+            return self.insert_point(0, 0, (t, v));
         }
-        let v = self.points[pos].1;
-        self.points.insert(pos + 1, (t, v));
-        pos + 1
+        self.insert_point(pos.chunk, pos.idx + 1, (t, v))
     }
 
-    /// Re-establishes the invariants after the values of `points[dirty..]`
-    /// changed (and up to two breakpoints were inserted at `≥ dirty`):
-    /// merges adjacent approx-equal segments — merges can only appear at or
-    /// after `dirty` — and patches the suffix-extrema index, rebuilding the
-    /// modified tail and then walking left only while the extrema actually
-    /// change. The scheduler's reserve/release pattern mutates near the end
-    /// of the horizon, so the repaired region is typically tiny ("append
-    /// fast"); the worst case stays the `O(k)` of the old full rebuild.
-    fn repair(&mut self, dirty: usize) {
-        // Merge pass over the modified tail. Values before `dirty` did not
-        // change, so any new merge involves at least one index `≥ dirty`
-        // (the anchor at index 0 is never removed).
-        let start = dirty.max(1);
-        let mut kept = start;
-        for i in start..self.points.len() {
-            let (x, v) = self.points[i];
-            if !approx_eq(self.points[kept - 1].1, v) {
-                self.points[kept] = (x, v);
-                kept += 1;
+    /// Inserts a breakpoint at in-chunk index `i` of chunk `c` (`i` may be
+    /// `len`, appending), splitting the chunk first when it is full. Only
+    /// the affected chunks' extrema are made consistent here; the caller's
+    /// `repair` pass re-establishes the rest.
+    fn insert_point(&mut self, c: usize, i: usize, pt: (f64, f64)) -> Pos {
+        let (c, i) = if self.chunks[c].points.len() == CHUNK_CAP {
+            self.split_chunk(c);
+            if i <= CHUNK_MID {
+                (c, i)
+            } else {
+                (c + 1, i - CHUNK_MID)
+            }
+        } else {
+            (c, i)
+        };
+        self.chunks[c].points.insert(i, pt);
+        if i == 0 {
+            self.first_x[c] = pt.0;
+        }
+        self.n += 1;
+        Pos { chunk: c, idx: i }
+    }
+
+    /// Splits a full chunk in two at [`CHUNK_MID`], keeping every index —
+    /// local suffixes, `first_x`, `chunk_suffix` — immediately consistent
+    /// (the split does not change the function, so `chunk_suffix[c]` keeps
+    /// its value and only the new right chunk needs an entry).
+    fn split_chunk(&mut self, c: usize) {
+        let right_points = self.chunks[c].points.split_off(CHUNK_MID);
+        let mut points = Vec::with_capacity(CHUNK_CAP);
+        points.extend(right_points);
+        let mut right = Chunk {
+            points,
+            suffix: Vec::with_capacity(CHUNK_CAP),
+        };
+        right.rebuild_suffix();
+        self.chunks[c].rebuild_suffix();
+        let tail = self.chunk_suffix.get(c + 1).copied().unwrap_or(NEUTRAL);
+        let right_summary = (right.suffix[0].0.min(tail.0), right.suffix[0].1.max(tail.1));
+        self.first_x.insert(c + 1, right.points[0].0);
+        self.chunk_suffix.insert(c + 1, right_summary);
+        self.chunks.insert(c + 1, right);
+    }
+
+    /// Re-establishes the invariants after the values at positions
+    /// `[dirty, changed_end)` changed (and breakpoints may have been
+    /// inserted there): merges adjacent approx-equal segments — new merges
+    /// can only appear at or after `dirty` — then repairs the extrema
+    /// indices of the touched chunks and walks the chunk summaries leftward
+    /// only while they actually change. The scheduler's reserve/release
+    /// pattern mutates near the end of the horizon, so the repaired region
+    /// is typically a handful of chunks.
+    fn repair(&mut self, dirty: Pos, changed_end: Pos) {
+        // --- merge pass over the modified region -----------------------
+        // The anchor breakpoint at x = 0 is never removed, so scanning
+        // starts at global index max(dirty, 1). Each point is compared to
+        // the last *kept* value; once the scan is past `changed_end` and
+        // the previous point survived with its original value, every
+        // comparison that follows reproduces a pre-mutation adjacent pair,
+        // so the scan can stop — identical decisions to a full-tail pass.
+        let origin = Pos { chunk: 0, idx: 0 };
+        let scan = if dirty == origin {
+            self.normalize(Pos { chunk: 0, idx: 1 })
+        } else {
+            dirty
+        };
+        // Chunk holding the last value-modified point: its extrema need a
+        // rebuild even if the merge scan stops early inside it.
+        let value_hi_chunk = if changed_end == POS_INF {
+            self.chunks.len() - 1
+        } else {
+            self.pos_prev(changed_end).chunk
+        };
+        let mut prev_val = self.point(self.pos_prev(scan)).1;
+        let mut last_was_kept = true;
+        let mut past_boundary = false;
+        let mut last_touched_chunk = dirty.chunk;
+        let mut any_structural = false;
+        let nchunks = self.chunks.len();
+        'scan: for c in scan.chunk..nchunks {
+            let from = if c == scan.chunk { scan.idx } else { 0 };
+            let len_c = self.chunks[c].points.len();
+            if from >= len_c {
+                // Only possible for the scan chunk when it is the global
+                // end position (nothing to the right of the mutation).
+                continue;
+            }
+            if past_boundary && last_was_kept && from == 0 {
+                break 'scan;
+            }
+            let mut kept = from;
+            for i in from..len_c {
+                if past_boundary && last_was_kept {
+                    // Everything from here on is kept verbatim.
+                    if kept < i {
+                        let pts = &mut self.chunks[c].points;
+                        pts.copy_within(i..len_c, kept);
+                        pts.truncate(kept + (len_c - i));
+                        self.n -= i - kept;
+                        last_touched_chunk = c;
+                    }
+                    break 'scan;
+                }
+                let here = Pos { chunk: c, idx: i };
+                if here >= changed_end {
+                    past_boundary = true;
+                }
+                let (x, v) = self.chunks[c].points[i];
+                if approx_eq(prev_val, v) {
+                    last_was_kept = false;
+                } else {
+                    if kept != i {
+                        self.chunks[c].points[kept] = (x, v);
+                    }
+                    kept += 1;
+                    prev_val = v;
+                    last_was_kept = true;
+                }
+            }
+            if kept < len_c {
+                self.chunks[c].points.truncate(kept);
+                self.n -= len_c - kept;
+            }
+            last_touched_chunk = c;
+            if kept == 0 {
+                any_structural = true;
             }
         }
-        self.points.truncate(kept);
 
-        // Rebuild the extrema over the modified tail. Indices `< dirty` were
-        // neither shifted by the inserts nor re-valued, so their stored
-        // suffix entries are still positionally aligned.
-        let n = self.points.len();
-        self.suffix.resize(n, (0.0, 0.0));
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for i in (dirty.min(n)..n).rev() {
-            let v = self.points[i].1;
-            lo = lo.min(v);
-            hi = hi.max(v);
-            self.suffix[i] = (lo, hi);
+        // --- per-chunk extrema over the touched range ------------------
+        let last_touched_chunk = last_touched_chunk.max(value_hi_chunk);
+        for c in dirty.chunk..=last_touched_chunk {
+            if self.chunks[c].points.is_empty() {
+                continue;
+            }
+            self.chunks[c].rebuild_suffix();
+            self.first_x[c] = self.chunks[c].points[0].0;
         }
-        // Propagate leftward; once an index's extrema are unchanged, every
-        // index to its left is unchanged too (they depend on the tail only
-        // through this entry). When the merge swallowed the whole tail, the
-        // last surviving index has no right neighbour: seed it neutrally.
-        for i in (0..dirty.min(n)).rev() {
-            let v = self.points[i].1;
-            let (next_lo, next_hi) = if i + 1 < n {
-                self.suffix[i + 1]
-            } else {
-                (f64::INFINITY, f64::NEG_INFINITY)
-            };
-            let new = (v.min(next_lo), v.max(next_hi));
-            if new == self.suffix[i] {
+
+        // --- structural maintenance (rare): drop empties, merge sparse --
+        if self.compact_chunks(dirty.chunk, last_touched_chunk) {
+            any_structural = true;
+        }
+        if any_structural {
+            self.chunks.retain(|ch| !ch.points.is_empty());
+            debug_assert!(!self.chunks.is_empty());
+            self.first_x.clear();
+            self.first_x
+                .extend(self.chunks.iter().map(|ch| ch.points[0].0));
+            self.chunk_suffix.clear();
+            self.chunk_suffix.resize(self.chunks.len(), NEUTRAL);
+            let mut tail = NEUTRAL;
+            for c in (0..self.chunks.len()).rev() {
+                let local = self.chunks[c].suffix[0];
+                tail = (local.0.min(tail.0), local.1.max(tail.1));
+                self.chunk_suffix[c] = tail;
+            }
+            return;
+        }
+
+        // --- chunk-summary patch with leftward early stop --------------
+        let n = self.chunks.len();
+        let mut c = last_touched_chunk.min(n - 1);
+        loop {
+            let tail = self.chunk_suffix.get(c + 1).copied().unwrap_or(NEUTRAL);
+            let local = self.chunks[c].suffix[0];
+            let new = (local.0.min(tail.0), local.1.max(tail.1));
+            if c < dirty.chunk && new == self.chunk_suffix[c] {
                 break;
             }
-            self.suffix[i] = new;
+            self.chunk_suffix[c] = new;
+            if c == 0 {
+                break;
+            }
+            c -= 1;
+        }
+    }
+
+    /// Merges under-filled touched chunks into a neighbour. Returns `true`
+    /// if the chunk layout changed (the caller then realigns the top-level
+    /// indices wholesale — structural events are rare).
+    fn compact_chunks(&mut self, lo: usize, hi: usize) -> bool {
+        let mut changed = false;
+        let mut c = lo;
+        while c <= hi && c < self.chunks.len() {
+            let len_c = self.chunks[c].points.len();
+            if len_c > 0 && len_c < CHUNK_MIN && c + 1 < self.chunks.len() {
+                let len_r = self.chunks[c + 1].points.len();
+                if len_c + len_r <= MERGE_MAX {
+                    let right = self.chunks.remove(c + 1);
+                    self.chunks[c].points.extend(right.points);
+                    self.chunks[c].rebuild_suffix();
+                    self.first_x.remove(c + 1);
+                    self.chunk_suffix.remove(c + 1);
+                    changed = true;
+                    // The merged chunk may still be sparse; retry it.
+                    continue;
+                }
+            }
+            c += 1;
+        }
+        changed
+    }
+
+    /// Debug-only consistency check of every derived index against a
+    /// from-scratch rebuild; used by the test suite.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        assert!(!self.chunks.is_empty());
+        assert_eq!(self.first_x.len(), self.chunks.len());
+        assert_eq!(self.chunk_suffix.len(), self.chunks.len());
+        let mut count = 0;
+        let mut prev_x = f64::NEG_INFINITY;
+        for (c, ch) in self.chunks.iter().enumerate() {
+            assert!(!ch.points.is_empty(), "empty chunk {c}");
+            assert!(ch.points.len() <= CHUNK_CAP, "oversized chunk {c}");
+            assert_eq!(ch.suffix.len(), ch.points.len(), "suffix len, chunk {c}");
+            assert_eq!(self.first_x[c], ch.points[0].0, "first_x, chunk {c}");
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in (0..ch.points.len()).rev() {
+                let v = ch.points[i].1;
+                lo = lo.min(v);
+                hi = hi.max(v);
+                assert_eq!(ch.suffix[i], (lo, hi), "suffix, chunk {c} idx {i}");
+            }
+            for &(x, _) in &ch.points {
+                assert!(x > prev_x, "breakpoints not strictly increasing");
+                prev_x = x;
+                count += 1;
+            }
+        }
+        assert_eq!(self.n, count, "cached breakpoint count");
+        let mut tail = NEUTRAL;
+        for c in (0..self.chunks.len()).rev() {
+            let local = self.chunks[c].suffix[0];
+            tail = (local.0.min(tail.0), local.1.max(tail.1));
+            assert_eq!(self.chunk_suffix[c], tail, "chunk_suffix, chunk {c}");
         }
     }
 }
@@ -624,6 +1077,7 @@ mod tests {
                 _ => s.add_range(0.0, t, 1.0),
             }
             t += 0.7 + (i % 4) as f64 * 0.3;
+            s.check_invariants();
             let points: Vec<(f64, f64)> = s.breakpoints().collect();
             let full_min = points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
             let full_max = points
@@ -693,5 +1147,408 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- chunked storage vs the historical flat implementation ----
+
+    /// Verbatim re-implementation of the pre-chunking flat `Vec` storage,
+    /// kept as the behavioural oracle: the chunked staircase must produce
+    /// bit-identical breakpoints and query answers for any operation
+    /// sequence.
+    struct FlatOracle {
+        points: Vec<(f64, f64)>,
+        suffix: Vec<(f64, f64)>,
+    }
+
+    impl FlatOracle {
+        fn constant(value: f64) -> Self {
+            FlatOracle {
+                points: vec![(0.0, value)],
+                suffix: vec![(value, value)],
+            }
+        }
+
+        fn seg_index(&self, t: f64) -> usize {
+            self.points
+                .partition_point(|&(x, _)| x <= t + EPSILON)
+                .saturating_sub(1)
+        }
+
+        fn seg_end(&self, i: usize) -> f64 {
+            self.points
+                .get(i + 1)
+                .map(|&(x, _)| x)
+                .unwrap_or(f64::INFINITY)
+        }
+
+        fn value_at(&self, t: f64) -> f64 {
+            self.points[self.seg_index(t)].1
+        }
+
+        fn final_value(&self) -> f64 {
+            self.points.last().unwrap().1
+        }
+
+        fn window_range(&self, t1: f64, t2: f64) -> (usize, usize) {
+            let lo = self.points[1..].partition_point(|&(x, _)| x <= t1 + EPSILON);
+            let hi = self.points.partition_point(|&(x, _)| x < t2 - EPSILON);
+            (lo, hi)
+        }
+
+        fn max_over(&self, t1: f64, t2: f64) -> f64 {
+            if t2 <= t1 + EPSILON {
+                return f64::NEG_INFINITY;
+            }
+            let (lo, hi) = self.window_range(t1, t2);
+            self.points[lo.min(hi)..hi]
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+
+        fn min_from(&self, t: f64) -> f64 {
+            let shifted = &self.points[1..];
+            let first = shifted.partition_point(|&(x, _)| x <= t + EPSILON);
+            let first = first.min(self.points.partition_point(|&(x, _)| x < t - EPSILON));
+            self.suffix[first].0
+        }
+
+        fn min_over(&self, t1: f64, t2: f64) -> f64 {
+            if t2 <= t1 + EPSILON {
+                return f64::INFINITY;
+            }
+            let (lo, hi) = self.window_range(t1, t2);
+            self.points[lo.min(hi)..hi]
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::INFINITY, f64::min)
+        }
+
+        fn earliest_sustained_ge(&self, t_min: f64, threshold: f64) -> Option<f64> {
+            let t_min = t_min.max(0.0);
+            if !approx_ge(self.final_value(), threshold) {
+                return None;
+            }
+            let first_ok = self
+                .suffix
+                .partition_point(|&(lo, _)| !approx_ge(lo, threshold));
+            if first_ok == 0 {
+                return Some(t_min);
+            }
+            let end = self.seg_end(first_ok - 1);
+            if end <= t_min + EPSILON {
+                Some(t_min)
+            } else {
+                Some(t_min.max(end))
+            }
+        }
+
+        fn earliest_sustained_le(&self, t_min: f64, threshold: f64) -> Option<f64> {
+            let t_min = t_min.max(0.0);
+            if self.final_value() > threshold + EPSILON {
+                return None;
+            }
+            let first_ok = self
+                .suffix
+                .partition_point(|&(_, hi)| hi > threshold + EPSILON);
+            if first_ok == 0 {
+                return Some(t_min);
+            }
+            let end = self.seg_end(first_ok - 1);
+            if end <= t_min + EPSILON {
+                Some(t_min)
+            } else {
+                Some(t_min.max(end))
+            }
+        }
+
+        fn add_from(&mut self, t: f64, delta: f64) {
+            if delta == 0.0 {
+                return;
+            }
+            let t = t.max(0.0);
+            let idx = self.ensure_breakpoint(t);
+            for p in &mut self.points[idx..] {
+                p.1 += delta;
+            }
+            self.repair(idx);
+        }
+
+        fn add_range(&mut self, t1: f64, t2: f64, delta: f64) {
+            if delta == 0.0 || t2 <= t1 + EPSILON {
+                return;
+            }
+            let t1 = t1.max(0.0);
+            let i1 = self.ensure_breakpoint(t1);
+            let i2 = self.ensure_breakpoint(t2);
+            debug_assert!(i1 < i2);
+            for p in &mut self.points[i1..i2] {
+                p.1 += delta;
+            }
+            self.repair(i1);
+        }
+
+        fn ensure_breakpoint(&mut self, t: f64) -> usize {
+            let pos = self.seg_index(t);
+            if approx_eq(self.points[pos].0, t) {
+                return pos;
+            }
+            if self.points[pos].0 > t {
+                self.points.insert(0, (t, self.points[0].1));
+                return 0;
+            }
+            let v = self.points[pos].1;
+            self.points.insert(pos + 1, (t, v));
+            pos + 1
+        }
+
+        fn repair(&mut self, dirty: usize) {
+            let start = dirty.max(1);
+            let mut kept = start;
+            for i in start..self.points.len() {
+                let (x, v) = self.points[i];
+                if !approx_eq(self.points[kept - 1].1, v) {
+                    self.points[kept] = (x, v);
+                    kept += 1;
+                }
+            }
+            self.points.truncate(kept);
+            let n = self.points.len();
+            self.suffix.resize(n, (0.0, 0.0));
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for i in (dirty.min(n)..n).rev() {
+                let v = self.points[i].1;
+                lo = lo.min(v);
+                hi = hi.max(v);
+                self.suffix[i] = (lo, hi);
+            }
+            for i in (0..dirty.min(n)).rev() {
+                let v = self.points[i].1;
+                let (next_lo, next_hi) = if i + 1 < n {
+                    self.suffix[i + 1]
+                } else {
+                    (f64::INFINITY, f64::NEG_INFINITY)
+                };
+                let new = (v.min(next_lo), v.max(next_hi));
+                if new == self.suffix[i] {
+                    break;
+                }
+                self.suffix[i] = new;
+            }
+        }
+    }
+
+    /// Tiny deterministic PRNG (xorshift64*) for the oracle storms.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + u * (hi - lo)
+        }
+    }
+
+    /// Compares the chunked staircase against the flat oracle bit-for-bit:
+    /// identical breakpoints and identical answers for every query family.
+    fn assert_matches_oracle(s: &Staircase, o: &FlatOracle, step: usize) {
+        s.check_invariants();
+        let got: Vec<(f64, f64)> = s.breakpoints().collect();
+        assert_eq!(
+            got.len(),
+            o.points.len(),
+            "breakpoint count diverged at step {step}"
+        );
+        for (i, (g, w)) in got.iter().zip(o.points.iter()).enumerate() {
+            assert!(
+                g.0.to_bits() == w.0.to_bits() && g.1.to_bits() == w.1.to_bits(),
+                "breakpoint {i} diverged at step {step}: {g:?} vs {w:?}"
+            );
+        }
+        let horizon = got.last().unwrap().0 + 10.0;
+        let mut probes = vec![-1.0, 0.0, horizon];
+        for i in [0, got.len() / 3, got.len() / 2, got.len().saturating_sub(1)] {
+            let x = got[i].0;
+            probes.extend([x, x - 1e-6, x + 1e-6, x + 0.5]);
+        }
+        for &t in &probes {
+            assert_eq!(
+                s.value_at(t).to_bits(),
+                o.value_at(t).to_bits(),
+                "value_at({t}) diverged at step {step}"
+            );
+            assert_eq!(
+                s.min_from(t).to_bits(),
+                o.min_from(t).to_bits(),
+                "min_from({t}) diverged at step {step}"
+            );
+        }
+        for &t1 in &probes {
+            let t2 = t1 + horizon / 3.0;
+            assert_eq!(
+                s.max_over(t1, t2).to_bits(),
+                o.max_over(t1, t2).to_bits(),
+                "max_over({t1},{t2}) diverged at step {step}"
+            );
+            assert_eq!(
+                s.min_over(t1, t2).to_bits(),
+                o.min_over(t1, t2).to_bits(),
+                "min_over({t1},{t2}) diverged at step {step}"
+            );
+        }
+        let lo = s.min_value();
+        let hi = s.max_value();
+        for thr in [lo - 1.0, lo, 0.5 * (lo + hi), hi, hi + 1.0] {
+            for t_min in [0.0, horizon / 4.0, horizon] {
+                assert_eq!(
+                    s.earliest_sustained_ge(t_min, thr).map(f64::to_bits),
+                    o.earliest_sustained_ge(t_min, thr).map(f64::to_bits),
+                    "earliest_sustained_ge({t_min},{thr}) diverged at step {step}"
+                );
+                assert_eq!(
+                    s.earliest_sustained_le(t_min, thr).map(f64::to_bits),
+                    o.earliest_sustained_le(t_min, thr).map(f64::to_bits),
+                    "earliest_sustained_le({t_min},{thr}) diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    /// Property-style storm: many randomized reserve/release mixes, each
+    /// replayed against the flat oracle with bitwise comparison after every
+    /// mutation. Grows staircases past several chunk splits and shrinks
+    /// them back through merges.
+    #[test]
+    fn chunked_matches_flat_oracle_storm() {
+        for seed in 1..=8u64 {
+            let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (seed << 17));
+            let mut s = Staircase::constant(100.0);
+            let mut o = FlatOracle::constant(100.0);
+            // Phase 1: grow far past CHUNK_CAP so several splits happen.
+            for step in 0..600 {
+                let t1 = rng.f64_in(0.0, 500.0);
+                let len = rng.f64_in(0.1, 40.0);
+                let delta = rng.f64_in(-4.0, 4.0);
+                match rng.next() % 4 {
+                    0 => {
+                        s.add_from(t1, delta);
+                        o.add_from(t1, delta);
+                    }
+                    1 => {
+                        s.add_range(t1, t1 + len, delta);
+                        o.add_range(t1, t1 + len, delta);
+                    }
+                    2 => {
+                        // Reserve/release pair at matching coordinates —
+                        // the scheduler's dominant pattern.
+                        s.add_range(t1, t1 + len, -delta.abs());
+                        o.add_range(t1, t1 + len, -delta.abs());
+                    }
+                    _ => {
+                        // Mutations at far-apart coordinates touch
+                        // different chunks in one call.
+                        s.add_range(t1 * 0.1, t1 + 400.0, delta);
+                        o.add_range(t1 * 0.1, t1 + 400.0, delta);
+                    }
+                }
+                if step % 7 == 0 {
+                    assert_matches_oracle(&s, &o, step);
+                }
+            }
+            assert!(
+                s.len() > 3 * CHUNK_CAP,
+                "storm must exercise multiple chunks (got {} points)",
+                s.len()
+            );
+            assert_matches_oracle(&s, &o, 600);
+            // Phase 2: level whole regions so tails merge away and sparse
+            // chunks re-combine.
+            for step in 0..60 {
+                let t = rng.f64_in(0.0, 500.0);
+                let v = s.value_at(t);
+                s.add_from(t, 100.0 - v);
+                o.add_from(t, 100.0 - v);
+                assert_matches_oracle(&s, &o, 600 + step);
+            }
+        }
+    }
+
+    /// Exercises the exact split boundaries: inserting at the front, middle
+    /// and back of a chunk that is exactly full, and the in-chunk index
+    /// adjustment when the insertion lands in the right half.
+    #[test]
+    fn chunk_split_boundaries() {
+        // Build exactly CHUNK_CAP breakpoints with a strictly alternating
+        // value so no merges fire, then insert on both sides of the split.
+        for &probe in &[0.5, CHUNK_MID as f64 + 0.5, CHUNK_CAP as f64 - 0.5] {
+            let mut s = Staircase::constant(0.0);
+            let mut o = FlatOracle::constant(0.0);
+            for i in 1..CHUNK_CAP {
+                let delta = if i % 2 == 0 { 1.0 } else { -1.0 };
+                s.add_from(i as f64, delta);
+                o.add_from(i as f64, delta);
+            }
+            assert_eq!(s.len(), CHUNK_CAP);
+            s.add_from(probe, 10.0);
+            o.add_from(probe, 10.0);
+            assert_matches_oracle(&s, &o, 0);
+        }
+    }
+
+    /// Levelling a long staircase back to a constant must collapse every
+    /// chunk back into one segment (merge-on-sparse plus empty-chunk
+    /// removal), leaving a consistent single-chunk representation.
+    #[test]
+    fn chunk_merge_collapses_to_constant() {
+        let mut s = Staircase::constant(5.0);
+        let mut o = FlatOracle::constant(5.0);
+        for i in 0..(4 * CHUNK_CAP) {
+            let delta = if i % 2 == 0 { 2.0 } else { -2.0 };
+            s.add_from(1.0 + i as f64, delta);
+            o.add_from(1.0 + i as f64, delta);
+        }
+        assert!(s.len() > 3 * CHUNK_CAP);
+        // Undo every step in reverse order: each cancellation merges the
+        // final two segments back together, draining whole chunks through
+        // the sparse-merge and empty-chunk paths.
+        for i in (0..(4 * CHUNK_CAP)).rev() {
+            let delta = if i % 2 == 0 { -2.0 } else { 2.0 };
+            s.add_from(1.0 + i as f64, delta);
+            o.add_from(1.0 + i as f64, delta);
+            if i % 16 == 0 {
+                assert_matches_oracle(&s, &o, i);
+            }
+        }
+        assert_matches_oracle(&s, &o, 0);
+        assert_eq!(s.len(), 1, "uniform staircase must merge to one segment");
+    }
+
+    /// The relative component of `approx_eq` means a uniform shift to large
+    /// magnitudes genuinely merges segments whose gap is below the *scaled*
+    /// tolerance — the reason `add_from`/`add_range` apply deltas eagerly
+    /// instead of keeping per-chunk lazy offsets (see the module docs).
+    #[test]
+    fn relative_epsilon_merges_after_uniform_shift() {
+        let mut s = Staircase::constant(0.0);
+        let mut o = FlatOracle::constant(0.0);
+        // Two segments 2.0 apart: distinct at small magnitude.
+        s.add_from(10.0, 2.0);
+        o.add_from(10.0, 2.0);
+        assert_eq!(s.len(), 2);
+        // Shift everything to ~1e13: the gap of 2.0 is now inside the
+        // relative tolerance (1e13 · 1e-9 = 1e4), so the segments merge.
+        s.add_from(0.0, 1.0e13);
+        o.add_from(0.0, 1.0e13);
+        assert_matches_oracle(&s, &o, 0);
+        assert_eq!(s.len(), 1, "relative tolerance must merge shifted segments");
     }
 }

@@ -77,8 +77,6 @@ pub use mals_util as util;
 pub mod prelude {
     pub use mals_dag::{EdgeId, TaskGraph, TaskId};
     pub use mals_exact::{build_ilp, solver_registry, BranchAndBound};
-    #[allow(deprecated)]
-    pub use mals_experiments::{solve_request, solve_with_engine};
     pub use mals_experiments::{
         CodedError, ErrorCode, MemberOutcome, Service, ServiceError, SolveReport, SolveRequest,
         PROTOCOL_VERSION,
