@@ -189,6 +189,38 @@ fn benches(quick: bool) -> Vec<Bench> {
         });
     }
 
+    // The online rolling-horizon engine (PR 9): a 2000-task Poisson arrival
+    // trace replayed with re-plan-on-every-arrival MemHEFT at the α = 1
+    // bound. The trace is pre-generated (generation is mals-gen's cost, not
+    // the replay's); the measurement covers the event loop, the per-arrival
+    // rank refresh over the arrived subgraph, and the floored incremental
+    // commits — the whole online stack on top of the static machinery.
+    {
+        use mals_gen::ArrivalProcess;
+        use mals_sched::{online, OnlineConfig, OnlineFlavor, ReplanPolicy, SolveCtx};
+        let online_graph = large_rand_dag(2_000, 0xD1CE + 2_000);
+        let platform = single_pair(0.0);
+        let reference = heft_reference(&online_graph, &platform);
+        let bound = reference.heft_peaks.max();
+        let online_platform = platform.with_memory_bounds(bound, bound);
+        let trace = ArrivalProcess::Poisson { rate: 100.0 }.generate(&online_graph, 11);
+        set.push(Bench {
+            id: "online/replay-2k".into(),
+            run: Box::new(move || {
+                let outcome = online::replay(
+                    &online_graph,
+                    &online_platform,
+                    &trace,
+                    OnlineConfig::new(OnlineFlavor::MemHeft, ReplanPolicy::EveryArrival),
+                    &SolveCtx::sequential(),
+                )
+                .expect("α = 1 replay is feasible");
+                std::hint::black_box(outcome.makespan);
+            }),
+            min_samples: Some(3),
+        });
+    }
+
     set.push(Bench {
         id: "pool/parallel_map-10k".into(),
         run: Box::new(|| {

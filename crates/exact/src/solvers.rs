@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn registry_contains_heuristics_and_exact_backends() {
         let registry = solver_registry();
-        assert_eq!(registry.len(), 12);
+        assert_eq!(registry.len(), 14);
         for key in ["memheft", "heft", "bb", "milp", "lp-export"] {
             assert!(registry.entry(key).is_some(), "missing {key}");
         }

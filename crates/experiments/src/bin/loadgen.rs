@@ -1,10 +1,15 @@
-//! `loadgen` — closed-loop load generator for the `malsd` daemon.
+//! `loadgen` — load generator for the `malsd` daemon.
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--requests N] [--tasks N]
 //!         [--mix N] [--solver KEY] [--deadline-ms N] [--seed N]
-//!         [--out FILE] [--max-p99-ms MS] [--strict]
+//!         [--arrival-rate R] [--out FILE] [--max-p99-ms MS] [--strict]
 //! ```
+//!
+//! Closed loop by default (each connection waits for the response before
+//! the next send). `--arrival-rate R` switches to an open loop: R total
+//! requests/second offered across the connections with Poisson inter-send
+//! gaps, regardless of response progress.
 //!
 //! Prints the aggregated latency/outcome report as pretty JSON on stdout
 //! (and to `--out FILE` when given). Exit status 0 on a clean run; with
@@ -75,6 +80,17 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--seed expects an integer"))
             }
+            "--arrival-rate" => {
+                config.arrival_rate = Some(
+                    value("a positive rate in requests/second")
+                        .parse()
+                        .ok()
+                        .filter(|&r: &f64| r > 0.0 && r.is_finite())
+                        .unwrap_or_else(|| {
+                            fail("--arrival-rate expects a positive rate in requests/second")
+                        }),
+                )
+            }
             "--out" => out = Some(value("a file path")),
             "--max-p99-ms" => {
                 max_p99_ms = Some(
@@ -88,7 +104,7 @@ fn main() {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
                      [--tasks N] [--mix N] [--solver KEY] [--deadline-ms N] [--seed N] \
-                     [--out FILE] [--max-p99-ms MS] [--strict]"
+                     [--arrival-rate R] [--out FILE] [--max-p99-ms MS] [--strict]"
                 );
                 return;
             }

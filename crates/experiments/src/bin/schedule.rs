@@ -3,7 +3,7 @@
 //! and prints the JSON `SolveReport` on stdout.
 //!
 //! ```text
-//! schedule REQUEST.json [--solver NAME] [--threads N] [--seed N] [--compact]
+//! schedule REQUEST.json [--solver NAME] [--online] [--threads N] [--seed N] [--compact]
 //! schedule -                      # read the request from stdin
 //! schedule --gen-tasks N [--gen-seed S] [--solver NAME] ...
 //!                                 # solve a generated daggen instance
@@ -50,6 +50,7 @@ fn main() {
     let mut gen_seed: Option<u64> = None;
     let mut solvers: Option<Vec<String>> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut online = false;
     let mut compact = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -123,12 +124,13 @@ fn main() {
                         .unwrap_or_else(|| fail("--deadline-ms expects an integer")),
                 )
             }
+            "--online" => online = true,
             "--compact" => compact = true,
             "--help" | "-h" => {
                 // Requested help is a success, unlike the exit-2 error path.
                 println!(
-                    "usage: schedule REQUEST.json|- [--solver NAME] [--threads N] [--seed N] \
-                     [--solvers a,b,c] [--deadline-ms N] [--compact]\n       schedule \
+                    "usage: schedule REQUEST.json|- [--solver NAME] [--online] [--threads N] \
+                     [--seed N] [--solvers a,b,c] [--deadline-ms N] [--compact]\n       schedule \
                      --gen-tasks N [--gen-seed S] [--solver NAME] ...\n       schedule \
                      --print-request | --list-solvers"
                 );
@@ -174,6 +176,12 @@ fn main() {
     }
     if let Some(solvers) = solvers {
         request.solvers = solvers;
+    }
+    if online && !request.solver.starts_with("online-") {
+        // Route the solve through the online replay engine (whole DAG at
+        // t = 0, re-plan on every arrival) — only the memory-aware
+        // heuristics have online counterparts.
+        request.solver = format!("online-{}", request.solver);
     }
     if deadline_ms.is_some() {
         request.deadline_ms = deadline_ms;

@@ -1,13 +1,19 @@
-//! Closed-loop load generator for the `malsd` daemon.
+//! Load generator for the `malsd` daemon, closed- or open-loop.
 //!
 //! Opens N concurrent connections, each sending a configurable mix of
 //! pre-rendered [`SolveRequest`](crate::service::SolveRequest) frames
-//! ([`generated_request`] instances)
-//! and waiting for the matching response before sending the next (closed
-//! loop: offered load adapts to service rate, so the measured latency is
-//! the daemon's, not a coordinated-omission artefact). Every response is
-//! checked — the `"id"` must match the outstanding request, a report must
-//! carry `valid: true` — and per-request latency goes into a
+//! ([`generated_request`] instances). By default each connection waits for
+//! the matching response before sending the next (closed loop: offered load
+//! adapts to service rate, so the measured latency is the daemon's, not a
+//! coordinated-omission artefact). With
+//! [`LoadgenConfig::arrival_rate`] set, the run is **open-loop** instead:
+//! sends are paced by a Poisson arrival process
+//! ([`mals_gen::exponential_gap`], the same draw the online scheduling
+//! traces use) regardless of response progress — a reader thread per
+//! connection matches responses back to their send instants by id, so the
+//! measured latency includes queueing under the offered load. Every
+//! response is checked — the `"id"` must match an outstanding request, a
+//! report must carry `valid: true` — and per-request latency goes into a
 //! [`QuantileSketch`] (p50/p95/p99) plus an [`OnlineStats`] accumulator,
 //! merged across connections into one [`LoadgenReport`].
 //!
@@ -15,10 +21,14 @@
 //! (CI daemon-smoke) and the sustained-load entry in `bench_json`.
 
 use crate::service::generated_request;
-use mals_util::{write_frame, FrameReader, Json, OnlineStats, QuantileSketch};
+use mals_gen::exponential_gap;
+use mals_util::{write_frame, FrameReader, Json, OnlineStats, Pcg64, QuantileSketch};
+use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Latency-sketch grid: 0–60 s in 6000 bins (10 ms resolution — tail
 /// quantiles of a local daemon sit well inside this).
@@ -45,6 +55,10 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<u64>,
     /// Base seed of the instance mix.
     pub seed: u64,
+    /// Open-loop mode: total offered arrival rate in requests/second,
+    /// split evenly across the connections, with exponential (Poisson)
+    /// inter-send gaps. `None` keeps the closed loop.
+    pub arrival_rate: Option<f64>,
 }
 
 impl Default for LoadgenConfig {
@@ -58,6 +72,7 @@ impl Default for LoadgenConfig {
             solver: "memheft".into(),
             deadline_ms: None,
             seed: 1,
+            arrival_rate: None,
         }
     }
 }
@@ -156,6 +171,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         .map(|_| TcpStream::connect(&config.addr))
         .collect::<io::Result<_>>()?;
 
+    // Open loop: the aggregate offered rate splits evenly over connections.
+    let per_conn_rate = config
+        .arrival_rate
+        .map(|rate| rate / streams.len() as f64)
+        .filter(|&r| r > 0.0 && r.is_finite());
+
     let started = Instant::now();
     let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = streams
@@ -164,7 +185,11 @@ pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
             .map(|(conn, stream)| {
                 let bodies = &bodies;
                 let per_conn = config.requests_per_conn;
-                scope.spawn(move || connection_run(conn, stream, bodies, per_conn))
+                let seed = config.seed;
+                scope.spawn(move || match per_conn_rate {
+                    Some(rate) => connection_run_open(conn, stream, bodies, per_conn, rate, seed),
+                    None => connection_run(conn, stream, bodies, per_conn),
+                })
             })
             .collect();
         handles
@@ -292,6 +317,182 @@ fn connection_run(
     result
 }
 
+/// Classifies one parsed response against the send-instant map: latency is
+/// measured from the id's recorded send time; an unknown id is a mismatch.
+fn tally_response(result: &mut ConnResult, sent_at: &Mutex<HashMap<u64, Instant>>, text: &str) {
+    let Ok(json) = Json::parse(text) else {
+        result.mismatched += 1;
+        return;
+    };
+    let instant = json
+        .get("id")
+        .and_then(Json::as_u64)
+        .and_then(|id| sent_at.lock().expect("sent-at map poisoned").remove(&id));
+    let Some(instant) = instant else {
+        result.mismatched += 1;
+        return;
+    };
+    let latency_ms = instant.elapsed().as_secs_f64() * 1e3;
+    result.sketch.push(latency_ms);
+    result.stats.push(latency_ms);
+    if json.get("error").is_some() {
+        result.rejected += 1;
+    } else if json.get("valid").and_then(Json::as_bool) == Some(true)
+        && json
+            .get("errors")
+            .and_then(Json::as_arr)
+            .is_none_or(|errs| errs.is_empty())
+    {
+        result.ok += 1;
+    } else if json
+        .get("errors")
+        .and_then(Json::as_arr)
+        .is_some_and(|errs| !errs.is_empty())
+    {
+        result.rejected += 1;
+    } else {
+        result.mismatched += 1;
+    }
+}
+
+/// Sentinel in the shared send counter while the sender is still running.
+const SENDING: usize = usize::MAX;
+
+/// Reader poll interval; also bounds how fast the post-send idle cap ticks.
+const OPEN_LOOP_POLL: Duration = Duration::from_millis(100);
+
+/// Consecutive empty polls after the sender finished before the reader
+/// declares the remaining responses lost (600 × 100 ms = 60 s of silence).
+const OPEN_LOOP_IDLE_CAP: u32 = 600;
+
+/// One connection's open loop: a Poisson-paced sender and a reader thread
+/// matching responses back by id. Unanswered requests (daemon overload,
+/// early close) are counted as I/O errors after an idle timeout rather than
+/// hanging the run.
+fn connection_run_open(
+    conn: usize,
+    stream: TcpStream,
+    bodies: &[String],
+    requests: usize,
+    rate: f64,
+    seed: u64,
+) -> ConnResult {
+    let mut result = ConnResult {
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        mismatched: 0,
+        io_errors: 0,
+        sketch: QuantileSketch::new(0.0, SKETCH_HI_MS, SKETCH_BINS),
+        stats: OnlineStats::new(),
+    };
+    let Ok(mut write_half) = stream.try_clone() else {
+        result.io_errors = requests;
+        result.sent = requests;
+        return result;
+    };
+    // The reader needs to wake up to observe sender completion.
+    if stream.set_read_timeout(Some(OPEN_LOOP_POLL)).is_err() {
+        result.io_errors = requests;
+        result.sent = requests;
+        return result;
+    }
+    let sent_at: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
+    // Successful writes, i.e. how many responses the reader should expect;
+    // `SENDING` until the sender finishes.
+    let expected = AtomicUsize::new(SENDING);
+
+    let (reader_result, sender) = std::thread::scope(|scope| {
+        let sent_at = &sent_at;
+        let expected = &expected;
+        let reader = scope.spawn(move || {
+            let mut part = ConnResult {
+                sent: 0,
+                ok: 0,
+                rejected: 0,
+                mismatched: 0,
+                io_errors: 0,
+                sketch: QuantileSketch::new(0.0, SKETCH_HI_MS, SKETCH_BINS),
+                stats: OnlineStats::new(),
+            };
+            let mut reader = FrameReader::new(stream);
+            let mut answered = 0usize;
+            let mut idle = 0u32;
+            loop {
+                let target = expected.load(Ordering::Acquire);
+                if target != SENDING && answered >= target {
+                    break;
+                }
+                match reader.read_frame() {
+                    Ok(Some(text)) => {
+                        tally_response(&mut part, sent_at, &text);
+                        answered += 1;
+                        idle = 0;
+                    }
+                    Ok(None) => break,
+                    Err(e) if e.is_retryable() => {
+                        if target != SENDING {
+                            idle += 1;
+                            if idle >= OPEN_LOOP_IDLE_CAP {
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let target = expected.load(Ordering::Acquire);
+            if target != SENDING {
+                part.io_errors += target.saturating_sub(answered);
+            }
+            part
+        });
+
+        // Sender (this thread): Poisson-paced sends, ids recorded before the
+        // write so the reader can never see a response before its instant.
+        let mut rng = Pcg64::new(seed ^ (conn as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut sender = ConnResult {
+            sent: 0,
+            ok: 0,
+            rejected: 0,
+            mismatched: 0,
+            io_errors: 0,
+            sketch: QuantileSketch::new(0.0, SKETCH_HI_MS, SKETCH_BINS),
+            stats: OnlineStats::new(),
+        };
+        let mut written = 0usize;
+        for i in 0..requests {
+            let gap = exponential_gap(&mut rng, rate);
+            std::thread::sleep(Duration::from_secs_f64(gap));
+            let id = (conn as u64) * 1_000_000 + i as u64;
+            let body = &bodies[i % bodies.len()];
+            let frame = format!("{{\"id\":{id},{}", &body[1..]);
+            sender.sent += 1;
+            sent_at
+                .lock()
+                .expect("sent-at map poisoned")
+                .insert(id, Instant::now());
+            if write_frame(&mut write_half, &frame).is_err() {
+                sender.io_errors += 1;
+                break;
+            }
+            written += 1;
+        }
+        expected.store(written, Ordering::Release);
+        let reader_result = reader.join().expect("open-loop reader thread panicked");
+        (reader_result, sender)
+    });
+
+    result.sent = sender.sent;
+    result.io_errors = sender.io_errors + reader_result.io_errors;
+    result.ok = reader_result.ok;
+    result.rejected = reader_result.rejected;
+    result.mismatched = reader_result.mismatched;
+    result.sketch.merge(&reader_result.sketch);
+    result.stats.merge(&reader_result.stats);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +521,33 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         let json = report.to_json();
         assert_eq!(json.get("ok").and_then(Json::as_u64), Some(20));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn open_loop_loadgen_answers_every_request() {
+        let handle = Daemon::start(DaemonConfig {
+            queue_capacity: 256,
+            threads: 1,
+            ..DaemonConfig::default()
+        })
+        .expect("daemon start");
+        let report = run_loadgen(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            connections: 2,
+            requests_per_conn: 5,
+            tasks: 60,
+            mix: 2,
+            // Fast enough that the test spends ~50 ms sleeping, slow enough
+            // to exercise genuinely interleaved sends and reads.
+            arrival_rate: Some(200.0),
+            ..LoadgenConfig::default()
+        })
+        .expect("open-loop loadgen run");
+        assert_eq!(report.sent, 10);
+        assert!(report.is_clean(), "{:?}", report);
+        assert!(report.p50_ms <= report.p99_ms);
         handle.shutdown();
         handle.join();
     }

@@ -1,0 +1,534 @@
+//! Arrival processes: releasing a DAG's tasks along a virtual timeline.
+//!
+//! The static heuristics of the paper see the whole DAG before the first
+//! commit. The online layer relaxes that: tasks become *known* to the
+//! scheduler at release times drawn from an arrival process, and the solver
+//! may only plan tasks that have arrived. This module generates those
+//! release timelines as replayable [`ArrivalTrace`]s — plain data, fully
+//! determined by a seed, serialisable to JSON so a replay can be archived
+//! and re-run bit-identically.
+//!
+//! Release times are assigned along a topological order of the graph, so a
+//! task never arrives before its predecessors — the arrival of a task is
+//! the moment its *description* becomes known, and a child's description
+//! references its parents. Within that constraint three processes are
+//! provided ([`ArrivalProcess`]): everything at `t = 0` (the static
+//! oracle), Poisson arrivals with exponential inter-arrival gaps, and
+//! bursty arrivals releasing whole batches at exponentially spaced
+//! instants.
+
+use mals_dag::{algo::topological_order, TaskGraph, TaskId};
+use mals_util::{Json, Pcg64};
+use std::fmt;
+
+/// One instant of the timeline: the tasks released at time `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalEvent {
+    /// Release time in virtual seconds (non-negative, finite).
+    pub at: f64,
+    /// The tasks released at this instant, in ascending id order.
+    pub tasks: Vec<TaskId>,
+}
+
+/// A replayable release timeline covering every task of a graph exactly
+/// once, with strictly increasing event times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    n_tasks: usize,
+    events: Vec<ArrivalEvent>,
+}
+
+/// Why a trace failed validation or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// An event time is negative, NaN or infinite.
+    BadTime(f64),
+    /// Event times are not strictly increasing at this event index.
+    UnsortedTimes(usize),
+    /// A task index appears twice (or an event lists it twice).
+    DuplicateTask(usize),
+    /// A task index is `>= n_tasks`.
+    TaskOutOfRange(usize, usize),
+    /// Some tasks of `0..n_tasks` never arrive (count of missing tasks).
+    MissingTasks(usize),
+    /// A child is released before one of its parents.
+    ParentAfterChild {
+        /// The parent task (arrives later).
+        parent: usize,
+        /// The child task (arrives earlier).
+        child: usize,
+    },
+    /// The trace covers a different task count than the graph it is
+    /// replayed against.
+    WrongTaskCount {
+        /// Tasks in the trace.
+        trace: usize,
+        /// Tasks in the graph.
+        graph: usize,
+    },
+    /// The JSON text is not a well-formed trace.
+    Json(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadTime(at) => write!(f, "invalid event time {at}"),
+            TraceError::UnsortedTimes(i) => {
+                write!(f, "event {i} does not strictly increase the timeline")
+            }
+            TraceError::DuplicateTask(t) => write!(f, "task {t} arrives more than once"),
+            TraceError::TaskOutOfRange(t, n) => {
+                write!(f, "task {t} is out of range for {n} tasks")
+            }
+            TraceError::MissingTasks(n) => write!(f, "{n} task(s) never arrive"),
+            TraceError::ParentAfterChild { parent, child } => {
+                write!(f, "parent {parent} arrives after its child {child}")
+            }
+            TraceError::WrongTaskCount { trace, graph } => {
+                write!(f, "trace covers {trace} tasks but the graph has {graph}")
+            }
+            TraceError::Json(msg) => write!(f, "malformed trace JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ArrivalTrace {
+    /// Builds a trace from raw events, validating the timeline invariants:
+    /// finite non-negative strictly increasing times, every task of
+    /// `0..n_tasks` arriving exactly once.
+    pub fn new(n_tasks: usize, events: Vec<ArrivalEvent>) -> Result<Self, TraceError> {
+        let mut seen = vec![false; n_tasks];
+        let mut covered = 0usize;
+        let mut prev_at = f64::NEG_INFINITY;
+        for (i, event) in events.iter().enumerate() {
+            if !event.at.is_finite() || event.at < 0.0 {
+                return Err(TraceError::BadTime(event.at));
+            }
+            if event.at <= prev_at {
+                return Err(TraceError::UnsortedTimes(i));
+            }
+            prev_at = event.at;
+            for &task in &event.tasks {
+                let t = task.index();
+                if t >= n_tasks {
+                    return Err(TraceError::TaskOutOfRange(t, n_tasks));
+                }
+                if seen[t] {
+                    return Err(TraceError::DuplicateTask(t));
+                }
+                seen[t] = true;
+                covered += 1;
+            }
+        }
+        if covered != n_tasks {
+            return Err(TraceError::MissingTasks(n_tasks - covered));
+        }
+        Ok(ArrivalTrace { n_tasks, events })
+    }
+
+    /// The static oracle: every task released in one event at `t = 0`.
+    pub fn at_once(n_tasks: usize) -> Self {
+        let tasks = (0..n_tasks).map(TaskId::from_index).collect();
+        ArrivalTrace {
+            n_tasks,
+            events: if n_tasks == 0 {
+                Vec::new()
+            } else {
+                vec![ArrivalEvent { at: 0.0, tasks }]
+            },
+        }
+    }
+
+    /// Number of tasks the trace covers.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// The timeline, in strictly increasing time order.
+    pub fn events(&self) -> &[ArrivalEvent] {
+        &self.events
+    }
+
+    /// Checks the trace against the graph it is about to be replayed on:
+    /// same task count, and no child released before a parent (a replay
+    /// could never schedule such a child on arrival anyway, but catching it
+    /// up front turns a subtle stall into a crisp error).
+    pub fn validate_for(&self, graph: &TaskGraph) -> Result<(), TraceError> {
+        if self.n_tasks != graph.n_tasks() {
+            return Err(TraceError::WrongTaskCount {
+                trace: self.n_tasks,
+                graph: graph.n_tasks(),
+            });
+        }
+        let mut at = vec![0.0f64; self.n_tasks];
+        for event in &self.events {
+            for &task in &event.tasks {
+                at[task.index()] = event.at;
+            }
+        }
+        for task in graph.task_ids() {
+            for child in graph.children(task) {
+                if at[task.index()] > at[child.index()] {
+                    return Err(TraceError::ParentAfterChild {
+                        parent: task.index(),
+                        child: child.index(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the trace as versioned JSON:
+    /// `{"v":1,"n_tasks":N,"events":[{"at":t,"tasks":[...]}]}`.
+    pub fn to_json(&self) -> Json {
+        let events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("at", Json::Num(e.at)),
+                    (
+                        "tasks",
+                        Json::Arr(
+                            e.tasks
+                                .iter()
+                                .map(|t| Json::Num(t.index() as f64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("v", Json::Num(1.0)),
+            ("n_tasks", Json::Num(self.n_tasks as f64)),
+            ("events", Json::Arr(events)),
+        ])
+    }
+
+    /// Parses a trace from the JSON text emitted by [`ArrivalTrace::to_json`],
+    /// re-running full validation.
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let json = Json::parse(text).map_err(|e| TraceError::Json(e.to_string()))?;
+        let version = json
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| TraceError::Json("missing version field \"v\"".into()))?;
+        if version != 1 {
+            return Err(TraceError::Json(format!("unsupported version {version}")));
+        }
+        let n_tasks = json
+            .get("n_tasks")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| TraceError::Json("missing \"n_tasks\"".into()))?;
+        let raw_events = json
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| TraceError::Json("missing \"events\" array".into()))?;
+        let mut events = Vec::with_capacity(raw_events.len());
+        for raw in raw_events {
+            let at = raw
+                .get("at")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| TraceError::Json("event missing \"at\"".into()))?;
+            let tasks = raw
+                .get("tasks")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| TraceError::Json("event missing \"tasks\"".into()))?
+                .iter()
+                .map(|t| {
+                    t.as_usize()
+                        .map(TaskId::from_index)
+                        .ok_or_else(|| TraceError::Json("non-integer task id".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            events.push(ArrivalEvent { at, tasks });
+        }
+        ArrivalTrace::new(n_tasks, events)
+    }
+}
+
+/// One inter-arrival gap of a Poisson process with intensity `rate`
+/// (arrivals per virtual second): `-ln(1 - u) / rate` with `u ∈ [0, 1)`.
+/// Always finite and non-negative for `rate > 0`. Exposed for the open-loop
+/// load generator, which paces request sends with the same distribution.
+pub fn exponential_gap(rng: &mut Pcg64, rate: f64) -> f64 {
+    assert!(rate > 0.0, "arrival rate must be positive, got {rate}");
+    let u = rng.next_f64(); // [0, 1): 1 - u is in (0, 1], ln is finite
+    -(1.0 - u).ln() / rate
+}
+
+/// A seed-driven recipe for turning a graph into an [`ArrivalTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Everything at `t = 0` — the static-equivalence oracle.
+    AtOnce,
+    /// One task per arrival, exponential gaps with this intensity
+    /// (tasks per virtual second).
+    Poisson {
+        /// Arrival intensity, tasks per virtual second. Must be positive.
+        rate: f64,
+    },
+    /// Whole batches of `batch` tasks released together, with exponential
+    /// gaps between batch instants.
+    Bursty {
+        /// Tasks per burst (at least 1).
+        batch: usize,
+        /// Burst intensity, bursts per virtual second. Must be positive.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates the release timeline for `graph`. Tasks are released in a
+    /// topological order of the graph (Kahn order, deterministic for a given
+    /// graph), so parents always arrive no later than children; the gaps are
+    /// drawn from a fresh [`Pcg64`] seeded with `seed`. Equal-time releases
+    /// (zero-width gaps) are merged into a single event.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic (release order undefined) or the
+    /// process parameters are out of range.
+    pub fn generate(&self, graph: &TaskGraph, seed: u64) -> ArrivalTrace {
+        let order = topological_order(graph).expect("arrival generation needs an acyclic graph");
+        let n_tasks = graph.n_tasks();
+        if n_tasks == 0 {
+            return ArrivalTrace::at_once(0);
+        }
+        match *self {
+            ArrivalProcess::AtOnce => ArrivalTrace::at_once(n_tasks),
+            ArrivalProcess::Poisson { rate } => Self::release(&order, 1, rate, seed, n_tasks),
+            ArrivalProcess::Bursty { batch, rate } => {
+                assert!(batch >= 1, "burst batch must hold at least one task");
+                Self::release(&order, batch, rate, seed, n_tasks)
+            }
+        }
+    }
+
+    /// Shared release walk: groups of `batch` consecutive topo-order tasks
+    /// share a release instant; instants advance by exponential gaps. The
+    /// first group is released at `t = 0` so every trace has work to do
+    /// immediately.
+    fn release(
+        order: &[TaskId],
+        batch: usize,
+        rate: f64,
+        seed: u64,
+        n_tasks: usize,
+    ) -> ArrivalTrace {
+        let mut rng = Pcg64::new(seed);
+        let mut events: Vec<ArrivalEvent> = Vec::with_capacity(n_tasks.div_ceil(batch));
+        let mut now = 0.0f64;
+        for group in order.chunks(batch) {
+            let mut tasks = group.to_vec();
+            tasks.sort_unstable();
+            match events.last_mut() {
+                // A zero-width gap lands on the previous instant: merge, so
+                // the trace keeps its strictly-increasing-times invariant.
+                Some(last) if last.at == now => {
+                    last.tasks.extend(tasks);
+                    last.tasks.sort_unstable();
+                }
+                _ => events.push(ArrivalEvent { at: now, tasks }),
+            }
+            now += exponential_gap(&mut rng, rate);
+        }
+        ArrivalTrace::new(n_tasks, events).expect("generated trace must satisfy its own invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{daggen, DaggenParams, WeightRanges};
+
+    fn sample_graph(seed: u64) -> TaskGraph {
+        let mut rng = Pcg64::new(seed);
+        daggen::generate(
+            &DaggenParams::small_rand(),
+            &WeightRanges::small_rand(),
+            &mut rng,
+        )
+    }
+
+    fn all_tasks(trace: &ArrivalTrace) -> Vec<usize> {
+        let mut tasks: Vec<usize> = trace
+            .events()
+            .iter()
+            .flat_map(|e| e.tasks.iter().map(|t| t.index()))
+            .collect();
+        tasks.sort_unstable();
+        tasks
+    }
+
+    #[test]
+    fn at_once_covers_everything_at_time_zero() {
+        let trace = ArrivalTrace::at_once(5);
+        assert_eq!(trace.n_tasks(), 5);
+        assert_eq!(trace.events().len(), 1);
+        assert_eq!(trace.events()[0].at, 0.0);
+        assert_eq!(all_tasks(&trace), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_valid() {
+        let g = sample_graph(7);
+        let process = ArrivalProcess::Poisson { rate: 2.0 };
+        let a = process.generate(&g, 42);
+        let b = process.generate(&g, 42);
+        assert_eq!(a, b, "same seed must replay the same trace");
+        assert_ne!(a, process.generate(&g, 43), "different seeds should differ");
+        a.validate_for(&g).unwrap();
+        assert_eq!(all_tasks(&a), (0..g.n_tasks()).collect::<Vec<_>>());
+        // Strictly increasing times, first event at 0.
+        assert_eq!(a.events()[0].at, 0.0);
+        for w in a.events().windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn bursty_trace_releases_batches() {
+        let g = sample_graph(3);
+        let trace = ArrivalProcess::Bursty {
+            batch: 7,
+            rate: 1.0,
+        }
+        .generate(&g, 9);
+        trace.validate_for(&g).unwrap();
+        // All events except possibly merged ones hold at most ... at least
+        // the first event holds a full batch (no zero gap merged at t=0
+        // unless the rng drew one).
+        assert!(trace.events()[0].tasks.len() >= 7.min(g.n_tasks()));
+        assert_eq!(all_tasks(&trace), (0..g.n_tasks()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parents_never_arrive_after_children() {
+        let g = sample_graph(11);
+        for process in [
+            ArrivalProcess::Poisson { rate: 0.5 },
+            ArrivalProcess::Bursty {
+                batch: 3,
+                rate: 5.0,
+            },
+        ] {
+            let trace = process.generate(&g, 1);
+            trace.validate_for(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let g = sample_graph(5);
+        let trace = ArrivalProcess::Poisson { rate: 3.0 }.generate(&g, 17);
+        let text = trace.to_json().to_compact();
+        let parsed = ArrivalTrace::parse(&text).unwrap();
+        assert_eq!(trace, parsed);
+        // And the re-serialisation is byte-identical.
+        assert_eq!(text, parsed.to_json().to_compact());
+    }
+
+    #[test]
+    fn validation_rejects_broken_traces() {
+        let ev = |at: f64, ids: &[usize]| ArrivalEvent {
+            at,
+            tasks: ids.iter().copied().map(TaskId::from_index).collect(),
+        };
+        assert_eq!(
+            ArrivalTrace::new(2, vec![ev(-1.0, &[0, 1])]),
+            Err(TraceError::BadTime(-1.0))
+        );
+        assert_eq!(
+            ArrivalTrace::new(2, vec![ev(0.0, &[0]), ev(0.0, &[1])]),
+            Err(TraceError::UnsortedTimes(1))
+        );
+        assert_eq!(
+            ArrivalTrace::new(2, vec![ev(0.0, &[0, 0]), ev(1.0, &[1])]),
+            Err(TraceError::DuplicateTask(0))
+        );
+        assert_eq!(
+            ArrivalTrace::new(2, vec![ev(0.0, &[0, 5])]),
+            Err(TraceError::TaskOutOfRange(5, 2))
+        );
+        assert_eq!(
+            ArrivalTrace::new(3, vec![ev(0.0, &[0, 1])]),
+            Err(TraceError::MissingTasks(1))
+        );
+    }
+
+    #[test]
+    fn validate_for_catches_inverted_precedence() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, 1.0);
+        let b = g.add_task("b", 1.0, 1.0);
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        // b (the child) arrives before a (the parent): invalid.
+        let trace = ArrivalTrace::new(
+            2,
+            vec![
+                ArrivalEvent {
+                    at: 0.0,
+                    tasks: vec![b],
+                },
+                ArrivalEvent {
+                    at: 1.0,
+                    tasks: vec![a],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            trace.validate_for(&g),
+            Err(TraceError::ParentAfterChild {
+                parent: 0,
+                child: 1
+            })
+        );
+        // Task-count mismatch is also caught.
+        let at_once = ArrivalTrace::at_once(3);
+        assert!(matches!(
+            at_once.validate_for(&g),
+            Err(TraceError::WrongTaskCount { trace: 3, graph: 2 })
+        ));
+    }
+
+    #[test]
+    fn exponential_gaps_are_nonnegative_and_mean_close_to_inverse_rate() {
+        let mut rng = Pcg64::new(123);
+        let rate = 4.0;
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let gap = exponential_gap(&mut rng, rate);
+            assert!(gap >= 0.0 && gap.is_finite());
+            sum += gap;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "sample mean {mean} far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn trace_parse_rejects_garbage() {
+        assert!(matches!(
+            ArrivalTrace::parse("not json"),
+            Err(TraceError::Json(_))
+        ));
+        assert!(matches!(
+            ArrivalTrace::parse("{\"v\":2,\"n_tasks\":1,\"events\":[]}"),
+            Err(TraceError::Json(_))
+        ));
+        assert!(matches!(
+            ArrivalTrace::parse("{\"v\":1,\"n_tasks\":1,\"events\":[]}"),
+            Err(TraceError::MissingTasks(1))
+        ));
+    }
+}

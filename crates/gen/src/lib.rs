@@ -19,16 +19,21 @@
 //!   kernel-cost model and the broadcast pipelines of fictitious tasks the
 //!   paper adds to fit its single-file-per-edge model;
 //! * [`toy`] — the 4-task example `D_ex` of Figure 2;
-//! * [`sets`] — the four experiment DAG sets with their documented seeds.
+//! * [`sets`] — the four experiment DAG sets with their documented seeds;
+//! * [`arrival`] — seed-driven arrival processes (Poisson, bursty, at-once)
+//!   that release a graph's tasks along a virtual timeline as replayable
+//!   [`ArrivalTrace`]s for the online scheduling layer.
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod daggen;
 pub mod linalg;
 pub mod sets;
 pub mod shapes;
 pub mod toy;
 
+pub use arrival::{exponential_gap, ArrivalEvent, ArrivalProcess, ArrivalTrace, TraceError};
 pub use daggen::{DaggenParams, WeightRanges};
 pub use linalg::{cholesky_dag, lu_dag, KernelCosts};
 pub use sets::{cholesky_set, large_rand_set, lu_set, small_rand_set, SetParams};

@@ -343,7 +343,7 @@ mod tests {
     fn debug_and_accessors() {
         let engine = engine(3);
         assert_eq!(engine.limits(), SolveLimits::default());
-        assert_eq!(engine.registry().len(), 9);
+        assert_eq!(engine.registry().len(), 11);
         let debug = format!("{engine:?}");
         assert!(debug.contains("memheft"));
         assert!(debug.contains("threads: 3"));

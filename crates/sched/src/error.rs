@@ -27,6 +27,10 @@ pub enum ScheduleError {
         /// Total number of tasks in the graph.
         total: usize,
     },
+    /// An online replay was handed an arrival trace that does not fit the
+    /// graph (wrong task count, child released before a parent, malformed
+    /// timeline). The message is the trace validator's diagnosis.
+    InvalidTrace(String),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for ScheduleError {
                 f,
                 "the solve was cancelled ({scheduled}/{total} tasks placed)"
             ),
+            ScheduleError::InvalidTrace(msg) => write!(f, "invalid arrival trace: {msg}"),
         }
     }
 }
@@ -50,7 +55,9 @@ impl std::error::Error for ScheduleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScheduleError::InvalidGraph(e) => Some(e),
-            ScheduleError::Infeasible { .. } | ScheduleError::Cancelled { .. } => None,
+            ScheduleError::Infeasible { .. }
+            | ScheduleError::Cancelled { .. }
+            | ScheduleError::InvalidTrace(_) => None,
         }
     }
 }

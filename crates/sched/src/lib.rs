@@ -29,6 +29,12 @@
 //! bit-identical to the scan-everything engines at a fraction of the work,
 //! which is what scales the heuristics to 10⁴–10⁵-task DAGs.
 //!
+//! The **online layer** ([`online`]) replays an arrival timeline
+//! (`mals_gen::ArrivalTrace`) through an event-driven simulator on a virtual
+//! clock and re-plans the unscheduled suffix with the same incremental
+//! machinery — releasing the whole DAG at `t = 0` reproduces the static
+//! solvers bit for bit, which is the subsystem's built-in oracle.
+//!
 //! On top of the concrete schedulers sits the unified **engine layer**:
 //!
 //! * [`Solver`] — the trait subsuming heuristics and exact solvers (one
@@ -69,6 +75,7 @@ pub mod error;
 pub mod incremental;
 pub mod memheft;
 pub mod memminmin;
+pub mod online;
 pub mod partial;
 pub mod portfolio;
 pub mod registry;
@@ -82,6 +89,7 @@ pub use error::ScheduleError;
 pub use incremental::EstCache;
 pub use memheft::MemHeft;
 pub use memminmin::MemMinMin;
+pub use online::{replay, OnlineConfig, OnlineFlavor, OnlineOutcome, OnlineSolver, ReplanPolicy};
 pub use partial::{CommitEffects, EstBreakdown, PartialSchedule};
 pub use portfolio::{MemberReport, Portfolio, PortfolioReport, DEFAULT_MEMBERS};
 pub use registry::{SolverEntry, SolverInfo, SolverRegistry};

@@ -81,6 +81,8 @@ impl SolverRegistry {
     /// | `memheft-red` | MemHEFT preferring red on EFT ties |
     /// | `memheft-rand` | MemHEFT with seeded random tie-breaking |
     /// | `portfolio` | anytime race over the memory-aware heuristics |
+    /// | `online-memheft` | MemHEFT through the online replay engine |
+    /// | `online-memminmin` | MemMinMin through the online replay engine |
     pub fn heuristics() -> Self {
         let mut registry = SolverRegistry::empty();
         registry.register(
@@ -184,6 +186,24 @@ impl SolverRegistry {
             },
             |seed| Box::new(crate::portfolio::Portfolio::default_heuristics(seed)),
         );
+        registry.register(
+            SolverInfo {
+                key: "online-memheft",
+                summary: "MemHEFT via the online replay engine (whole DAG at t=0)",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| Box::new(crate::online::OnlineSolver::memheft()),
+        );
+        registry.register(
+            SolverInfo {
+                key: "online-memminmin",
+                summary: "MemMinMin via the online replay engine (whole DAG at t=0)",
+                memory_aware: true,
+                exact: false,
+            },
+            |_| Box::new(crate::online::OnlineSolver::memminmin()),
+        );
         registry
     }
 
@@ -249,7 +269,7 @@ mod tests {
     #[test]
     fn heuristic_registry_contents() {
         let registry = SolverRegistry::heuristics();
-        assert_eq!(registry.len(), 9);
+        assert_eq!(registry.len(), 11);
         assert!(!registry.is_empty());
         for key in [
             "memheft",
@@ -261,6 +281,8 @@ mod tests {
             "memheft-red",
             "memheft-rand",
             "portfolio",
+            "online-memheft",
+            "online-memminmin",
         ] {
             assert!(registry.entry(key).is_some(), "missing {key}");
             assert!(!registry.entry(key).unwrap().info.exact);

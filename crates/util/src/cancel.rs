@@ -13,6 +13,7 @@
 //! cancels individual members without the members being able to cancel each
 //! other.
 
+use crate::clock::{Clock, SystemClock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,21 +60,32 @@ impl CancelToken {
     }
 }
 
-/// A wall-clock deadline, compared against [`Instant::now`] when polled.
+/// A deadline on some [`Clock`]'s timeline.
+///
+/// The plain constructors ([`Deadline::after`], [`Deadline::after_millis`])
+/// and poll ([`Deadline::expired`]) read the wall clock, exactly as before
+/// the clock abstraction existed. Code running on a virtual timeline — the
+/// online replay simulator — uses the `_on` variants with its own clock, so
+/// a deadline can expire in virtual time without a single real sleep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deadline {
     at: Instant,
 }
 
 impl Deadline {
-    /// A deadline `timeout` from now.
+    /// A deadline `timeout` from now on the wall clock.
     pub fn after(timeout: Duration) -> Self {
+        Self::after_on(&SystemClock, timeout)
+    }
+
+    /// A deadline `timeout` from now on `clock`'s timeline.
+    pub fn after_on(clock: &impl Clock, timeout: Duration) -> Self {
         Deadline {
-            at: Instant::now() + timeout,
+            at: clock.now() + timeout,
         }
     }
 
-    /// A deadline `millis` milliseconds from now.
+    /// A deadline `millis` milliseconds from now on the wall clock.
     pub fn after_millis(millis: u64) -> Self {
         Self::after(Duration::from_millis(millis))
     }
@@ -83,9 +95,14 @@ impl Deadline {
         self.at
     }
 
-    /// True once the deadline has passed.
+    /// True once the deadline has passed on the wall clock.
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+        self.expired_on(&SystemClock)
+    }
+
+    /// True once the deadline has passed on `clock`'s timeline.
+    pub fn expired_on(&self, clock: &impl Clock) -> bool {
+        clock.now() >= self.at
     }
 }
 
@@ -184,6 +201,20 @@ mod tests {
         let future = Deadline::after(Duration::from_secs(3600));
         assert!(!future.expired());
         assert!(future.instant() > Instant::now());
+    }
+
+    #[test]
+    fn deadline_on_virtual_clock_expires_without_sleeping() {
+        let clock = crate::clock::VirtualClock::new();
+        let deadline = Deadline::after_on(&clock, Duration::from_secs(5));
+        assert!(!deadline.expired_on(&clock));
+        clock.advance_to_secs(4.9);
+        assert!(!deadline.expired_on(&clock));
+        clock.advance_to_secs(5.0);
+        assert!(deadline.expired_on(&clock));
+        // The wall clock has barely moved: the same deadline is hours away
+        // in real time.
+        assert!(!deadline.expired());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Clock abstraction: wall time for daemons, virtual time for replays.
+//!
+//! The online replay simulator advances time by jumping between events on a
+//! virtual timeline — sleeping through a Poisson trace for real would make a
+//! 10⁴-task replay take hours and tie its outcome to scheduler jitter. The
+//! [`Clock`] trait is the seam: production code ([`Deadline`](crate::cancel::Deadline),
+//! the daemon)
+//! reads a [`SystemClock`], the simulator reads a [`VirtualClock`] it
+//! advances itself, and both hand out [`Instant`]s so the rest of the
+//! cancellation machinery does not care which one it is looking at.
+//!
+//! [`VirtualClock`] keeps its time as `f64` seconds since an arbitrary base
+//! instant, stored as IEEE-754 bits in an `AtomicU64`. For non-negative
+//! floats the bit pattern is monotone in the value, so `fetch_max` on the
+//! bits advances the clock atomically and monotonically — a late-arriving
+//! `advance_to` from another thread can never move time backwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of "now". See the module docs for why this exists.
+pub trait Clock {
+    /// The current time as an [`Instant`] on this clock's timeline.
+    fn now(&self) -> Instant;
+}
+
+/// The real wall clock: [`Instant::now`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A manually advanced clock for event-driven simulation.
+///
+/// Clones share the same timeline (the bits live behind an [`Arc`]), so a
+/// simulator can hand a clone to a [`Deadline`](crate::cancel::Deadline)
+/// check while keeping the
+/// advancing side for itself. Time only moves forward: [`VirtualClock::advance_to_secs`]
+/// with a time earlier than the current one is a no-op.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    /// The instant that virtual second 0 maps to.
+    base: Instant,
+    /// Current virtual time in seconds, stored as `f64::to_bits`. For
+    /// non-negative floats the IEEE bit order equals the numeric order,
+    /// which makes `fetch_max` a monotone advance.
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    /// A fresh clock at virtual second 0.
+    pub fn new() -> Self {
+        VirtualClock {
+            base: Instant::now(),
+            bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Current virtual time in seconds, exactly as last advanced.
+    pub fn now_secs(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock to `secs` (no-op if time is already past it).
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or NaN — the bit-order trick only holds
+    /// for non-negative finite values, and a simulation timeline never needs
+    /// anything else.
+    pub fn advance_to_secs(&self, secs: f64) {
+        assert!(
+            secs >= 0.0,
+            "virtual time must be a non-negative number, got {secs}"
+        );
+        self.bits.fetch_max(secs.to_bits(), Ordering::AcqRel);
+    }
+
+    /// Advances the clock by `delta` seconds from its current time.
+    pub fn advance(&self, delta: f64) {
+        assert!(delta >= 0.0, "cannot advance by a negative delta: {delta}");
+        self.advance_to_secs(self.now_secs() + delta);
+    }
+
+    /// Virtual seconds elapsed since `earlier_secs`.
+    pub fn elapsed_since(&self, earlier_secs: f64) -> f64 {
+        self.now_secs() - earlier_secs
+    }
+}
+
+impl Clock for VirtualClock {
+    /// The virtual time projected onto the [`Instant`] axis: `base` plus the
+    /// current virtual seconds. Durations are capped losslessly via
+    /// `Duration::from_secs_f64`'s own domain (non-negative, finite).
+    fn now(&self) -> Instant {
+        self.base + Duration::from_secs_f64(self.now_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_tracks_instant_now() {
+        let clock = SystemClock;
+        let before = Instant::now();
+        let now = clock.now();
+        let after = Instant::now();
+        assert!(before <= now && now <= after);
+    }
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_secs(), 0.0);
+        clock.advance_to_secs(1.5);
+        assert_eq!(clock.now_secs(), 1.5);
+        clock.advance(0.25);
+        assert_eq!(clock.now_secs(), 1.75);
+    }
+
+    #[test]
+    fn virtual_clock_never_moves_backwards() {
+        let clock = VirtualClock::new();
+        clock.advance_to_secs(10.0);
+        clock.advance_to_secs(3.0); // stale advance: ignored
+        assert_eq!(clock.now_secs(), 10.0);
+        assert_eq!(clock.elapsed_since(4.0), 6.0);
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_the_timeline() {
+        let clock = VirtualClock::new();
+        let observer = clock.clone();
+        clock.advance_to_secs(42.0);
+        assert_eq!(observer.now_secs(), 42.0);
+        assert_eq!(observer.now(), clock.now());
+    }
+
+    #[test]
+    fn virtual_instants_are_ordered_like_virtual_seconds() {
+        let clock = VirtualClock::new();
+        let t0 = clock.now();
+        clock.advance_to_secs(2.0);
+        let t2 = clock.now();
+        assert!(t2 > t0);
+        assert_eq!(t2 - t0, Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_virtual_time_is_rejected() {
+        VirtualClock::new().advance_to_secs(-1.0);
+    }
+}

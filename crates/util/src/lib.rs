@@ -24,6 +24,9 @@
 //! * [`cancel`] — cooperative cancellation primitives ([`CancelToken`],
 //!   [`Deadline`], [`CancelSignal`]) polled by the anytime solvers and the
 //!   portfolio racer.
+//! * [`clock`] — the [`Clock`] seam between wall time ([`SystemClock`]) and
+//!   the manually advanced [`VirtualClock`] driving the online replay
+//!   simulator.
 //! * [`frame`] — newline-delimited frame I/O (size-capped, timeout-tolerant)
 //!   for the persistent scheduling daemon's wire protocol.
 
@@ -31,6 +34,7 @@
 
 pub mod cancel;
 pub mod chunked;
+pub mod clock;
 pub mod float;
 pub mod frame;
 pub mod json;
@@ -42,6 +46,7 @@ pub mod streaming;
 
 pub use cancel::{CancelSignal, CancelToken, Deadline};
 pub use chunked::ChunkedIndexSet;
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use float::{approx_eq, approx_ge, approx_le, F64Ord, EPSILON};
 pub use frame::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES};
 pub use json::{Json, JsonError};
